@@ -1,0 +1,50 @@
+// Figure 14: DOT dataset — number of k-sets vs the dimensionality d
+// (k = 1% of n). Upper bounds: O(n k^{1/3}) for d=2 [Dey], O(n k^{3/2})
+// for d=3 [Sharir et al.], O(n^{d-eps}) beyond [Alon et al.] (plotted with
+// eps = 0.5).
+//
+// Expected shape: |S| grows steeply with d but stays far below the bounds,
+// whose looseness for d >= 4 is the paper's point.
+#include <algorithm>
+#include <string>
+#include <vector>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/kset_sampler.h"
+#include "data/generators.h"
+#include "figure_util.h"
+
+int main() {
+  using namespace rrr;
+  const size_t n = bench::DefaultN();
+  const size_t k = std::max<size_t>(1, n / 100);
+  bench::PrintFigureHeader(
+      "Figure 14", StrFormat("DOT-like, n=%zu, k=%zu: |S| vs d", n, k),
+      "d,ksets_actual,upper_bound,samples,time_sec");
+
+  const data::Dataset all = data::GenerateDotLike(n, 42);
+  const size_t max_d = bench::FullScale() ? 6 : 5;
+  for (size_t d = 2; d <= max_d; ++d) {
+    const data::Dataset ds = all.ProjectPrefix(d);
+    Stopwatch timer;
+    Result<core::KSetSampleResult> sample = core::SampleKSets(ds, k);
+    RRR_CHECK_OK(sample.status());
+    double bound;
+    if (d == 2) {
+      bound = static_cast<double>(n) * std::cbrt(static_cast<double>(k));
+    } else if (d == 3) {
+      bound = static_cast<double>(n) * std::pow(static_cast<double>(k), 1.5);
+    } else {
+      bound = std::pow(static_cast<double>(n),
+                       static_cast<double>(d) - 0.5);
+    }
+    bench::PrintRow({std::to_string(d),
+                     std::to_string(sample->ksets.size()),
+                     StrFormat("%.3g", bound),
+                     std::to_string(sample->samples_drawn),
+                     StrFormat("%.4f", timer.ElapsedSeconds())});
+  }
+  return 0;
+}

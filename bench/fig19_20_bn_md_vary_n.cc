@@ -1,0 +1,31 @@
+// Figures 19 + 20: Blue-Nile-like dataset, MD (d=3) — time and quality of
+// MDRC, MDRRR, HD-RRMS while n varies (paper sweeps 1K..100K on BN).
+#include <algorithm>
+#include <string>
+#include <vector>
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "figure_util.h"
+
+int main() {
+  using namespace rrr;
+  bench::PrintFigureHeader(
+      "Figures 19 (time) + 20 (quality)",
+      "BN-like, d=3, k=1% of n, vary n",
+      "algorithm,n,time_sec,sampled_rank_regret,output_size");
+
+  const size_t full_max = 100000;
+  const data::Dataset all =
+      data::GenerateBnLike(bench::FullScale() ? full_max : 16000, 42)
+          .ProjectPrefix(3);
+  const size_t mdrrr_cutoff = bench::FullScale() ? 40000 : 4000;
+
+  for (size_t n : bench::NSweep(full_max)) {
+    bench::MdComparisonConfig config;
+    config.label = std::to_string(n);
+    config.k = std::max<size_t>(1, n / 100);
+    config.run_mdrrr = n <= mdrrr_cutoff;
+    bench::RunMdComparisonRow(all.Head(n), config);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figures 21 + 22: DOT dataset, MD — time and quality of MDRC, MDRRR,
+// HD-RRMS while the number of attributes d varies from 3 to 6
+// (n and k fixed to the defaults).
+//
+// Expected shape: MDRRR cost explodes with d (k-set count); MDRC and
+// HD-RRMS stay fast; HD-RRMS rank-regret in the thousands while
+// MDRC/MDRRR honor k; output sizes < 40.
+#include <algorithm>
+#include <string>
+#include <vector>
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "figure_util.h"
+
+int main() {
+  using namespace rrr;
+  const size_t n = bench::DefaultN();
+  const size_t k = std::max<size_t>(1, n / 100);
+  bench::PrintFigureHeader(
+      "Figures 21 (time) + 22 (quality)",
+      StrFormat("DOT-like, n=%zu, k=%zu, vary d", n, k),
+      "algorithm,d,time_sec,sampled_rank_regret,output_size");
+
+  const data::Dataset all = data::GenerateDotLike(n, 42);
+  const size_t max_d = bench::FullScale() ? 6 : 5;
+  for (size_t d = 3; d <= max_d; ++d) {
+    bench::MdComparisonConfig config;
+    config.label = std::to_string(d);
+    config.k = k;
+    // K-SETr's collection growth makes MDRRR the slow one as d rises; keep
+    // it runnable but skip at the top end in scaled mode.
+    config.run_mdrrr = bench::FullScale() || d <= 4;
+    bench::RunMdComparisonRow(all.ProjectPrefix(d), config);
+  }
+  return 0;
+}

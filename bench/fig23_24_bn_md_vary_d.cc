@@ -1,0 +1,28 @@
+// Figures 23 + 24: Blue-Nile-like dataset, MD — time and quality of MDRC,
+// MDRRR, HD-RRMS while d varies from 3 to 5 (n, k at defaults).
+#include <algorithm>
+#include <string>
+#include <vector>
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "figure_util.h"
+
+int main() {
+  using namespace rrr;
+  const size_t n = bench::DefaultN();
+  const size_t k = std::max<size_t>(1, n / 100);
+  bench::PrintFigureHeader(
+      "Figures 23 (time) + 24 (quality)",
+      StrFormat("BN-like, n=%zu, k=%zu, vary d", n, k),
+      "algorithm,d,time_sec,sampled_rank_regret,output_size");
+
+  const data::Dataset all = data::GenerateBnLike(n, 42);
+  for (size_t d = 3; d <= 5; ++d) {
+    bench::MdComparisonConfig config;
+    config.label = std::to_string(d);
+    config.k = k;
+    config.run_mdrrr = bench::FullScale() || d <= 4;
+    bench::RunMdComparisonRow(all.ProjectPrefix(d), config);
+  }
+  return 0;
+}

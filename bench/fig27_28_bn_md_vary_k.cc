@@ -1,0 +1,28 @@
+// Figures 27 + 28: Blue-Nile-like dataset, MD (d=3) — time and quality of
+// MDRC, MDRRR, HD-RRMS while k varies from 0.1% to 10% of n.
+#include <algorithm>
+#include <string>
+#include <vector>
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "figure_util.h"
+
+int main() {
+  using namespace rrr;
+  const size_t n = bench::DefaultN();
+  bench::PrintFigureHeader(
+      "Figures 27 (time) + 28 (quality)",
+      StrFormat("BN-like, d=3, n=%zu, vary k", n),
+      "algorithm,k,time_sec,sampled_rank_regret,output_size");
+
+  const data::Dataset ds = data::GenerateBnLike(n, 42).ProjectPrefix(3);
+  for (double kp : {0.001, 0.01, 0.1}) {
+    const size_t k =
+        std::max<size_t>(1, static_cast<size_t>(kp * static_cast<double>(n)));
+    bench::MdComparisonConfig config;
+    config.label = std::to_string(k);
+    config.k = k;
+    bench::RunMdComparisonRow(ds, config);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef RRR_BENCH_FIGURE_UTIL_H_
+#define RRR_BENCH_FIGURE_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/hd_rrms.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace bench {
+
+/// True when RRR_BENCH_FULL=1: paper-scale sweeps (minutes to hours)
+/// instead of the laptop-scale defaults (seconds).
+bool FullScale();
+
+/// Ranking functions used by the sampled rank-regret estimator: 10,000 in
+/// full mode (the paper's protocol), 1,000 scaled.
+size_t EvalFunctions();
+
+/// Prints the figure banner: which paper figure, the setting, the columns.
+void PrintFigureHeader(const std::string& figure, const std::string& title,
+                       const std::string& columns);
+
+/// Prints one CSV row (already formatted values).
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Dataset-size sweep used by the vary-n figures.
+std::vector<size_t> NSweep(size_t full_max);
+
+/// Dataset-size sweep for the 2D figures, where every algorithm (and the
+/// exact evaluator) pays a quadratic sweep: capped at 8,000 scaled.
+std::vector<size_t> NSweep2D(size_t full_max);
+
+/// Default dataset size for fixed-n figures (10,000 in the paper).
+size_t DefaultN();
+
+/// Runs the three-way comparison row used by Figures 17-28: MDRC, MDRRR
+/// (K-SETr + hitting set), HD-RRMS at MDRC's output size; prints time and
+/// quality rows. Set `run_mdrrr` to false where the paper reports MDRRR as
+/// not scaling.
+struct MdComparisonConfig {
+  std::string label;       // value of the x-axis (n, d, or k)
+  size_t k = 0;
+  bool run_mdrrr = true;
+  uint64_t eval_seed = 23;
+};
+void RunMdComparisonRow(const data::Dataset& dataset,
+                        const MdComparisonConfig& config);
+
+}  // namespace bench
+}  // namespace rrr
+
+#endif  // RRR_BENCH_FIGURE_UTIL_H_

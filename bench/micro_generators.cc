@@ -1,0 +1,47 @@
+// Micro-benchmarks for the workload generators (they sit on the critical
+// path of every figure bench).
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+
+namespace {
+
+void BM_GenerateUniform(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrr::data::GenerateUniform(n, 4, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GenerateUniform)->Arg(10000)->Arg(100000);
+
+void BM_GenerateDotLike(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrr::data::GenerateDotLike(n, 2));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GenerateDotLike)->Arg(10000)->Arg(100000);
+
+void BM_GenerateBnLike(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrr::data::GenerateBnLike(n, 3));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GenerateBnLike)->Arg(10000)->Arg(100000);
+
+void BM_GenerateAnticorrelated(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrr::data::GenerateAnticorrelated(n, 4, 4));
+  }
+}
+BENCHMARK(BM_GenerateAnticorrelated)->Arg(10000)->Arg(100000);
+
+}  // namespace

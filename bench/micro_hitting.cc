@@ -1,0 +1,87 @@
+// Micro-benchmarks + ablation for the hitting-set engines of MDRRR:
+// greedy vs Bronnimann-Goodrich eps-net, and the interval-cover strategies
+// of 2DRRR (the optimal sweep vs the paper's max-coverage greedy).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "hitting/epsnet.h"
+#include "hitting/greedy.h"
+#include "hitting/interval_cover.h"
+
+namespace {
+
+rrr::hitting::SetSystem RandomSystem(uint64_t seed, int32_t universe,
+                                     size_t num_sets, size_t set_size) {
+  rrr::Rng rng(seed);
+  rrr::hitting::SetSystem s;
+  for (size_t i = 0; i < num_sets; ++i) {
+    std::vector<int32_t> set;
+    for (size_t j = 0; j < set_size; ++j) {
+      set.push_back(static_cast<int32_t>(rng.UniformInt(0, universe - 1)));
+    }
+    s.sets.push_back(std::move(set));
+  }
+  return s;
+}
+
+void BM_GreedyHittingSet(benchmark::State& state) {
+  const auto s = RandomSystem(1, static_cast<int32_t>(state.range(0)),
+                              static_cast<size_t>(state.range(1)), 8);
+  for (auto _ : state) {
+    auto hit = rrr::hitting::GreedyHittingSet(s);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_GreedyHittingSet)->Args({100, 200})->Args({1000, 2000});
+
+void BM_EpsNetHittingSet(benchmark::State& state) {
+  const auto s = RandomSystem(2, static_cast<int32_t>(state.range(0)),
+                              static_cast<size_t>(state.range(1)), 8);
+  for (auto _ : state) {
+    auto hit = rrr::hitting::EpsNetHittingSet(s);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_EpsNetHittingSet)->Args({100, 200})->Args({1000, 2000});
+
+std::vector<rrr::hitting::Interval> RandomIntervals(uint64_t seed,
+                                                    size_t count) {
+  rrr::Rng rng(seed);
+  std::vector<rrr::hitting::Interval> ivs;
+  // A guaranteed cover chain plus noise.
+  double reach = 0.0;
+  int32_t id = 0;
+  while (reach < 1.0) {
+    const double b = std::max(0.0, reach - 0.01);
+    const double e = reach + rng.Uniform(0.02, 0.08);
+    ivs.push_back({b, e, id++});
+    reach = e;
+  }
+  while (ivs.size() < count) {
+    const double b = rng.Uniform(0.0, 0.95);
+    ivs.push_back({b, b + rng.Uniform(0.01, 0.2), id++});
+  }
+  return ivs;
+}
+
+void BM_IntervalCoverSweep(benchmark::State& state) {
+  const auto ivs = RandomIntervals(3, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto cover = rrr::hitting::CoverLine(
+        ivs, 0.0, 1.0, rrr::hitting::CoverStrategy::kSweep);
+    benchmark::DoNotOptimize(cover);
+  }
+}
+BENCHMARK(BM_IntervalCoverSweep)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_IntervalCoverMaxCoverage(benchmark::State& state) {
+  const auto ivs = RandomIntervals(3, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto cover = rrr::hitting::CoverLine(
+        ivs, 0.0, 1.0, rrr::hitting::CoverStrategy::kGreedyMaxCoverage);
+    benchmark::DoNotOptimize(cover);
+  }
+}
+BENCHMARK(BM_IntervalCoverMaxCoverage)->Arg(100)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Micro-benchmarks + ablations for MDRC: scaling in n, d, k, and the value
+// of the corner-top-k memo cache (the design choice DESIGN.md calls out).
+#include <benchmark/benchmark.h>
+
+#include "core/mdrc.h"
+#include "data/generators.h"
+
+namespace {
+
+using rrr::core::MdrcStats;
+using rrr::core::SolveMdrc;
+using rrr::data::Dataset;
+using rrr::data::GenerateDotLike;
+
+void BM_MdrcVaryN(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset ds = GenerateDotLike(n, 1).ProjectPrefix(3);
+  const size_t k = std::max<size_t>(1, n / 100);
+  MdrcStats stats;
+  for (auto _ : state) {
+    auto rep = SolveMdrc(ds, k, {}, &stats);
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["nodes"] = static_cast<double>(stats.nodes);
+  state.counters["cache_hit_ratio"] =
+      static_cast<double>(stats.cache_hits) /
+      static_cast<double>(stats.cache_hits + stats.corner_evals);
+}
+BENCHMARK(BM_MdrcVaryN)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MdrcVaryD(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Dataset ds = GenerateDotLike(5000, 2).ProjectPrefix(d);
+  MdrcStats stats;
+  for (auto _ : state) {
+    auto rep = SolveMdrc(ds, 50, {}, &stats);
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["nodes"] = static_cast<double>(stats.nodes);
+}
+BENCHMARK(BM_MdrcVaryD)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_MdrcLeafReuseAblation(benchmark::State& state) {
+  // range(0) == 1 -> reuse on (default), 0 -> the paper's literal "I[1]".
+  const Dataset ds = GenerateDotLike(5000, 4).ProjectPrefix(5);
+  rrr::core::MdrcOptions opts;
+  opts.reuse_chosen = state.range(0) == 1;
+  size_t size = 0;
+  for (auto _ : state) {
+    auto rep = SolveMdrc(ds, 50, opts);
+    size = rep->size();
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["output_size"] = static_cast<double>(size);
+}
+BENCHMARK(BM_MdrcLeafReuseAblation)->Arg(0)->Arg(1);
+
+void BM_MdrcVaryK(benchmark::State& state) {
+  const Dataset ds = GenerateDotLike(10000, 3).ProjectPrefix(3);
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto rep = SolveMdrc(ds, k);
+    benchmark::DoNotOptimize(rep);
+  }
+}
+BENCHMARK(BM_MdrcVaryK)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace

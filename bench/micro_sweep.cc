@@ -1,0 +1,51 @@
+// Micro-benchmarks for the 2D angular sweep engine: event throughput is
+// what bounds 2DRRR and 2D k-set enumeration.
+#include <benchmark/benchmark.h>
+
+#include "core/find_ranges.h"
+#include "core/kset_enum2d.h"
+#include "core/sweep.h"
+#include "data/generators.h"
+
+namespace {
+
+using rrr::data::Dataset;
+using rrr::data::GenerateUniform;
+
+void BM_FullSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset ds = GenerateUniform(n, 2, 1);
+  size_t events = 0;
+  for (auto _ : state) {
+    rrr::core::AngularSweep sweep(ds);
+    events = sweep.Run([](const rrr::core::SweepEvent&) { return true; });
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events));
+}
+BENCHMARK(BM_FullSweep)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FindRanges(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const Dataset ds = GenerateUniform(n, 2, 2);
+  for (auto _ : state) {
+    auto ranges = rrr::core::FindRanges(ds, k);
+    benchmark::DoNotOptimize(ranges);
+  }
+}
+BENCHMARK(BM_FindRanges)->Args({1024, 10})->Args({4096, 40});
+
+void BM_KSetEnum2D(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const Dataset ds = GenerateUniform(n, 2, 3);
+  for (auto _ : state) {
+    auto ksets = rrr::core::EnumerateKSets2D(ds, k);
+    benchmark::DoNotOptimize(ksets);
+  }
+}
+BENCHMARK(BM_KSetEnum2D)->Args({1024, 10})->Args({4096, 40});
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Diamond catalog (the paper's Blue Nile scenario), two acts:
+//
+//  1. The DUAL problem: "our landing page fits exactly `budget` diamonds —
+//     what rank guarantee can we make, and which diamonds do we show?"
+//  2. The paper's §6 comparison protocol: fix k = 1% of n, run MDRC, give
+//     its output size to the score-regret baseline HD-RRMS, and measure
+//     both on both objectives. Rank-regret collapses for the baseline when
+//     many diamonds congregate in a narrow score band — the paper's core
+//     argument for rank- over score-regret.
+//
+//   ./build/examples/diamond_catalog [n] [budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/hd_rrms.h"
+#include "core/solver.h"
+#include "data/generators.h"
+#include "eval/rank_regret.h"
+#include "eval/regret_ratio.h"
+
+int main(int argc, char** argv) {
+  const size_t n =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 20000;
+  const size_t budget =
+      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 10;
+
+  // Synthetic stand-in for the Blue Nile catalog. Shoppers rank on carat,
+  // cut depth and price (normalized higher-better; price flipped).
+  const rrr::data::Dataset full = rrr::data::GenerateBnLike(n, 7777);
+  rrr::Result<rrr::data::Dataset> projected = full.Project({0, 1, 4});
+  if (!projected.ok()) {
+    std::fprintf(stderr, "%s\n", projected.status().ToString().c_str());
+    return 1;
+  }
+  const rrr::data::Dataset& diamonds = *projected;
+  std::printf("catalog: %zu diamonds, criteria: carat, depth, price\n",
+              diamonds.size());
+
+  // ---- Act 1: dual problem. ----
+  rrr::core::RrrOptions base;
+  base.algorithm = rrr::core::Algorithm::kMdRc;
+  rrr::Result<rrr::core::DualResult> dual =
+      rrr::core::SolveDualProblem(diamonds, budget, base);
+  if (!dual.ok()) {
+    std::fprintf(stderr, "%s\n", dual.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "page budget %zu -> %zu featured diamonds; every shopper finds one of "
+      "their personal top-%zu\n",
+      budget, dual->representative.size(), dual->k);
+  std::printf("  %6s %7s %7s %7s\n", "id", "carat", "depth", "price");
+  for (int32_t id : dual->representative) {
+    std::printf("  %6d %7.3f %7.3f %7.3f\n", id, diamonds.at(id, 0),
+                diamonds.at(id, 1), diamonds.at(id, 2));
+  }
+
+  // ---- Act 2: the paper's comparison protocol at fixed k = 1% of n. ----
+  const size_t k = std::max<size_t>(1, n / 100);
+  rrr::core::RrrOptions opts;
+  opts.k = k;
+  opts.algorithm = rrr::core::Algorithm::kMdRc;
+  rrr::Result<rrr::core::RrrResult> mdrc =
+      rrr::core::FindRankRegretRepresentative(diamonds, opts);
+  if (!mdrc.ok()) {
+    std::fprintf(stderr, "%s\n", mdrc.status().ToString().c_str());
+    return 1;
+  }
+  rrr::baseline::HdRrmsOptions hd_opts;
+  hd_opts.num_functions = 200;
+  rrr::Result<rrr::baseline::HdRrmsResult> hd = rrr::baseline::SolveHdRrms(
+      diamonds, mdrc->representative.size(), hd_opts);
+  if (!hd.ok()) {
+    std::fprintf(stderr, "%s\n", hd.status().ToString().c_str());
+    return 1;
+  }
+
+  rrr::eval::SampledRankRegretOptions rank_opts;
+  rank_opts.num_functions = 5000;
+  const int64_t ours_rank = *rrr::eval::SampledRankRegret(
+      diamonds, mdrc->representative, rank_opts);
+  const int64_t theirs_rank = *rrr::eval::SampledRankRegret(
+      diamonds, hd->representative, rank_opts);
+  const double ours_ratio =
+      *rrr::eval::SampledRegretRatio(diamonds, mdrc->representative);
+  const double theirs_ratio =
+      *rrr::eval::SampledRegretRatio(diamonds, hd->representative);
+
+  std::printf(
+      "\npaper protocol: k = %zu (1%% of n), both representatives have %zu "
+      "diamonds (est. over 5000 rankings):\n",
+      k, mdrc->representative.size());
+  std::printf("  %-24s rank-regret %6lld   score-regret-ratio %.4f\n",
+              "MDRC (this library):",
+              static_cast<long long>(ours_rank), ours_ratio);
+  std::printf("  %-24s rank-regret %6lld   score-regret-ratio %.4f\n",
+              "HD-RRMS (baseline):",
+              static_cast<long long>(theirs_rank), theirs_ratio);
+  std::printf(
+      "  -> the baseline wins its own score objective but its rank promise "
+      "collapses (%lld of %zu); MDRC keeps every shopper within ~top-%zu.\n",
+      static_cast<long long>(theirs_rank), diamonds.size(), k);
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "baseline/hd_rrms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "geometry/angles.h"
+#include "hitting/greedy.h"
+#include "topk/scoring.h"
+
+namespace rrr {
+namespace baseline {
+
+namespace {
+
+/// Greedy set cover specialized to "items cover functions": returns at most
+/// `budget` item ids covering every function whose admissible threshold is
+/// met, or an empty vector when the budget is insufficient.
+std::vector<int32_t> GreedyCoverWithinBudget(
+    const std::vector<std::vector<float>>& scores,  // [function][item]
+    const std::vector<float>& thresholds,           // per function
+    size_t budget) {
+  const size_t num_funcs = scores.size();
+  const size_t n = scores.empty() ? 0 : scores[0].size();
+  std::vector<char> covered(num_funcs, 0);
+  size_t remaining = num_funcs;
+  std::vector<int32_t> chosen;
+  while (remaining > 0) {
+    if (chosen.size() >= budget) return {};
+    int32_t best_item = -1;
+    size_t best_gain = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t gain = 0;
+      for (size_t j = 0; j < num_funcs; ++j) {
+        if (!covered[j] && scores[j][i] >= thresholds[j]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_item = static_cast<int32_t>(i);
+      }
+    }
+    if (best_item < 0) return {};  // some function unreachable at this x
+    chosen.push_back(best_item);
+    for (size_t j = 0; j < num_funcs; ++j) {
+      if (!covered[j] &&
+          scores[j][static_cast<size_t>(best_item)] >= thresholds[j]) {
+        covered[j] = 1;
+        --remaining;
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+Result<HdRrmsResult> SolveHdRrms(const data::Dataset& dataset,
+                                 size_t size_budget,
+                                 const HdRrmsOptions& options) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (size_budget == 0) return Status::InvalidArgument("size budget is 0");
+  const size_t n = dataset.size();
+  const size_t d = dataset.dims();
+
+  HdRrmsResult out;
+  if (size_budget >= n) {
+    out.representative.resize(n);
+    std::iota(out.representative.begin(), out.representative.end(), 0);
+    out.achieved_ratio = 0.0;
+    return out;
+  }
+
+  // Discretize the function space.
+  std::vector<geometry::Vec> functions;
+  const size_t requested = std::max<size_t>(1, options.num_functions);
+  if (options.discretization == Discretization::kRandomSphere || d == 1) {
+    Rng rng(options.seed);
+    functions.reserve(requested);
+    for (size_t j = 0; j < requested; ++j) {
+      functions.push_back(rng.UnitWeightVector(static_cast<int>(d)));
+    }
+  } else {
+    // Regular grid over the angle cube [0, pi/2]^(d-1): the largest
+    // per-axis resolution g with g^(d-1) <= requested.
+    const size_t axes = d - 1;
+    size_t g = 1;
+    while (true) {
+      size_t cells = 1;
+      bool overflow = false;
+      for (size_t a = 0; a < axes; ++a) {
+        cells *= g + 1;
+        if (cells > requested) {
+          overflow = true;
+          break;
+        }
+      }
+      if (overflow) break;
+      ++g;
+    }
+    g = std::max<size_t>(2, g);
+    std::vector<size_t> idx(axes, 0);
+    while (true) {
+      geometry::Vec angles(axes);
+      for (size_t a = 0; a < axes; ++a) {
+        angles[a] = geometry::kHalfPi *
+                    (static_cast<double>(idx[a]) / static_cast<double>(g - 1));
+      }
+      functions.push_back(geometry::AnglesToWeights(angles));
+      // Odometer increment.
+      size_t a = 0;
+      for (; a < axes; ++a) {
+        if (++idx[a] < g) break;
+        idx[a] = 0;
+      }
+      if (a == axes) break;
+    }
+  }
+  const size_t num_funcs = functions.size();
+
+  // Materialize the score matrix once.
+  std::vector<std::vector<float>> scores(num_funcs,
+                                         std::vector<float>(n, 0.0f));
+  std::vector<float> max_score(num_funcs, 0.0f);
+  for (size_t j = 0; j < num_funcs; ++j) {
+    topk::LinearFunction f(functions[j]);
+    for (size_t i = 0; i < n; ++i) {
+      const auto s = static_cast<float>(f.Score(dataset.row(i)));
+      scores[j][i] = s;
+      max_score[j] = std::max(max_score[j], s);
+    }
+  }
+
+  // Binary search the max regret-ratio x; x = 1 admits every tuple for
+  // every function, so the upper bracket is always feasible.
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<float> thresholds(num_funcs);
+  std::vector<int32_t> best;
+  double best_ratio = 1.0;
+  for (size_t step = 0; step < options.binary_search_steps; ++step) {
+    const double x = 0.5 * (lo + hi);
+    for (size_t j = 0; j < num_funcs; ++j) {
+      thresholds[j] = static_cast<float>((1.0 - x) * max_score[j]);
+    }
+    std::vector<int32_t> candidate =
+        GreedyCoverWithinBudget(scores, thresholds, size_budget);
+    if (!candidate.empty()) {
+      best = std::move(candidate);
+      best_ratio = x;
+      hi = x;
+    } else {
+      lo = x;
+    }
+  }
+  if (best.empty()) {
+    // Even x ~ 1 failed within the step budget; x = 1 always succeeds.
+    for (size_t j = 0; j < num_funcs; ++j) thresholds[j] = 0.0f;
+    best = GreedyCoverWithinBudget(scores, thresholds, size_budget);
+    best_ratio = 1.0;
+    if (best.empty()) return Status::Internal("x=1 cover must be feasible");
+  }
+  std::sort(best.begin(), best.end());
+  out.representative = std::move(best);
+  out.achieved_ratio = best_ratio;
+  return out;
+}
+
+}  // namespace baseline
+}  // namespace rrr

@@ -1,0 +1,104 @@
+#ifndef RRR_COMMON_LOGGING_H_
+#define RRR_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rrr {
+
+/// \brief Severity of a log line; kFatal aborts the process after logging.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal {
+
+/// Minimum level that is emitted. Initialized from the RRR_LOG_LEVEL
+/// environment variable ("debug", "info", "warning", "error"); defaults to
+/// kWarning so library users are not spammed.
+LogLevel GetLogThreshold();
+
+/// Overrides the emit threshold (used by tests).
+void SetLogThreshold(LogLevel level);
+
+/// \brief Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Sink that swallows streamed values when a log line is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed LogMessage chain into void so it can sit in the false
+/// branch of the ternary inside RRR_CHECK (glog's voidify idiom).
+class LogMessageVoidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace rrr
+
+#define RRR_LOG_INTERNAL(level) \
+  ::rrr::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define RRR_SEVERITY_DEBUG ::rrr::LogLevel::kDebug
+#define RRR_SEVERITY_INFO ::rrr::LogLevel::kInfo
+#define RRR_SEVERITY_WARNING ::rrr::LogLevel::kWarning
+#define RRR_SEVERITY_ERROR ::rrr::LogLevel::kError
+#define RRR_SEVERITY_FATAL ::rrr::LogLevel::kFatal
+
+/// Usage: RRR_LOG(INFO) << "message " << value;
+#define RRR_LOG(severity) RRR_LOG_INTERNAL(RRR_SEVERITY_##severity)
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// used to enforce API contracts (Google style: crash on programmer error).
+/// Supports streaming extra context: RRR_CHECK(x > 0) << "x=" << x;
+#define RRR_CHECK(cond)                                            \
+  (cond) ? (void)0                                                 \
+         : ::rrr::internal::LogMessageVoidify() &                  \
+               ::rrr::internal::LogMessage(::rrr::LogLevel::kFatal, \
+                                           __FILE__, __LINE__)     \
+                   << "Check failed: " #cond " "
+
+#define RRR_CHECK_OK(status_expr)                                    \
+  do {                                                               \
+    const ::rrr::Status _rrr_s = (status_expr);                      \
+    RRR_CHECK(_rrr_s.ok()) << _rrr_s.ToString();                     \
+  } while (false)
+
+/// Debug-only check; compiles to nothing in NDEBUG builds.
+#ifdef NDEBUG
+#define RRR_DCHECK(cond) \
+  while (false) ::rrr::internal::NullStream()
+#else
+#define RRR_DCHECK(cond) RRR_CHECK(cond)
+#endif
+
+#endif  // RRR_COMMON_LOGGING_H_

@@ -1,0 +1,42 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rrr {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  RRR_CHECK(lo <= hi) << "UniformInt: lo=" << lo << " > hi=" << hi;
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  RRR_CHECK(rate > 0.0) << "Exponential: non-positive rate " << rate;
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  std::lognormal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::UnitWeightVector(int dims) {
+  RRR_CHECK(dims >= 1) << "UnitWeightVector: dims=" << dims;
+  std::vector<double> w(static_cast<size_t>(dims));
+  double norm = 0.0;
+  do {
+    norm = 0.0;
+    for (auto& wi : w) {
+      wi = std::fabs(Gaussian());
+      norm += wi * wi;
+    }
+  } while (norm == 0.0);  // astronomically unlikely; retry keeps the contract
+  norm = std::sqrt(norm);
+  for (auto& wi : w) wi /= norm;
+  return w;
+}
+
+}  // namespace rrr

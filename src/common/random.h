@@ -1,0 +1,76 @@
+#ifndef RRR_COMMON_RANDOM_H_
+#define RRR_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rrr {
+
+/// \brief Deterministic pseudo-random source used by every randomized
+/// component in the library.
+///
+/// All algorithms that sample (K-SETr, MDRRR's eps-net, HD-RRMS, the
+/// synthetic generators, the rank-regret estimator) take an explicit seed so
+/// that runs are reproducible; tests rely on this.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal draw.
+  double Gaussian() { return normal_(engine_); }
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Exponential draw with the given rate (lambda).
+  double Exponential(double rate);
+
+  /// Log-normal draw: exp(N(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// \brief Uniform direction on the first orthant of the unit sphere
+  /// in R^dims.
+  ///
+  /// Implements the paper's Algorithm 4 lines 4-6 (Marsaglia's method): draw
+  /// d standard normals, take absolute values, normalize. Because the normal
+  /// vector's direction is uniform on the sphere and the absolute value folds
+  /// all orthants onto the first one, the result is exactly uniform over
+  /// non-negative unit weight vectors, i.e. over linear ranking functions.
+  std::vector<double> UnitWeightVector(int dims);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Underlying engine (for std distributions in callers).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace rrr
+
+#endif  // RRR_COMMON_RANDOM_H_

@@ -1,0 +1,78 @@
+#ifndef RRR_COMMON_RESULT_H_
+#define RRR_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace rrr {
+
+/// \brief Either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// The accessor contract follows Arrow: ok() must be checked before value();
+/// calling value() on an error Result aborts with the status message (this is
+/// a programming error, not a runtime condition).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    RRR_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the status: OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; aborts if this Result is an error.
+  const T& value() const& {
+    RRR_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    RRR_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    RRR_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the held value or `fallback` when this Result is an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace rrr
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which must already be declared).
+#define RRR_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  do {                                               \
+    auto _rrr_result = (rexpr);                      \
+    if (!_rrr_result.ok()) return _rrr_result.status(); \
+    lhs = std::move(_rrr_result).value();            \
+  } while (false)
+
+#endif  // RRR_COMMON_RESULT_H_

@@ -1,0 +1,98 @@
+#ifndef RRR_COMMON_STATUS_H_
+#define RRR_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rrr {
+
+/// \brief Machine-readable category of an operation outcome.
+///
+/// Mirrors the RocksDB/Arrow convention: functions that can fail return a
+/// Status (or Result<T>) instead of throwing; kOk means success and every
+/// other code carries a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIoError = 8,
+};
+
+/// \brief Returns the canonical lower-case name of a status code
+/// (e.g. "invalid-argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus an optional message.
+///
+/// Status is cheap to copy for the success case (no allocation) and is
+/// intended to be consumed via ok() / code() / message(). The RRR_RETURN_IF_
+/// ERROR macro propagates failures up the call stack.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+}  // namespace rrr
+
+/// Propagates a non-OK Status to the caller.
+#define RRR_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::rrr::Status _rrr_status = (expr);             \
+    if (!_rrr_status.ok()) return _rrr_status;      \
+  } while (false)
+
+#endif  // RRR_COMMON_STATUS_H_

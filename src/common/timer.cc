@@ -1,0 +1,3 @@
+// Stopwatch is header-only; this translation unit exists so the build
+// exercises the header under the project's warning flags.
+#include "common/timer.h"

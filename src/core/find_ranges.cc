@@ -1,0 +1,58 @@
+#include "core/find_ranges.h"
+
+#include "core/sweep.h"
+#include "geometry/angles.h"
+
+namespace rrr {
+namespace core {
+
+Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
+                                          size_t k) {
+  if (dataset.dims() != 2) {
+    return Status::InvalidArgument("FindRanges requires a 2D dataset");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  const size_t n = dataset.size();
+  std::vector<ItemRange> ranges(n);
+  if (n == 0) return ranges;
+
+  AngularSweep sweep(dataset);
+  const auto& order = sweep.InitialOrder();
+  const size_t kk = std::min(k, n);
+
+  // Items in the top-k at theta = 0 start their range there.
+  std::vector<char> in_topk_now(n, 0);
+  for (size_t i = 0; i < kk; ++i) {
+    const auto id = static_cast<size_t>(order[i]);
+    ranges[id].in_topk = true;
+    ranges[id].begin = 0.0;
+    in_topk_now[id] = 1;
+  }
+
+  if (kk < n) {
+    sweep.Run([&](const SweepEvent& ev) {
+      if (ev.upper_position == kk) {
+        // ev.item_up enters the top-k, ev.item_down leaves it.
+        const auto up = static_cast<size_t>(ev.item_up);
+        const auto down = static_cast<size_t>(ev.item_down);
+        if (!ranges[up].in_topk) {
+          ranges[up].in_topk = true;
+          ranges[up].begin = ev.angle;
+        }
+        in_topk_now[up] = 1;
+        ranges[down].end = ev.angle;  // overwritten on re-entry/re-exit
+        in_topk_now[down] = 0;
+      }
+      return true;
+    });
+  }
+
+  // Items still in the top-k at theta = pi/2 extend to the end.
+  for (size_t id = 0; id < n; ++id) {
+    if (in_topk_now[id]) ranges[id].end = geometry::kHalfPi;
+  }
+  return ranges;
+}
+
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,40 @@
+#ifndef RRR_CORE_FIND_RANGES_H_
+#define RRR_CORE_FIND_RANGES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+/// Result of Algorithm 1 for one item: the convex closure of the sweep
+/// angles at which the item is in the top-k.
+struct ItemRange {
+  /// False when the item never enters the top-k; begin/end are then
+  /// meaningless.
+  bool in_topk = false;
+  /// First angle (b[t] in the paper) at which the item is in the top-k.
+  double begin = 0.0;
+  /// Last angle (e[t]) at which the item is in the top-k.
+  double end = 0.0;
+};
+
+/// \brief Algorithm 1 (FindRanges): one angular sweep computing, for every
+/// item of a 2D dataset, the first and last ranking angle at which it ranks
+/// in the top-k.
+///
+/// Within [begin, end] the item's rank can temporarily exceed k (the top-k
+/// border is not convex) but by Theorem 1 it never exceeds 2k, which is what
+/// gives 2DRRR its approximation factor. O(E log n) where E is the number of
+/// rank exchanges (at most n(n-1)/2).
+///
+/// Fails with InvalidArgument unless dims == 2 and k >= 1.
+Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
+                                          size_t k);
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_FIND_RANGES_H_

@@ -1,0 +1,46 @@
+#include "core/kborder.h"
+
+#include "core/sweep.h"
+#include "geometry/angles.h"
+
+namespace rrr {
+namespace core {
+
+Result<std::vector<KBorderSegment>> ComputeKBorder2D(
+    const data::Dataset& dataset, size_t k) {
+  if (dataset.dims() != 2) {
+    return Status::InvalidArgument("ComputeKBorder2D requires a 2D dataset");
+  }
+  if (k == 0 || k > dataset.size()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+
+  AngularSweep sweep(dataset);
+  std::vector<KBorderSegment> border;
+  int32_t current = sweep.InitialOrder()[k - 1];
+  double segment_start = 0.0;
+
+  sweep.Run([&](const SweepEvent& ev) {
+    // The k-th ranked tuple changes only when the exchange touches rank k.
+    int32_t next = current;
+    if (ev.upper_position == k) {
+      // Ranks k and k+1 swapped: the riser now holds rank k.
+      next = ev.item_up;
+    } else if (k >= 2 && ev.upper_position == k - 1) {
+      // Ranks k-1 and k swapped: the dropper now holds rank k.
+      next = ev.item_down;
+    }
+    if (next != current) {
+      border.push_back(KBorderSegment{segment_start, ev.angle, current});
+      segment_start = ev.angle;
+      current = next;
+    }
+    return true;
+  });
+  border.push_back(
+      KBorderSegment{segment_start, geometry::kHalfPi, current});
+  return border;
+}
+
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,38 @@
+#ifndef RRR_CORE_KBORDER_H_
+#define RRR_CORE_KBORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+/// One facet of the 2D top-k border (Section 3, Figure 3): for sweep
+/// angles theta in [begin, end] the tuple `item` holds rank k exactly.
+struct KBorderSegment {
+  double begin = 0.0;
+  double end = 0.0;
+  int32_t item = 0;
+};
+
+/// \brief Extracts the top-k border of a 2D dataset as the sequence of
+/// angular segments of its k-th ranked tuple.
+///
+/// In the dual space (Equation 2) these segments are precisely the facets
+/// of level k in the line arrangement — the red chain of Figure 3. The
+/// border is returned in sweep order; consecutive segments share endpoints
+/// and jointly cover [0, pi/2]. A tuple may own several non-adjacent
+/// segments (the paper's observation that d(t3) contributes two facets for
+/// k = 2 is covered by a test).
+///
+/// Fails with InvalidArgument unless dims == 2 and 1 <= k <= n.
+Result<std::vector<KBorderSegment>> ComputeKBorder2D(
+    const data::Dataset& dataset, size_t k);
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_KBORDER_H_

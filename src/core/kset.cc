@@ -1,0 +1,99 @@
+#include "core/kset.h"
+
+#include <algorithm>
+
+namespace rrr {
+namespace core {
+
+void KSet::Normalize() { std::sort(ids.begin(), ids.end()); }
+
+size_t KSet::IntersectionSize(const KSet& other) const {
+  size_t i = 0, j = 0, count = 0;
+  while (i < ids.size() && j < other.ids.size()) {
+    if (ids[i] < other.ids[j]) {
+      ++i;
+    } else if (ids[i] > other.ids[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t KSetHash::operator()(const KSet& s) const {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (int32_t id : s.ids) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(id));
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return static_cast<size_t>(h);
+}
+
+std::vector<std::pair<size_t, size_t>> KSetGraphEdges(
+    const std::vector<KSet>& sets) {
+  std::vector<std::pair<size_t, size_t>> edges;
+  const size_t k = sets.empty() ? 0 : sets[0].ids.size();
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (size_t j = i + 1; j < sets.size(); ++j) {
+      if (k >= 1 && sets[i].IntersectionSize(sets[j]) == k - 1) {
+        edges.emplace_back(i, j);
+      }
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+size_t FindRoot(std::vector<size_t>* parent, size_t x) {
+  while ((*parent)[x] != x) {
+    (*parent)[x] = (*parent)[(*parent)[x]];  // path halving
+    x = (*parent)[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+size_t KSetGraphComponents(const std::vector<KSet>& sets) {
+  if (sets.empty()) return 0;
+  std::vector<size_t> parent(sets.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  size_t components = sets.size();
+  for (const auto& [a, b] : KSetGraphEdges(sets)) {
+    const size_t ra = FindRoot(&parent, a);
+    const size_t rb = FindRoot(&parent, b);
+    if (ra != rb) {
+      parent[ra] = rb;
+      --components;
+    }
+  }
+  return components;
+}
+
+bool KSetCollection::Insert(KSet set) {
+  set.Normalize();
+  if (seen_.count(set) != 0) return false;
+  seen_.insert(set);
+  sets_.push_back(std::move(set));
+  return true;
+}
+
+bool KSetCollection::Contains(const KSet& set) const {
+  KSet copy = set;
+  copy.Normalize();
+  return seen_.count(copy) != 0;
+}
+
+hitting::SetSystem KSetCollection::ToSetSystem() const {
+  hitting::SetSystem system;
+  system.sets.reserve(sets_.size());
+  for (const auto& s : sets_) system.sets.push_back(s.ids);
+  return system;
+}
+
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,72 @@
+#ifndef RRR_CORE_KSET_H_
+#define RRR_CORE_KSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "hitting/set_system.h"
+
+namespace rrr {
+namespace core {
+
+/// \brief A k-set: k tuple ids strictly separable from the rest of the
+/// dataset by a hyperplane with a non-negative normal (Section 5.1) —
+/// equivalently, the exact top-k of some linear ranking function (Lemma 5).
+///
+/// Ids are kept sorted so equality and hashing are canonical.
+struct KSet {
+  std::vector<int32_t> ids;
+
+  /// Canonicalizes (sorts) the id list.
+  void Normalize();
+
+  bool operator==(const KSet& other) const { return ids == other.ids; }
+
+  /// Size of the intersection with another k-set (both must be normalized).
+  size_t IntersectionSize(const KSet& other) const;
+};
+
+/// FNV-1a over the sorted ids.
+struct KSetHash {
+  size_t operator()(const KSet& s) const;
+};
+
+/// \brief Edges of the k-set graph (Definition 4): index pairs (i, j),
+/// i < j, whose sets share exactly k-1 elements. O(|S|^2 k).
+std::vector<std::pair<size_t, size_t>> KSetGraphEdges(
+    const std::vector<KSet>& sets);
+
+/// \brief Number of connected components of the k-set graph. Theorem 7
+/// states a complete k-set collection yields exactly 1; the enumeration
+/// algorithms rely on that.
+size_t KSetGraphComponents(const std::vector<KSet>& sets);
+
+/// \brief Deduplicating accumulator for k-sets; preserves first-insertion
+/// order (useful for reproducible hitting-set inputs).
+class KSetCollection {
+ public:
+  /// Inserts a k-set (normalizing it); returns true when it was new.
+  bool Insert(KSet set);
+
+  /// True iff the (normalized) set has been inserted before.
+  bool Contains(const KSet& set) const;
+
+  const std::vector<KSet>& sets() const { return sets_; }
+  size_t size() const { return sets_.size(); }
+  bool empty() const { return sets_.empty(); }
+
+  /// View as a hitting-set instance (Section 5.2's mapping).
+  hitting::SetSystem ToSetSystem() const;
+
+ private:
+  std::vector<KSet> sets_;
+  std::unordered_set<KSet, KSetHash> seen_;
+};
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_KSET_H_

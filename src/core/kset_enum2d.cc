@@ -1,0 +1,45 @@
+#include "core/kset_enum2d.h"
+
+#include <algorithm>
+
+#include "core/sweep.h"
+
+namespace rrr {
+namespace core {
+
+Result<KSetCollection> EnumerateKSets2D(const data::Dataset& dataset,
+                                        size_t k) {
+  if (dataset.dims() != 2) {
+    return Status::InvalidArgument("EnumerateKSets2D requires a 2D dataset");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  KSetCollection out;
+  const size_t n = dataset.size();
+  if (n == 0) return out;
+  const size_t kk = std::min(k, n);
+
+  AngularSweep sweep(dataset);
+  KSet current;
+  current.ids.assign(sweep.InitialOrder().begin(),
+                     sweep.InitialOrder().begin() + static_cast<long>(kk));
+  out.Insert(current);
+
+  if (kk < n) {
+    sweep.Run([&](const SweepEvent& ev) {
+      if (ev.upper_position == kk) {
+        // The boundary exchange replaces item_down with item_up.
+        auto it = std::find(current.ids.begin(), current.ids.end(),
+                            ev.item_down);
+        RRR_DCHECK(it != current.ids.end()) << "k-border bookkeeping";
+        *it = ev.item_up;
+        out.Insert(current);
+      }
+      return true;
+    });
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rrr

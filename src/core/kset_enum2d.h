@@ -1,0 +1,26 @@
+#ifndef RRR_CORE_KSET_ENUM2D_H_
+#define RRR_CORE_KSET_ENUM2D_H_
+
+#include "common/result.h"
+#include "core/kset.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+/// \brief Exact 2D k-set enumeration by following the k-border during the
+/// angular sweep (Section 6.2 and Appendix B).
+///
+/// The sweep starts from the top-k at theta = 0 and records a new k-set at
+/// every exchange across the k/k+1 boundary; by Lemma 5 this visits every
+/// k-set exactly once (under general position). O(E log n) where E is the
+/// total number of rank exchanges.
+///
+/// Fails with InvalidArgument unless dims == 2 and 1 <= k.
+Result<KSetCollection> EnumerateKSets2D(const data::Dataset& dataset,
+                                        size_t k);
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_KSET_ENUM2D_H_

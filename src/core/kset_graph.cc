@@ -1,0 +1,95 @@
+#include "core/kset_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "lp/separation.h"
+#include "topk/scoring.h"
+#include "topk/topk.h"
+
+namespace rrr {
+namespace core {
+
+Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
+                                           size_t k,
+                                           const KSetGraphOptions& options) {
+  const size_t n = dataset.size();
+  const size_t d = dataset.dims();
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (k >= n) {
+    return Status::InvalidArgument(
+        "k must be < n for k-set enumeration (a k-set needs a non-empty "
+        "complement)");
+  }
+
+  // Initial step: the top-k on the first attribute is a k-set under general
+  // position (the function with weights e_1, ties id-broken). Tied data can
+  // make an axis top-k non-separable, so validate the seed and fall back to
+  // the other axes and the diagonal before giving up.
+  std::vector<geometry::Vec> seed_functions;
+  for (size_t axis = 0; axis < d; ++axis) {
+    geometry::Vec w(d, 0.0);
+    w[axis] = 1.0;
+    seed_functions.push_back(std::move(w));
+  }
+  seed_functions.push_back(geometry::Vec(d, 1.0));
+  KSet first;
+  bool seeded = false;
+  for (const auto& w : seed_functions) {
+    KSet candidate;
+    candidate.ids = topk::TopKSet(dataset, topk::LinearFunction(w), k);
+    lp::SeparationResult sep;
+    RRR_ASSIGN_OR_RETURN(
+        sep, lp::FindSeparatingWeights(dataset.flat(), n, d, candidate.ids,
+                                       options.lp_tolerance));
+    if (sep.separable) {
+      first = std::move(candidate);
+      seeded = true;
+      break;
+    }
+  }
+  if (!seeded) {
+    return Status::FailedPrecondition(
+        "could not find a separable seed k-set; data too degenerate (ties "
+        "at every probed function)");
+  }
+
+  KSetCollection found;
+  found.Insert(first);
+  std::deque<KSet> queue;
+  queue.push_back(first);
+
+  while (!queue.empty()) {
+    const KSet current = queue.front();
+    queue.pop_front();
+    std::vector<char> inside(n, 0);
+    for (int32_t id : current.ids) inside[static_cast<size_t>(id)] = 1;
+
+    for (size_t swap_out = 0; swap_out < current.ids.size(); ++swap_out) {
+      for (size_t cand = 0; cand < n; ++cand) {
+        if (inside[cand]) continue;
+        KSet next = current;
+        next.ids[swap_out] = static_cast<int32_t>(cand);
+        next.Normalize();
+        if (found.Contains(next)) continue;
+
+        lp::SeparationResult sep;
+        RRR_ASSIGN_OR_RETURN(
+            sep, lp::FindSeparatingWeights(dataset.flat(), n, d, next.ids,
+                                           options.lp_tolerance));
+        if (!sep.separable) continue;
+        if (found.size() >= options.max_ksets) {
+          return Status::ResourceExhausted(
+              "k-set graph enumeration exceeded max_ksets");
+        }
+        found.Insert(next);
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace core
+}  // namespace rrr

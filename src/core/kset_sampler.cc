@@ -1,0 +1,69 @@
+#include "core/kset_sampler.h"
+
+#include <memory>
+
+#include "common/random.h"
+#include "geometry/dominance.h"
+#include "topk/scoring.h"
+#include "topk/threshold_algorithm.h"
+#include "topk/topk.h"
+
+namespace rrr {
+namespace core {
+
+Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
+                                     const KSetSamplerOptions& options) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+
+  // Optional sound search-space reduction: only k-skyband members can ever
+  // appear in a top-k, and their relative id order (the tie-break) is
+  // preserved by the compaction.
+  const data::Dataset* search = &dataset;
+  data::Dataset band_data;
+  std::vector<int32_t> band_ids;
+  if (options.skyband_prefilter) {
+    band_ids = geometry::KSkyband(dataset.flat(), dataset.size(),
+                                  dataset.dims(), k);
+    std::vector<double> cells;
+    cells.reserve(band_ids.size() * dataset.dims());
+    for (int32_t id : band_ids) {
+      const double* r = dataset.row(static_cast<size_t>(id));
+      cells.insert(cells.end(), r, r + dataset.dims());
+    }
+    Result<data::Dataset> compacted = data::Dataset::FromFlat(
+        std::move(cells), band_ids.size(), dataset.dims());
+    RRR_CHECK(compacted.ok()) << compacted.status().ToString();
+    band_data = std::move(compacted).value();
+    search = &band_data;
+  }
+
+  std::unique_ptr<topk::ThresholdAlgorithmIndex> ta_index;
+  if (options.use_threshold_algorithm) {
+    ta_index = std::make_unique<topk::ThresholdAlgorithmIndex>(*search);
+  }
+
+  Rng rng(options.seed);
+  KSetSampleResult out;
+  size_t misses = 0;
+  while (misses < options.termination_count &&
+         out.samples_drawn < options.max_samples) {
+    ++out.samples_drawn;
+    topk::LinearFunction f(
+        rng.UnitWeightVector(static_cast<int>(dataset.dims())));
+    KSet s;
+    s.ids = ta_index ? ta_index->TopKSet(f, k) : topk::TopKSet(*search, f, k);
+    if (options.skyband_prefilter) {
+      for (int32_t& id : s.ids) id = band_ids[static_cast<size_t>(id)];
+    }
+    if (out.ksets.Insert(std::move(s))) {
+      misses = 0;
+    } else {
+      ++misses;
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rrr

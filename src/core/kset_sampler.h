@@ -1,0 +1,58 @@
+#ifndef RRR_CORE_KSET_SAMPLER_H_
+#define RRR_CORE_KSET_SAMPLER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/kset.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+/// Tuning for SampleKSets (the paper's termination condition c and seed).
+struct KSetSamplerOptions {
+  uint64_t seed = 13;
+  /// Stop after this many consecutive samples that discover nothing new
+  /// (the paper's experiments use 100).
+  size_t termination_count = 100;
+  /// Absolute cap on drawn samples (safety valve).
+  size_t max_samples = 50'000'000;
+  /// Restrict per-sample top-k computation to the k-skyband (tuples
+  /// dominated by fewer than k others) — a sound prefilter, since no other
+  /// tuple can enter any top-k. Pays the O(n^2 d) band computation once and
+  /// wins when many samples are drawn on dominance-heavy data (see the
+  /// micro_skyband ablation). Off by default to match the paper.
+  bool skyband_prefilter = false;
+  /// Answer per-sample top-k queries with the Threshold Algorithm index
+  /// (topk/threshold_algorithm.h) instead of the linear scan. Pays
+  /// O(d n log n) once; each query then stops early on correlated data.
+  /// Results are identical either way. Composes with skyband_prefilter.
+  bool use_threshold_algorithm = false;
+};
+
+/// Output of SampleKSets.
+struct KSetSampleResult {
+  KSetCollection ksets;
+  /// Total ranking functions drawn.
+  size_t samples_drawn = 0;
+};
+
+/// \brief Algorithm 4 (K-SETr): randomized k-set discovery via the coupon
+/// collector's scheme.
+///
+/// Repeatedly draws a uniform ranking function (Marsaglia sampling on the
+/// first orthant of the unit sphere) and records its top-k as a k-set,
+/// stopping after `termination_count` consecutive non-discoveries. May miss
+/// k-sets whose function-space cells are tiny; the hitting set computed from
+/// the sample is therefore a lower bound certificate, not a proof (Section
+/// 5.2.1 discusses why misses are rare and benign in practice).
+///
+/// Fails with InvalidArgument for k == 0 or an empty dataset.
+Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
+                                     const KSetSamplerOptions& options = {});
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_KSET_SAMPLER_H_

@@ -1,0 +1,171 @@
+#include "core/mdrc.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "geometry/angles.h"
+#include "topk/scoring.h"
+#include "topk/topk.h"
+
+namespace rrr {
+namespace core {
+
+namespace {
+
+/// One recursion-tree node: an axis-aligned box in angle space.
+struct Node {
+  std::vector<std::pair<double, double>> box;  // per-dimension [lo, hi]
+  size_t level = 0;
+};
+
+/// Memoizing top-k evaluator keyed by the exact corner angle vector.
+/// Corner coordinates are dyadic fractions of pi/2, so exact double
+/// comparison is a sound cache key and siblings share corner results. The
+/// entry cap bounds memory on explosive instances: past it, corners are
+/// recomputed instead of stored (the returned reference then aliases a
+/// scratch slot that lives until the next TopKAt call).
+class CornerCache {
+ public:
+  CornerCache(const data::Dataset& dataset, size_t k, size_t max_entries,
+              MdrcStats* stats)
+      : dataset_(dataset), k_(k), max_entries_(max_entries), stats_(stats) {}
+
+  const std::vector<int32_t>& TopKAt(const geometry::Vec& angles) {
+    auto it = cache_.find(angles);
+    if (it != cache_.end()) {
+      ++stats_->cache_hits;
+      return it->second;
+    }
+    ++stats_->corner_evals;
+    std::vector<int32_t> topk =
+        topk::TopKSet(dataset_, topk::LinearFunction::FromAngles(angles), k_);
+    if (cache_.size() >= max_entries_) {
+      scratch_ = std::move(topk);
+      return scratch_;
+    }
+    auto inserted = cache_.emplace(angles, std::move(topk));
+    return inserted.first->second;
+  }
+
+ private:
+  const data::Dataset& dataset_;
+  size_t k_;
+  size_t max_entries_;
+  MdrcStats* stats_;
+  std::map<geometry::Vec, std::vector<int32_t>> cache_;
+  std::vector<int32_t> scratch_;
+};
+
+/// Intersection of the (sorted) top-k sets of all 2^dims corners of `box`.
+std::vector<int32_t> CornerIntersection(const Node& node, CornerCache* cache) {
+  const size_t dims = node.box.size();
+  const size_t corners = size_t{1} << dims;
+  std::vector<int32_t> common;
+  geometry::Vec angles(dims);
+  for (size_t mask = 0; mask < corners; ++mask) {
+    for (size_t j = 0; j < dims; ++j) {
+      angles[j] = (mask >> j & 1) ? node.box[j].second : node.box[j].first;
+    }
+    const std::vector<int32_t>& corner_topk = cache->TopKAt(angles);
+    if (mask == 0) {
+      common = corner_topk;
+    } else {
+      std::vector<int32_t> next;
+      std::set_intersection(common.begin(), common.end(), corner_topk.begin(),
+                            corner_topk.end(), std::back_inserter(next));
+      common = std::move(next);
+    }
+    if (common.empty()) break;
+  }
+  return common;
+}
+
+}  // namespace
+
+Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
+                                       const MdrcOptions& options,
+                                       MdrcStats* stats) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  MdrcStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = MdrcStats{};
+
+  const size_t d = dataset.dims();
+  if (d == 1) {
+    // One ranking function total; its top-1 is a perfect representative.
+    return topk::TopK(dataset, topk::LinearFunction({1.0}), 1);
+  }
+  const size_t angle_dims = d - 1;
+  const size_t max_level = options.max_splits_per_dim * angle_dims;
+
+  CornerCache cache(dataset, std::min(k, dataset.size()),
+                    options.max_cache_entries, stats);
+  std::unordered_set<int32_t> chosen;
+
+  std::vector<Node> stack;
+  Node root;
+  root.box.assign(angle_dims, {0.0, geometry::kHalfPi});
+  stack.push_back(std::move(root));
+
+  while (!stack.empty()) {
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (++stats->nodes > options.max_nodes) {
+      return Status::ResourceExhausted(
+          "MDRC node budget exceeded; k is likely too small relative to n "
+          "for this dimensionality (raise MdrcOptions::max_nodes or k)");
+    }
+    stats->max_depth = std::max(stats->max_depth, node.level);
+
+    const std::vector<int32_t> common = CornerIntersection(node, &cache);
+    if (!common.empty()) {
+      ++stats->leaves;
+      // Prefer an already-chosen tuple (any member of the intersection
+      // satisfies Theorem 6, so reusing one shrinks the output for free);
+      // otherwise take the smallest id for determinism.
+      bool reused = false;
+      if (options.reuse_chosen) {
+        for (int32_t id : common) {
+          if (chosen.count(id) != 0) {
+            reused = true;
+            break;
+          }
+        }
+      }
+      if (!reused) chosen.insert(common.front());
+      continue;
+    }
+    if (node.level >= max_level) {
+      // Degenerate geometry: corners disagree at sub-epsilon cell sizes.
+      // Keep the guarantee "some item per cell" with the first corner's
+      // best item; counted so callers can detect the fallback.
+      ++stats->depth_cap_leaves;
+      geometry::Vec corner(angle_dims);
+      for (size_t j = 0; j < angle_dims; ++j) corner[j] = node.box[j].first;
+      chosen.insert(cache.TopKAt(corner).front());
+      continue;
+    }
+
+    const size_t dim = node.level % angle_dims;
+    const double mid =
+        0.5 * (node.box[dim].first + node.box[dim].second);
+    Node left = node;
+    left.level = node.level + 1;
+    left.box[dim].second = mid;
+    Node right = std::move(node);
+    right.level = left.level;
+    right.box[dim].first = mid;
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+
+  std::vector<int32_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace core
+}  // namespace rrr

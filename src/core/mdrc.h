@@ -1,0 +1,85 @@
+#ifndef RRR_CORE_MDRC_H_
+#define RRR_CORE_MDRC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+/// Tuning for SolveMdrc.
+struct MdrcOptions {
+  /// Depth cap, counted in bisections per angular dimension. 48 halvings
+  /// shrink a cell below 1e-14 rad, at which point corner functions are
+  /// numerically identical; a capped leaf falls back to the corner top-1.
+  ///
+  /// The cap is reachable in two situations: duplicate-heavy (degenerate)
+  /// data, and k = 1 — where adjacent 1-sets are disjoint, so a cell
+  /// straddling a winner-change direction can never have a common corner
+  /// top-1 no matter how small it gets (a boundary case the paper does not
+  /// discuss). In both cases the fallback item is within one rank exchange
+  /// of optimal for every function in the (sub-1e-14 rad) cell.
+  size_t max_splits_per_dim = 48;
+
+  /// Budget on recursion-tree nodes. MDRC is designed for k a meaningful
+  /// fraction of n (the paper uses 0.1%-10%); for tiny k in high dimension
+  /// the partition must isolate every k-set boundary and the tree can grow
+  /// combinatorially. Exceeding the budget aborts the solve with
+  /// ResourceExhausted rather than consuming unbounded time and memory.
+  size_t max_nodes = size_t{1} << 22;
+
+  /// Cap on memoized corner top-k results. Past the cap new corners are
+  /// evaluated without being cached (pure-CPU fallback), which bounds the
+  /// solver's memory at roughly max_cache_entries * (k + d) * 8 bytes even
+  /// on explosive instances.
+  size_t max_cache_entries = size_t{1} << 21;
+
+  /// When a leaf's corner intersection contains an already-chosen tuple,
+  /// reuse it instead of adding a new one. Any intersection member
+  /// satisfies Theorem 6, so this only shrinks the output (by 2-3x on the
+  /// paper workloads at d >= 5 — see the micro_mdrc ablation). Off
+  /// reproduces the paper's "return I[1]" literally.
+  bool reuse_chosen = true;
+};
+
+/// Observability counters for a SolveMdrc run.
+struct MdrcStats {
+  /// Recursion-tree nodes visited.
+  size_t nodes = 0;
+  /// Nodes resolved by a common top-k item.
+  size_t leaves = 0;
+  /// Top-k corner evaluations that missed the memo cache.
+  size_t corner_evals = 0;
+  /// Corner evaluations served from the memo cache.
+  size_t cache_hits = 0;
+  /// Leaves forced by the depth cap (0 on non-degenerate data).
+  size_t depth_cap_leaves = 0;
+  /// Deepest node level reached.
+  size_t max_depth = 0;
+};
+
+/// \brief Algorithm 5 (MDRC): function-space partitioning.
+///
+/// Recursively bisects the angle hyper-rectangle [0, pi/2]^(d-1) in
+/// round-robin dimension order (a quadtree-flavored partition, Figure 8).
+/// A node terminates when some tuple appears in the top-k of all 2^(d-1)
+/// corner functions; that tuple then has rank <= d*k for *every* function
+/// inside the node (Theorem 6, by induction over the arrangement lattice
+/// with Theorem 1). The union of leaf tuples is the representative.
+///
+/// Corner top-k computations are memoized across sibling nodes (corners are
+/// shared), which is what makes the algorithm near-constant in n in
+/// practice. Measured rank-regret is typically <= k (Section 6).
+///
+/// Fails with InvalidArgument for k == 0 or an empty dataset.
+Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
+                                       const MdrcOptions& options = {},
+                                       MdrcStats* stats = nullptr);
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_MDRC_H_

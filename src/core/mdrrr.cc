@@ -1,0 +1,37 @@
+#include "core/mdrrr.h"
+
+#include "hitting/epsnet.h"
+#include "hitting/greedy.h"
+
+namespace rrr {
+namespace core {
+
+Result<std::vector<int32_t>> SolveMdrrr(const data::Dataset& dataset,
+                                        const KSetCollection& ksets,
+                                        const MdrrrOptions& options) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (ksets.empty()) {
+    return Status::InvalidArgument("MDRRR needs a non-empty k-set collection");
+  }
+  const hitting::SetSystem system = ksets.ToSetSystem();
+  if (options.strategy == HittingStrategy::kGreedy) {
+    return hitting::GreedyHittingSet(system);
+  }
+  hitting::EpsNetOptions net;
+  net.seed = options.seed;
+  net.vc_dim = options.vc_dim > 0 ? options.vc_dim
+                                  : static_cast<int>(dataset.dims());
+  net.doubling = hitting::DoublingStrategy::kAllMissed;
+  return hitting::EpsNetHittingSet(system, net);
+}
+
+Result<std::vector<int32_t>> SolveMdrrrSampled(
+    const data::Dataset& dataset, size_t k, const MdrrrOptions& options,
+    const KSetSamplerOptions& sampler_options) {
+  KSetSampleResult sample;
+  RRR_ASSIGN_OR_RETURN(sample, SampleKSets(dataset, k, sampler_options));
+  return SolveMdrrr(dataset, sample.ksets, options);
+}
+
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,55 @@
+#ifndef RRR_CORE_MDRRR_H_
+#define RRR_CORE_MDRRR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/kset.h"
+#include "core/kset_sampler.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+/// Which hitting-set engine MDRRR runs over the k-set collection.
+enum class HittingStrategy {
+  /// Bronnimann-Goodrich eps-net weight doubling (the paper's Algorithm 3);
+  /// O(d log(d c)) size factor for VC dimension d.
+  kEpsNet,
+  /// Classic greedy; ln|S| size factor, deterministic.
+  kGreedy,
+};
+
+/// Tuning for SolveMdrrr.
+struct MdrrrOptions {
+  HittingStrategy strategy = HittingStrategy::kEpsNet;
+  /// Seed for the eps-net sampler.
+  uint64_t seed = 17;
+  /// VC-dimension override for the eps-net engine; <= 0 means use the
+  /// dataset dimensionality d (correct for half-space-induced k-sets,
+  /// Section 5.2).
+  int vc_dim = 0;
+};
+
+/// \brief Algorithm 3 (MDRRR): hitting set over a k-set collection.
+///
+/// Given the collection of all k-sets, the returned subset contains a
+/// member of every k-set and therefore has rank-regret exactly <= k for
+/// every linear ranking function (Lemma 5); the size is within an
+/// O(d log(d c)) factor of optimal. With a sampled collection (K-SETr) the
+/// guarantee holds for every k-set in the sample.
+Result<std::vector<int32_t>> SolveMdrrr(const data::Dataset& dataset,
+                                        const KSetCollection& ksets,
+                                        const MdrrrOptions& options = {});
+
+/// \brief Full MDRRR pipeline as evaluated in Section 6: K-SETr sampling
+/// followed by the hitting set.
+Result<std::vector<int32_t>> SolveMdrrrSampled(
+    const data::Dataset& dataset, size_t k, const MdrrrOptions& options = {},
+    const KSetSamplerOptions& sampler_options = {});
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_MDRRR_H_

@@ -1,0 +1,29 @@
+#include "core/rrr2d.h"
+
+#include "core/find_ranges.h"
+#include "geometry/angles.h"
+
+namespace rrr {
+namespace core {
+
+Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
+                                        size_t k,
+                                        const Rrr2dOptions& options) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  std::vector<ItemRange> ranges;
+  RRR_ASSIGN_OR_RETURN(ranges, FindRanges(dataset, k));
+
+  std::vector<hitting::Interval> intervals;
+  intervals.reserve(ranges.size());
+  for (size_t id = 0; id < ranges.size(); ++id) {
+    if (!ranges[id].in_topk) continue;
+    intervals.push_back(hitting::Interval{ranges[id].begin, ranges[id].end,
+                                          static_cast<int32_t>(id)});
+  }
+  // Every angle has a top-k, so the union of ranges covers [0, pi/2]; a
+  // cover failure would indicate a sweep bug, surfaced as a Status.
+  return hitting::CoverLine(intervals, 0.0, geometry::kHalfPi, options.cover);
+}
+
+}  // namespace core
+}  // namespace rrr

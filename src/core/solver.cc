@@ -1,0 +1,165 @@
+#include "core/solver.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "geometry/convex_hull.h"
+#include "geometry/dominance.h"
+
+namespace rrr {
+namespace core {
+
+namespace {
+
+/// Exact k = 1 representative: the tuples that are the unique top-1 of some
+/// non-negative linear function. Prefilters to the skyline (maxima are
+/// always Pareto-optimal, and separation from the skyline implies
+/// separation from everything it dominates), then runs the per-candidate
+/// separation LP.
+Result<std::vector<int32_t>> SolveConvexMaxima(const data::Dataset& dataset) {
+  const std::vector<int32_t> sky = geometry::Skyline(
+      dataset.flat(), dataset.size(), dataset.dims());
+  if (sky.size() <= 1) return sky;
+  std::vector<double> cells;
+  cells.reserve(sky.size() * dataset.dims());
+  for (int32_t id : sky) {
+    const double* r = dataset.row(static_cast<size_t>(id));
+    cells.insert(cells.end(), r, r + dataset.dims());
+  }
+  Result<data::Dataset> compact = data::Dataset::FromFlat(
+      std::move(cells), sky.size(), dataset.dims());
+  RRR_CHECK(compact.ok()) << compact.status().ToString();
+  std::vector<int32_t> maxima;
+  RRR_ASSIGN_OR_RETURN(
+      maxima, geometry::ConvexMaxima(compact->flat(), compact->size(),
+                                     compact->dims()));
+  for (int32_t& id : maxima) id = sky[static_cast<size_t>(id)];
+  std::sort(maxima.begin(), maxima.end());
+  return maxima;
+}
+
+}  // namespace
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kAuto:
+      return "AUTO";
+    case Algorithm::k2dRrr:
+      return "2DRRR";
+    case Algorithm::kMdRrr:
+      return "MDRRR";
+    case Algorithm::kMdRc:
+      return "MDRC";
+    case Algorithm::kConvexMaxima:
+      return "MAXIMA";
+  }
+  return "UNKNOWN";
+}
+
+Result<RrrResult> FindRankRegretRepresentative(const data::Dataset& dataset,
+                                               const RrrOptions& options) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (!dataset.AllFinite()) {
+    return Status::InvalidArgument(
+        "dataset contains NaN or infinite values; normalize/clean first");
+  }
+
+  Algorithm algorithm = options.algorithm;
+  if (algorithm == Algorithm::kAuto) {
+    if (dataset.dims() == 2) {
+      algorithm = Algorithm::k2dRrr;
+    } else if (options.k == 1 && dataset.dims() > 2) {
+      algorithm = Algorithm::kConvexMaxima;
+    } else {
+      algorithm = Algorithm::kMdRc;
+    }
+  }
+  if (algorithm == Algorithm::k2dRrr && dataset.dims() != 2) {
+    return Status::InvalidArgument("2DRRR requires a 2D dataset");
+  }
+  if (algorithm == Algorithm::kConvexMaxima && options.k != 1) {
+    return Status::InvalidArgument(
+        "convex maxima solve is exact only for k == 1");
+  }
+
+  RrrResult result;
+  result.algorithm_used = algorithm;
+  Stopwatch timer;
+  switch (algorithm) {
+    case Algorithm::k2dRrr: {
+      RRR_ASSIGN_OR_RETURN(
+          result.representative,
+          Solve2dRrr(dataset, options.k, options.rrr2d));
+      break;
+    }
+    case Algorithm::kMdRrr: {
+      RRR_ASSIGN_OR_RETURN(
+          result.representative,
+          SolveMdrrrSampled(dataset, options.k, options.mdrrr,
+                            options.sampler));
+      break;
+    }
+    case Algorithm::kMdRc: {
+      RRR_ASSIGN_OR_RETURN(result.representative,
+                           SolveMdrc(dataset, options.k, options.mdrc));
+      break;
+    }
+    case Algorithm::kConvexMaxima: {
+      RRR_ASSIGN_OR_RETURN(result.representative,
+                           SolveConvexMaxima(dataset));
+      break;
+    }
+    case Algorithm::kAuto:
+      return Status::Internal("kAuto must be resolved before dispatch");
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<DualResult> SolveDualProblem(const data::Dataset& dataset,
+                                    size_t max_size,
+                                    const RrrOptions& base_options) {
+  if (max_size == 0) return Status::InvalidArgument("max_size must be >= 1");
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+
+  // Binary search the smallest feasible k in [1, n] (Section 2's reduction:
+  // log n calls to the primal solver).
+  size_t lo = 1;
+  size_t hi = dataset.size();
+  DualResult best;
+  bool found = false;
+  while (lo <= hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    RrrOptions options = base_options;
+    options.k = mid;
+    Result<RrrResult> probe = FindRankRegretRepresentative(dataset, options);
+    if (!probe.ok() &&
+        probe.status().code() == StatusCode::kResourceExhausted) {
+      // The solver could not finish at this k (e.g. MDRC's node budget for
+      // tiny k in high dimension): treat as infeasible and search upward.
+      lo = mid + 1;
+      continue;
+    }
+    if (!probe.ok()) return probe.status();
+    RrrResult res = std::move(probe).value();
+    if (res.representative.size() <= max_size) {
+      best.k = mid;
+      best.representative = std::move(res.representative);
+      best.algorithm_used = res.algorithm_used;
+      found = true;
+      if (mid == 1) break;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (!found) {
+    return Status::NotFound(
+        "no k in [1, n] met the size budget with this algorithm");
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,92 @@
+#ifndef RRR_CORE_SOLVER_H_
+#define RRR_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/kset_sampler.h"
+#include "core/mdrc.h"
+#include "core/mdrrr.h"
+#include "core/rrr2d.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+/// Algorithm selector for the facade.
+enum class Algorithm {
+  /// 2DRRR for d == 2; exact convex maxima for k == 1 in higher dimensions
+  /// (where MDRC's partition cannot terminate — adjacent 1-sets are
+  /// disjoint); MDRC otherwise (the scalable defaults per Section 6).
+  kAuto,
+  /// Algorithm 2; 2D only.
+  k2dRrr,
+  /// Algorithm 3 over a K-SETr sample.
+  kMdRrr,
+  /// Algorithm 5.
+  kMdRc,
+  /// Exact order-1 representative (Section 2: the convex hull maxima), any
+  /// dimension, via skyline prefilter + separation LP per candidate. The
+  /// unique optimal solution for k == 1; rejects k > 1.
+  kConvexMaxima,
+};
+
+/// Human-readable algorithm name ("2DRRR", "MDRRR", ...).
+std::string AlgorithmName(Algorithm algorithm);
+
+/// Options for FindRankRegretRepresentative.
+struct RrrOptions {
+  /// Rank budget: the representative must contain a top-k item for every
+  /// linear ranking function.
+  size_t k = 1;
+  Algorithm algorithm = Algorithm::kAuto;
+  Rrr2dOptions rrr2d;
+  MdrrrOptions mdrrr;
+  KSetSamplerOptions sampler;
+  MdrcOptions mdrc;
+};
+
+/// Output of the facade.
+struct RrrResult {
+  /// Ids of the representative tuples, sorted.
+  std::vector<int32_t> representative;
+  /// The algorithm that actually ran (kAuto resolved).
+  Algorithm algorithm_used = Algorithm::kAuto;
+  /// Wall-clock seconds spent inside the algorithm.
+  double seconds = 0.0;
+};
+
+/// \brief One-call entry point to the library: computes a rank-regret
+/// representative of `dataset` for the options' k.
+///
+/// See the per-algorithm headers for the exact guarantees (2DRRR: optimal
+/// size / 2k regret; MDRRR: k regret on the sampled k-sets / log-factor
+/// size; MDRC: dk regret / small size in practice).
+Result<RrrResult> FindRankRegretRepresentative(const data::Dataset& dataset,
+                                               const RrrOptions& options);
+
+/// Output of SolveDualProblem.
+struct DualResult {
+  /// Smallest k for which the solver's representative fit the size budget.
+  size_t k = 0;
+  std::vector<int32_t> representative;
+  Algorithm algorithm_used = Algorithm::kAuto;
+};
+
+/// \brief The dual formulation (Section 2): given a maximum representative
+/// size, binary-search the smallest k whose representative fits.
+///
+/// Uses FindRankRegretRepresentative as the oracle, so the result inherits
+/// the chosen algorithm's approximation character. Fails with NotFound when
+/// even k = n produces a representative larger than `max_size` (cannot
+/// happen for max_size >= 1 with MDRC/2DRRR).
+Result<DualResult> SolveDualProblem(const data::Dataset& dataset,
+                                    size_t max_size,
+                                    const RrrOptions& base_options);
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_SOLVER_H_

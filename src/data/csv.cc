@@ -1,0 +1,92 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rrr {
+namespace data {
+
+Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  std::vector<std::string> names;
+  size_t d = 0;
+  bool first = true;
+  std::vector<double> cells;
+  size_t n = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = Split(std::string(trimmed),
+                                            options.separator);
+    if (first) {
+      first = false;
+      if (options.has_header) {
+        for (auto& f : fields) names.emplace_back(Trim(f));
+        d = names.size();
+        continue;
+      }
+      d = fields.size();
+    }
+    if (fields.size() != d) {
+      if (options.skip_bad_rows) continue;
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %zu fields, expected %zu", line_no,
+                    fields.size(), d));
+    }
+    std::vector<double> row;
+    row.reserve(d);
+    bool bad = false;
+    for (const auto& f : fields) {
+      Result<double> v = ParseDouble(f);
+      if (!v.ok()) {
+        bad = true;
+        if (!options.skip_bad_rows) {
+          return Status::InvalidArgument(
+              StrFormat("line %zu: %s", line_no,
+                        v.status().message().c_str()));
+        }
+        break;
+      }
+      row.push_back(*v);
+    }
+    if (bad) continue;
+    cells.insert(cells.end(), row.begin(), row.end());
+    ++n;
+  }
+  return Dataset::FromFlat(std::move(cells), n, d, std::move(names));
+}
+
+Status WriteCsv(const std::string& path, const Dataset& dataset,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const char sep = options.separator;
+  if (options.has_header) {
+    out << Join(dataset.column_names(), std::string(1, sep)) << '\n';
+  }
+  std::ostringstream line;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    line.str("");
+    const double* r = dataset.row(i);
+    for (size_t j = 0; j < dataset.dims(); ++j) {
+      if (j > 0) line << sep;
+      line << StrFormat("%.17g", r[j]);
+    }
+    out << line.str() << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace rrr

@@ -1,0 +1,39 @@
+#ifndef RRR_DATA_CSV_H_
+#define RRR_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace data {
+
+/// Options for ReadCsv.
+struct CsvOptions {
+  /// Field separator.
+  char separator = ',';
+  /// When true the first line provides column names.
+  bool has_header = true;
+  /// When true, rows with any non-numeric or empty field are silently
+  /// dropped (mirrors the paper's "after removing the records with missing
+  /// values"); when false such rows are an error.
+  bool skip_bad_rows = false;
+};
+
+/// \brief Loads a numeric CSV file into a Dataset.
+///
+/// Every retained field must parse as a double. This is how real DOT/BN
+/// extracts are plugged into the benchmarks in place of the bundled
+/// synthetic generators.
+Result<Dataset> ReadCsv(const std::string& path,
+                        const CsvOptions& options = CsvOptions());
+
+/// Writes `dataset` as CSV (header + rows, '.17g' floats, '\n' endings).
+Status WriteCsv(const std::string& path, const Dataset& dataset,
+                const CsvOptions& options = CsvOptions());
+
+}  // namespace data
+}  // namespace rrr
+
+#endif  // RRR_DATA_CSV_H_

@@ -1,0 +1,55 @@
+#include "data/normalize.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace rrr {
+namespace data {
+
+Result<Dataset> MinMaxNormalize(const Dataset& input,
+                                const std::vector<Direction>& directions) {
+  if (directions.size() != input.dims()) {
+    return Status::InvalidArgument(
+        StrFormat("got %zu directions for %zu columns", directions.size(),
+                  input.dims()));
+  }
+  const size_t n = input.size();
+  const size_t d = input.dims();
+  std::vector<double> lo(d, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(d, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = input.row(i);
+    for (size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], r[j]);
+      hi[j] = std::max(hi[j], r[j]);
+    }
+  }
+  std::vector<double> cells;
+  cells.reserve(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = input.row(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double range = hi[j] - lo[j];
+      double v;
+      if (range <= 0.0) {
+        v = 0.5;
+      } else if (directions[j] == Direction::kHigherBetter) {
+        v = (r[j] - lo[j]) / range;
+      } else {
+        v = (hi[j] - r[j]) / range;
+      }
+      cells.push_back(v);
+    }
+  }
+  return Dataset::FromFlat(std::move(cells), n, d, input.column_names());
+}
+
+Result<Dataset> MinMaxNormalize(const Dataset& input) {
+  return MinMaxNormalize(
+      input, std::vector<Direction>(input.dims(), Direction::kHigherBetter));
+}
+
+}  // namespace data
+}  // namespace rrr

@@ -1,0 +1,34 @@
+#ifndef RRR_DATA_NORMALIZE_H_
+#define RRR_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace data {
+
+/// Preference direction of a raw attribute.
+enum class Direction {
+  kHigherBetter,
+  kLowerBetter,
+};
+
+/// \brief Min-max normalizes every column into [0, 1] so that 1 is always
+/// the preferred end (Section 6.1 of the paper):
+///   higher-better:  (v - min) / (max - min)
+///   lower-better:   (max - v) / (max - min)
+///
+/// Constant columns (max == min) carry no ranking information and map to
+/// 0.5. `directions` must have one entry per column.
+Result<Dataset> MinMaxNormalize(const Dataset& input,
+                                const std::vector<Direction>& directions);
+
+/// Convenience overload: all columns higher-better.
+Result<Dataset> MinMaxNormalize(const Dataset& input);
+
+}  // namespace data
+}  // namespace rrr
+
+#endif  // RRR_DATA_NORMALIZE_H_

@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "topk/rank.h"
+#include "topk/scoring.h"
+
+namespace rrr {
+namespace eval {
+
+Result<EvaluationReport> Evaluate(const data::Dataset& dataset,
+                                  const std::vector<int32_t>& subset,
+                                  const EvaluateOptions& options) {
+  if (subset.empty()) return Status::InvalidArgument("empty subset");
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.num_functions == 0) {
+    return Status::InvalidArgument("need at least one evaluation function");
+  }
+  for (int32_t id : subset) {
+    if (id < 0 || static_cast<size_t>(id) >= dataset.size()) {
+      return Status::OutOfRange("subset id out of range");
+    }
+  }
+
+  Rng rng(options.seed);
+  EvaluationReport report;
+  report.size = subset.size();
+  int64_t rank_sum = 0;
+  size_t hits = 0;
+  for (size_t s = 0; s < options.num_functions; ++s) {
+    topk::LinearFunction f(
+        rng.UnitWeightVector(static_cast<int>(dataset.dims())));
+    const int64_t best_rank = topk::MinRankOfSubset(dataset, f, subset);
+    report.rank_regret = std::max(report.rank_regret, best_rank);
+    rank_sum += best_rank;
+    if (best_rank <= static_cast<int64_t>(options.k)) ++hits;
+
+    double best_all = 0.0;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      best_all = std::max(best_all, f.Score(dataset.row(i)));
+    }
+    if (best_all > 0.0) {
+      double best_subset = 0.0;
+      for (int32_t id : subset) {
+        best_subset = std::max(
+            best_subset, f.Score(dataset.row(static_cast<size_t>(id))));
+      }
+      report.regret_ratio = std::max(
+          report.regret_ratio, (best_all - best_subset) / best_all);
+    }
+  }
+  report.mean_rank = static_cast<double>(rank_sum) /
+                     static_cast<double>(options.num_functions);
+  report.topk_hit_rate = static_cast<double>(hits) /
+                         static_cast<double>(options.num_functions);
+  return report;
+}
+
+std::string ToString(const EvaluationReport& report) {
+  return StrFormat(
+      "size=%zu rank_regret=%lld mean_rank=%.2f ratio=%.4f hit_rate=%.3f",
+      report.size, static_cast<long long>(report.rank_regret),
+      report.mean_rank, report.regret_ratio, report.topk_hit_rate);
+}
+
+}  // namespace eval
+}  // namespace rrr

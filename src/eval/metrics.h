@@ -1,0 +1,54 @@
+#ifndef RRR_EVAL_METRICS_H_
+#define RRR_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace eval {
+
+/// Everything the paper's effectiveness figures report about one
+/// representative, measured in one pass.
+struct EvaluationReport {
+  /// Representative size (the right-hand axis of Figures 10-28).
+  size_t size = 0;
+  /// Max best-rank over the evaluation functions (left-hand axis).
+  int64_t rank_regret = 0;
+  /// Mean best-rank over the evaluation functions (not plotted in the
+  /// paper but indispensable when two subsets tie on the max).
+  double mean_rank = 0.0;
+  /// Classic score regret-ratio over the same functions (the baseline's
+  /// objective).
+  double regret_ratio = 0.0;
+  /// Fraction of evaluation functions whose top-k was hit (k as passed to
+  /// Evaluate; 1.0 means the sampled rank-regret is <= k).
+  double topk_hit_rate = 0.0;
+};
+
+/// Options for Evaluate.
+struct EvaluateOptions {
+  /// Rank budget used for topk_hit_rate.
+  size_t k = 1;
+  size_t num_functions = 1000;
+  uint64_t seed = 23;
+};
+
+/// \brief Scores `subset` against `dataset` on every §6 metric with a
+/// single shared sample of ranking functions (so the columns of one report
+/// are mutually consistent).
+Result<EvaluationReport> Evaluate(const data::Dataset& dataset,
+                                  const std::vector<int32_t>& subset,
+                                  const EvaluateOptions& options = {});
+
+/// One CSV-ish line: "size=5 rank_regret=12 mean_rank=3.1 ratio=0.08
+/// hit_rate=0.97".
+std::string ToString(const EvaluationReport& report);
+
+}  // namespace eval
+}  // namespace rrr
+
+#endif  // RRR_EVAL_METRICS_H_

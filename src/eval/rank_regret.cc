@@ -1,0 +1,135 @@
+#include "eval/rank_regret.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "core/kset_graph.h"
+#include "core/sweep.h"
+#include "lp/separation.h"
+#include "topk/rank.h"
+#include "topk/scoring.h"
+
+namespace rrr {
+namespace eval {
+
+Result<int64_t> ExactRankRegret2D(const data::Dataset& dataset,
+                                  const std::vector<int32_t>& subset) {
+  if (dataset.dims() != 2) {
+    return Status::InvalidArgument("ExactRankRegret2D requires 2D data");
+  }
+  if (subset.empty()) return Status::InvalidArgument("empty subset");
+  const size_t n = dataset.size();
+  std::vector<char> in_subset(n, 0);
+  for (int32_t id : subset) {
+    if (id < 0 || static_cast<size_t>(id) >= n) {
+      return Status::OutOfRange("subset id out of range");
+    }
+    in_subset[static_cast<size_t>(id)] = 1;
+  }
+
+  core::AngularSweep sweep(dataset);
+  const auto& order = sweep.InitialOrder();
+  // Positions (0-based) currently held by subset members.
+  std::set<size_t> member_positions;
+  std::vector<size_t> pos(n);
+  for (size_t i = 0; i < n; ++i) {
+    pos[static_cast<size_t>(order[i])] = i;
+    if (in_subset[static_cast<size_t>(order[i])]) member_positions.insert(i);
+  }
+
+  int64_t worst = static_cast<int64_t>(*member_positions.begin()) + 1;
+  sweep.Run([&](const core::SweepEvent& ev) {
+    const bool down_in = in_subset[static_cast<size_t>(ev.item_down)] != 0;
+    const bool up_in = in_subset[static_cast<size_t>(ev.item_up)] != 0;
+    if (down_in == up_in) return true;  // best position unchanged
+    const size_t upper = ev.upper_position - 1;  // 0-based slot
+    if (down_in) {
+      // A member moved down one slot.
+      member_positions.erase(upper);
+      member_positions.insert(upper + 1);
+    } else {
+      // A member moved up one slot.
+      member_positions.erase(upper + 1);
+      member_positions.insert(upper);
+    }
+    worst = std::max(worst,
+                     static_cast<int64_t>(*member_positions.begin()) + 1);
+    return true;
+  });
+  return worst;
+}
+
+Result<RankRegretCertificate> ExactRankRegretWithinK(
+    const data::Dataset& dataset, const std::vector<int32_t>& subset,
+    size_t k) {
+  if (subset.empty()) return Status::InvalidArgument("empty subset");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  const size_t n = dataset.size();
+  std::unordered_set<int32_t> members;
+  for (int32_t id : subset) {
+    if (id < 0 || static_cast<size_t>(id) >= n) {
+      return Status::OutOfRange("subset id out of range");
+    }
+    members.insert(id);
+  }
+
+  RankRegretCertificate cert;
+  if (k >= n) {  // every tuple is top-n for every function
+    cert.within_k = true;
+    return cert;
+  }
+
+  core::KSetCollection ksets;
+  RRR_ASSIGN_OR_RETURN(ksets, core::EnumerateKSetsGraph(dataset, k));
+  for (const core::KSet& s : ksets.sets()) {
+    bool hit = false;
+    for (int32_t id : s.ids) {
+      if (members.count(id) != 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) continue;
+    // Missed k-set: its separating weights realize a function whose whole
+    // top-k avoids the subset (Lemma 5), i.e. regret > k there.
+    lp::SeparationResult sep;
+    RRR_ASSIGN_OR_RETURN(
+        sep, lp::FindSeparatingWeights(dataset.flat(), n, dataset.dims(),
+                                       s.ids));
+    if (!sep.separable) {
+      return Status::Internal("enumerated k-set failed re-separation");
+    }
+    cert.within_k = false;
+    cert.witness_weights = sep.weights;
+    cert.witness_rank = topk::MinRankOfSubset(
+        dataset, topk::LinearFunction(sep.weights), subset);
+    return cert;
+  }
+  cert.within_k = true;
+  return cert;
+}
+
+Result<int64_t> SampledRankRegret(const data::Dataset& dataset,
+                                  const std::vector<int32_t>& subset,
+                                  const SampledRankRegretOptions& options) {
+  if (subset.empty()) return Status::InvalidArgument("empty subset");
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  for (int32_t id : subset) {
+    if (id < 0 || static_cast<size_t>(id) >= dataset.size()) {
+      return Status::OutOfRange("subset id out of range");
+    }
+  }
+  Rng rng(options.seed);
+  int64_t worst = 1;
+  for (size_t s = 0; s < options.num_functions; ++s) {
+    topk::LinearFunction f(
+        rng.UnitWeightVector(static_cast<int>(dataset.dims())));
+    worst = std::max(worst, topk::MinRankOfSubset(dataset, f, subset));
+  }
+  return worst;
+}
+
+}  // namespace eval
+}  // namespace rrr

@@ -1,0 +1,42 @@
+#include "eval/regret_ratio.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "topk/scoring.h"
+
+namespace rrr {
+namespace eval {
+
+Result<double> SampledRegretRatio(const data::Dataset& dataset,
+                                  const std::vector<int32_t>& subset,
+                                  const RegretRatioOptions& options) {
+  if (subset.empty()) return Status::InvalidArgument("empty subset");
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  for (int32_t id : subset) {
+    if (id < 0 || static_cast<size_t>(id) >= dataset.size()) {
+      return Status::OutOfRange("subset id out of range");
+    }
+  }
+  Rng rng(options.seed);
+  double worst = 0.0;
+  for (size_t s = 0; s < options.num_functions; ++s) {
+    topk::LinearFunction f(
+        rng.UnitWeightVector(static_cast<int>(dataset.dims())));
+    double best_all = 0.0;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      best_all = std::max(best_all, f.Score(dataset.row(i)));
+    }
+    if (best_all <= 0.0) continue;
+    double best_subset = 0.0;
+    for (int32_t id : subset) {
+      best_subset =
+          std::max(best_subset, f.Score(dataset.row(static_cast<size_t>(id))));
+    }
+    worst = std::max(worst, (best_all - best_subset) / best_all);
+  }
+  return worst;
+}
+
+}  // namespace eval
+}  // namespace rrr

@@ -1,0 +1,33 @@
+#ifndef RRR_EVAL_REGRET_RATIO_H_
+#define RRR_EVAL_REGRET_RATIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace eval {
+
+/// Options for SampledRegretRatio.
+struct RegretRatioOptions {
+  size_t num_functions = 10000;
+  uint64_t seed = 29;
+};
+
+/// \brief Monte-Carlo estimate of the classic (score-based) maximum
+/// regret-ratio of `subset`: max over sampled linear functions f of
+/// (max_D f - max_subset f) / max_D f [Nanongkai et al.].
+///
+/// This is the objective HD-RRMS optimizes and the quantity the paper
+/// contrasts with rank-regret. Scores are assumed non-negative (normalized
+/// data); functions whose dataset-wide best score is 0 are skipped.
+Result<double> SampledRegretRatio(const data::Dataset& dataset,
+                                  const std::vector<int32_t>& subset,
+                                  const RegretRatioOptions& options = {});
+
+}  // namespace eval
+}  // namespace rrr
+
+#endif  // RRR_EVAL_REGRET_RATIO_H_

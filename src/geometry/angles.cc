@@ -1,0 +1,58 @@
+#include "geometry/angles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rrr {
+namespace geometry {
+
+Vec AnglesToWeights(const Vec& angles) {
+  const size_t d = angles.size() + 1;
+  Vec w(d, 0.0);
+  double sin_prod = 1.0;
+  for (size_t i = 0; i + 1 < d; ++i) {
+    RRR_DCHECK(angles[i] >= -1e-12 && angles[i] <= kHalfPi + 1e-12)
+        << "angle out of [0, pi/2]: " << angles[i];
+    w[i] = sin_prod * std::cos(angles[i]);
+    sin_prod *= std::sin(angles[i]);
+  }
+  w[d - 1] = sin_prod;
+  // Clamp roundoff so downstream code can rely on non-negativity.
+  for (double& wi : w) wi = std::max(wi, 0.0);
+  return w;
+}
+
+Result<Vec> WeightsToAngles(const Vec& weights) {
+  const size_t d = weights.size();
+  if (d < 1) return Status::InvalidArgument("empty weight vector");
+  double norm2 = 0.0;
+  for (double wi : weights) {
+    if (wi < 0.0) {
+      return Status::InvalidArgument("negative weight in angle conversion");
+    }
+    norm2 += wi * wi;
+  }
+  if (norm2 == 0.0) return Status::InvalidArgument("zero weight vector");
+  const double norm = std::sqrt(norm2);
+
+  Vec angles(d - 1, 0.0);
+  // Residual norm of the suffix w_i..w_{d-1} shrinks as we peel angles off.
+  double residual = norm;
+  for (size_t i = 0; i + 1 < d; ++i) {
+    if (residual <= 1e-300) {
+      angles[i] = 0.0;  // canonical choice for an all-zero suffix
+      continue;
+    }
+    double c = weights[i] / residual;
+    c = std::clamp(c, -1.0, 1.0);
+    angles[i] = std::acos(c);
+    // sin(angle) * residual is the norm of the remaining suffix.
+    residual *= std::sqrt(std::max(0.0, 1.0 - c * c));
+  }
+  return angles;
+}
+
+}  // namespace geometry
+}  // namespace rrr

@@ -1,0 +1,40 @@
+#ifndef RRR_GEOMETRY_ANGLES_H_
+#define RRR_GEOMETRY_ANGLES_H_
+
+#include "common/result.h"
+#include "geometry/vec.h"
+
+namespace rrr {
+namespace geometry {
+
+/// Half pi, the upper bound of every angle coordinate.
+inline constexpr double kHalfPi = 1.5707963267948966;
+
+/// \brief Maps d-1 angles in [0, pi/2]^(d-1) to a unit weight vector in the
+/// first orthant of R^d (the paper's parameterization of the linear ranking
+/// function space, Section 5.3).
+///
+/// Spherical coordinates restricted to the first orthant:
+///   w_1 = cos a_1
+///   w_i = sin a_1 ... sin a_{i-1} cos a_i        (1 < i < d)
+///   w_d = sin a_1 ... sin a_{d-1}
+/// Every w_i is non-negative and |w|_2 = 1. With zero angles the vector is
+/// the first axis; with all angles pi/2 it is the last axis. For d = 2 this
+/// is the paper's single sweep angle theta with w = (cos theta, sin theta).
+Vec AnglesToWeights(const Vec& angles);
+
+/// \brief Inverse of AnglesToWeights for non-negative nonzero vectors; the
+/// input is normalized internally.
+///
+/// When a suffix of the vector is entirely zero the trailing angles are not
+/// uniquely determined; this returns 0 for them (the canonical choice that
+/// AnglesToWeights maps back onto the same weights).
+Result<Vec> WeightsToAngles(const Vec& weights);
+
+/// Number of weight dimensions for an angle vector (angles.size() + 1).
+inline size_t WeightDims(const Vec& angles) { return angles.size() + 1; }
+
+}  // namespace geometry
+}  // namespace rrr
+
+#endif  // RRR_GEOMETRY_ANGLES_H_

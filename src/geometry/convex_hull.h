@@ -1,0 +1,34 @@
+#ifndef RRR_GEOMETRY_CONVEX_HULL_H_
+#define RRR_GEOMETRY_CONVEX_HULL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rrr {
+namespace geometry {
+
+/// \brief Indices of the vertices of the 2D convex hull of the n x 2
+/// row-major matrix `rows`, counter-clockwise starting from the
+/// lexicographically smallest point (Andrew's monotone chain).
+///
+/// Collinear interior points are excluded; duplicate points contribute one
+/// vertex. Degenerate inputs (all collinear) return the two extremes, or one
+/// index when all points coincide.
+std::vector<int32_t> ConvexHull2D(const double* rows, size_t n);
+
+/// \brief The maxima representation for linear ranking functions: all rows
+/// that are the unique top-1 of some ranking function with non-negative
+/// weights (Section 2 — the order-1 rank-regret representative).
+///
+/// For each candidate row this solves the separation LP (is {i} a 1-set?);
+/// works in any dimension. O(n) LP solves of n constraints each, so intended
+/// for small/medium n (tests, examples, ground truth).
+Result<std::vector<int32_t>> ConvexMaxima(const double* rows, size_t n,
+                                          size_t d);
+
+}  // namespace geometry
+}  // namespace rrr
+
+#endif  // RRR_GEOMETRY_CONVEX_HULL_H_

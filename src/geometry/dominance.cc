@@ -1,0 +1,108 @@
+#include "geometry/dominance.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace rrr {
+namespace geometry {
+
+bool Dominates(const double* a, const double* b, size_t d) {
+  bool strict = false;
+  for (size_t j = 0; j < d; ++j) {
+    if (a[j] < b[j]) return false;
+    if (a[j] > b[j]) strict = true;
+  }
+  return strict;
+}
+
+namespace {
+
+std::vector<int32_t> Skyline2D(const double* rows, size_t n) {
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Sort by x descending; ties by y descending so the first of an x-tie
+  // group is the only survivor candidate.
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    const double ax = rows[2 * a], bx = rows[2 * b];
+    if (ax != bx) return ax > bx;
+    const double ay = rows[2 * a + 1], by = rows[2 * b + 1];
+    if (ay != by) return ay > by;
+    return a < b;
+  });
+  std::vector<int32_t> sky;
+  double best_y = -std::numeric_limits<double>::infinity();
+  for (int32_t idx : order) {
+    const double y = rows[2 * idx + 1];
+    // A point survives iff its y strictly beats every point with >= x seen
+    // so far; exact duplicates keep only the lowest index (sort order).
+    if (y > best_y) {
+      sky.push_back(idx);
+      best_y = y;
+    }
+  }
+  std::sort(sky.begin(), sky.end());
+  return sky;
+}
+
+}  // namespace
+
+std::vector<int32_t> KSkyband(const double* rows, size_t n, size_t d,
+                              size_t k) {
+  RRR_CHECK(rows != nullptr || n == 0) << "KSkyband: null rows";
+  RRR_CHECK(k >= 1) << "KSkyband: k must be >= 1";
+  std::vector<int32_t> band;
+  for (size_t i = 0; i < n; ++i) {
+    size_t dominators = 0;
+    for (size_t j = 0; j < n && dominators < k; ++j) {
+      if (j == i) continue;
+      if (Dominates(rows + j * d, rows + i * d, d)) {
+        ++dominators;
+      } else if (j < i) {
+        // An exact earlier duplicate outranks i under the id tie-break.
+        bool equal = true;
+        for (size_t c = 0; c < d; ++c) {
+          if (rows[j * d + c] != rows[i * d + c]) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) ++dominators;
+      }
+    }
+    if (dominators < k) band.push_back(static_cast<int32_t>(i));
+  }
+  return band;
+}
+
+std::vector<int32_t> Skyline(const double* rows, size_t n, size_t d) {
+  RRR_CHECK(rows != nullptr || n == 0) << "Skyline: null rows";
+  if (n == 0) return {};
+  if (d == 2) return Skyline2D(rows, n);
+  std::vector<int32_t> sky;
+  for (size_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < n && !dominated; ++j) {
+      if (j == i) continue;
+      if (Dominates(rows + j * d, rows + i * d, d)) dominated = true;
+      // Exact duplicates: keep only the lowest index.
+      if (!dominated && j < i) {
+        bool equal = true;
+        for (size_t c = 0; c < d; ++c) {
+          if (rows[j * d + c] != rows[i * d + c]) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) dominated = true;
+      }
+    }
+    if (!dominated) sky.push_back(static_cast<int32_t>(i));
+  }
+  return sky;
+}
+
+}  // namespace geometry
+}  // namespace rrr

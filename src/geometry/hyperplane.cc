@@ -1,0 +1,17 @@
+#include "geometry/hyperplane.h"
+
+#include <limits>
+
+namespace rrr {
+namespace geometry {
+
+Hyperplane DualOf(const Vec& tuple) { return Hyperplane{tuple, 1.0}; }
+
+double RayIntersectionParam(const Hyperplane& dual, const Vec& w) {
+  const double denom = Dot(dual.normal, w);
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return dual.offset / denom;
+}
+
+}  // namespace geometry
+}  // namespace rrr

@@ -1,0 +1,37 @@
+#ifndef RRR_GEOMETRY_HYPERPLANE_H_
+#define RRR_GEOMETRY_HYPERPLANE_H_
+
+#include "geometry/vec.h"
+
+namespace rrr {
+namespace geometry {
+
+/// \brief Hyperplane { x : normal . x = offset } in R^d.
+///
+/// The paper's dual transform (Equation 2) maps a tuple t to the hyperplane
+/// d(t): sum_i t[i] * x_i = 1, i.e. Hyperplane{normal = t, offset = 1}.
+struct Hyperplane {
+  Vec normal;
+  double offset = 0.0;
+
+  /// Signed evaluation: positive above (away from the origin side when
+  /// offset > 0), zero on the plane, negative below.
+  double Eval(const Vec& x) const { return Dot(normal, x) - offset; }
+};
+
+/// Dual hyperplane d(t) of a tuple (Equation 2 of the paper).
+Hyperplane DualOf(const Vec& tuple);
+
+/// \brief Parameter of the intersection of a dual hyperplane with the ray
+/// {s * w : s >= 0} of a ranking function w.
+///
+/// Returns s such that d(t) meets the ray at s * w, i.e. s = 1 / (w . t);
+/// +infinity when the ray is parallel (w . t <= 0). In the dual space,
+/// *smaller* s means *better* rank (Section 3), so ordering tuples by this
+/// parameter reproduces the ranking of f_w.
+double RayIntersectionParam(const Hyperplane& dual, const Vec& w);
+
+}  // namespace geometry
+}  // namespace rrr
+
+#endif  // RRR_GEOMETRY_HYPERPLANE_H_

@@ -1,0 +1,73 @@
+#include "geometry/onion.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "geometry/convex_hull.h"
+#include "geometry/dominance.h"
+
+namespace rrr {
+namespace geometry {
+
+Result<std::vector<std::vector<int32_t>>> OnionLayers(const double* rows,
+                                                      size_t n, size_t d) {
+  if (rows == nullptr && n > 0) return Status::InvalidArgument("null rows");
+  std::vector<std::vector<int32_t>> layers;
+  // Active points, compacted each peel; `alive[i]` maps compact index to
+  // original id.
+  std::vector<int32_t> alive(n);
+  for (size_t i = 0; i < n; ++i) alive[i] = static_cast<int32_t>(i);
+  std::vector<double> cells(rows, rows + n * d);
+
+  while (!alive.empty()) {
+    std::vector<int32_t> maxima_compact;
+    RRR_ASSIGN_OR_RETURN(
+        maxima_compact, ConvexMaxima(cells.data(), alive.size(), d));
+    if (maxima_compact.empty()) {
+      // Remaining points are all non-extreme (e.g. exact duplicates of each
+      // other): close the onion with them as one final layer, keeping the
+      // invariant that every point lands in exactly one layer.
+      layers.push_back(alive);
+      break;
+    }
+    std::vector<int32_t> layer;
+    layer.reserve(maxima_compact.size());
+    std::vector<char> peel(alive.size(), 0);
+    for (int32_t c : maxima_compact) {
+      layer.push_back(alive[static_cast<size_t>(c)]);
+      peel[static_cast<size_t>(c)] = 1;
+    }
+    layers.push_back(std::move(layer));
+
+    // Compact the survivors.
+    std::vector<int32_t> next_alive;
+    std::vector<double> next_cells;
+    next_alive.reserve(alive.size() - maxima_compact.size());
+    next_cells.reserve(next_alive.capacity() * d);
+    for (size_t i = 0; i < alive.size(); ++i) {
+      if (peel[i]) continue;
+      next_alive.push_back(alive[i]);
+      next_cells.insert(next_cells.end(), cells.begin() + i * d,
+                        cells.begin() + (i + 1) * d);
+    }
+    alive = std::move(next_alive);
+    cells = std::move(next_cells);
+  }
+  return layers;
+}
+
+Result<std::vector<int32_t>> FirstKOnionLayers(const double* rows, size_t n,
+                                               size_t d, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<std::vector<int32_t>> layers;
+  RRR_ASSIGN_OR_RETURN(layers, OnionLayers(rows, n, d));
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < layers.size() && i < k; ++i) {
+    out.insert(out.end(), layers[i].begin(), layers[i].end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace geometry
+}  // namespace rrr

@@ -1,0 +1,35 @@
+#ifndef RRR_GEOMETRY_ONION_H_
+#define RRR_GEOMETRY_ONION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rrr {
+namespace geometry {
+
+/// \brief Onion (convex-maxima layer) decomposition [Chang et al.'s onion
+/// technique, cited in the paper's §7 as a top-k index].
+///
+/// Layer 0 is the convex maxima of the full point set; layer i is the
+/// maxima of what is left after peeling layers 0..i-1. Every point lands in
+/// exactly one layer. The classic property making this a top-k index — and
+/// a natural (if bulky) rank-regret representative — is that the top-k of
+/// any non-negative linear function lies within the first k layers.
+///
+/// Uses the separation-LP maxima test per layer: O(L * n * LP) where L is
+/// the layer count; intended for moderate n.
+Result<std::vector<std::vector<int32_t>>> OnionLayers(const double* rows,
+                                                      size_t n, size_t d);
+
+/// \brief The union of the first min(k, L) onion layers: a valid order-k
+/// rank-regret representative (usually far larger than the RRR optimum —
+/// used as the size baseline in the ablation bench).
+Result<std::vector<int32_t>> FirstKOnionLayers(const double* rows, size_t n,
+                                               size_t d, size_t k);
+
+}  // namespace geometry
+}  // namespace rrr
+
+#endif  // RRR_GEOMETRY_ONION_H_

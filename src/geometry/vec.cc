@@ -1,0 +1,63 @@
+#include "geometry/vec.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rrr {
+namespace geometry {
+
+double Dot(const Vec& a, const Vec& b) {
+  RRR_CHECK(a.size() == b.size()) << "Dot: size mismatch";
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Dot(const Vec& a, const double* row, size_t d) {
+  RRR_CHECK(a.size() == d) << "Dot: size mismatch";
+  double s = 0.0;
+  for (size_t i = 0; i < d; ++i) s += a[i] * row[i];
+  return s;
+}
+
+double L2Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+Vec Normalized(const Vec& a) {
+  const double n = L2Norm(a);
+  RRR_CHECK(n > 0.0) << "Normalized: zero vector";
+  Vec out(a);
+  for (double& v : out) v /= n;
+  return out;
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  RRR_CHECK(a.size() == b.size()) << "Add: size mismatch";
+  Vec out(a);
+  for (size_t i = 0; i < b.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  RRR_CHECK(a.size() == b.size()) << "Sub: size mismatch";
+  Vec out(a);
+  for (size_t i = 0; i < b.size(); ++i) out[i] -= b[i];
+  return out;
+}
+
+Vec Scale(const Vec& a, double s) {
+  Vec out(a);
+  for (double& v : out) v *= s;
+  return out;
+}
+
+bool ApproxEqual(const Vec& a, const Vec& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace geometry
+}  // namespace rrr

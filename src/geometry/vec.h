@@ -1,0 +1,40 @@
+#ifndef RRR_GEOMETRY_VEC_H_
+#define RRR_GEOMETRY_VEC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rrr {
+namespace geometry {
+
+/// Dense d-dimensional vector; doubles as a point and a weight vector.
+using Vec = std::vector<double>;
+
+/// Inner product; requires equal sizes.
+double Dot(const Vec& a, const Vec& b);
+
+/// Inner product against a raw row pointer of length `d`.
+double Dot(const Vec& a, const double* row, size_t d);
+
+/// Euclidean norm.
+double L2Norm(const Vec& a);
+
+/// Returns a / |a|_2; requires a nonzero vector.
+Vec Normalized(const Vec& a);
+
+/// Component-wise a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+/// Component-wise a - b.
+Vec Sub(const Vec& a, const Vec& b);
+
+/// s * a.
+Vec Scale(const Vec& a, double s);
+
+/// True iff |a_i - b_i| <= tol for all i (and sizes match).
+bool ApproxEqual(const Vec& a, const Vec& b, double tol = 1e-12);
+
+}  // namespace geometry
+}  // namespace rrr
+
+#endif  // RRR_GEOMETRY_VEC_H_

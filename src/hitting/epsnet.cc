@@ -1,0 +1,199 @@
+#include "hitting/epsnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "hitting/greedy.h"
+
+namespace rrr {
+namespace hitting {
+
+namespace {
+
+/// Drops elements whose removal keeps `chosen` a hitting set (reverse
+/// greedy). Keeps the output minimal-by-inclusion; the eps-net sampler can
+/// otherwise return nets far larger than needed on small universes.
+void PruneRedundant(const SetSystem& system, std::vector<int32_t>* chosen) {
+  // Membership count per chosen element is implicit: a set "pins" an
+  // element when it is the only chosen member of that set.
+  for (size_t i = chosen->size(); i-- > 0;) {
+    std::vector<int32_t> without;
+    without.reserve(chosen->size() - 1);
+    for (size_t j = 0; j < chosen->size(); ++j) {
+      if (j != i) without.push_back((*chosen)[j]);
+    }
+    if (system.IsHit(without)) *chosen = std::move(without);
+  }
+}
+
+/// Fenwick tree over element weights supporting O(log n) weighted draws.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(size_t n) : n_(n), tree_(n + 1, 0.0) {}
+
+  void Set(size_t i, double w) {
+    const double delta = w - Get(i);
+    Add(i, delta);
+  }
+
+  double Get(size_t i) const {
+    double sum = PrefixSum(i + 1) - PrefixSum(i);
+    return sum;
+  }
+
+  void Add(size_t i, double delta) {
+    for (size_t j = i + 1; j <= n_; j += j & (~j + 1)) tree_[j] += delta;
+  }
+
+  double Total() const { return PrefixSum(n_); }
+
+  /// Index with the smallest prefix sum exceeding `target` in [0, Total()).
+  size_t Draw(double target) const {
+    size_t pos = 0;
+    size_t mask = 1;
+    while ((mask << 1) <= n_) mask <<= 1;
+    double acc = 0.0;
+    for (; mask > 0; mask >>= 1) {
+      const size_t next = pos + mask;
+      if (next <= n_ && acc + tree_[next] <= target) {
+        pos = next;
+        acc += tree_[next];
+      }
+    }
+    return std::min(pos, n_ - 1);
+  }
+
+ private:
+  double PrefixSum(size_t count) const {
+    double s = 0.0;
+    for (size_t j = count; j > 0; j -= j & (~j + 1)) s += tree_[j];
+    return s;
+  }
+
+  size_t n_;
+  std::vector<double> tree_;
+};
+
+}  // namespace
+
+Result<std::vector<int32_t>> EpsNetHittingSet(const SetSystem& system,
+                                              const EpsNetOptions& options) {
+  if (system.sets.empty()) return std::vector<int32_t>{};
+  for (const auto& s : system.sets) {
+    if (s.empty()) return Status::InvalidArgument("empty set cannot be hit");
+  }
+  const std::vector<int32_t> universe = system.Universe();
+  const size_t nu = universe.size();
+  std::unordered_map<int32_t, size_t> pos;  // element id -> dense index
+  for (size_t i = 0; i < nu; ++i) pos[universe[i]] = i;
+
+  // Dense per-set member indices (deduped).
+  std::vector<std::vector<size_t>> sets_dense(system.sets.size());
+  for (size_t i = 0; i < system.sets.size(); ++i) {
+    std::unordered_set<int32_t> seen;
+    for (int32_t e : system.sets[i]) {
+      if (seen.insert(e).second) sets_dense[i].push_back(pos[e]);
+    }
+  }
+
+  Rng rng(options.seed);
+  const double delta = std::max(1, options.vc_dim);
+
+  for (size_t guess = 1;; guess *= 2) {
+    // Fresh unit weights per guess (standard restart).
+    WeightedSampler weights(nu);
+    for (size_t i = 0; i < nu; ++i) weights.Add(i, 1.0);
+    double max_weight = 1.0;
+
+    // eps = 1/(2c); eps-net size O((delta/eps) log (delta/eps)).
+    const double eps = 1.0 / (2.0 * static_cast<double>(guess));
+    const double ratio = delta / eps;
+    size_t net_size = static_cast<size_t>(
+        std::ceil(2.0 * ratio * std::log2(std::max(2.0, ratio))));
+    net_size = std::min(net_size, nu);
+
+    const size_t max_rounds =
+        options.rounds_per_guess_factor *
+            std::max<size_t>(1, guess *
+                static_cast<size_t>(std::ceil(std::log2(
+                    static_cast<double>(nu) / static_cast<double>(guess) +
+                    2.0)))) +
+        8;
+
+    for (size_t round = 0; round < max_rounds; ++round) {
+      // Draw the weighted net (without replacement via rejection on a set).
+      std::unordered_set<size_t> net;
+      const size_t target = std::min(net_size, nu);
+      size_t attempts = 0;
+      while (net.size() < target && attempts < 64 * target + 64) {
+        ++attempts;
+        const double total = weights.Total();
+        if (total <= 0.0) break;
+        net.insert(weights.Draw(rng.Uniform() * total));
+      }
+      std::vector<int32_t> candidate;
+      candidate.reserve(net.size());
+      for (size_t i : net) candidate.push_back(universe[i]);
+
+      // Identify missed sets.
+      std::vector<size_t> missed;
+      for (size_t si = 0; si < sets_dense.size(); ++si) {
+        bool hit = false;
+        for (size_t e : sets_dense[si]) {
+          if (net.count(e) != 0) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) missed.push_back(si);
+      }
+      if (missed.empty()) {
+        PruneRedundant(system, &candidate);
+        std::sort(candidate.begin(), candidate.end());
+        RRR_DCHECK(system.IsHit(candidate)) << "eps-net postcondition";
+        return candidate;
+      }
+
+      if (options.doubling == DoublingStrategy::kLightestMissed) {
+        size_t lightest = missed[0];
+        double lightest_w = std::numeric_limits<double>::infinity();
+        for (size_t si : missed) {
+          double w = 0.0;
+          for (size_t e : sets_dense[si]) w += weights.Get(e);
+          if (w < lightest_w) {
+            lightest_w = w;
+            lightest = si;
+          }
+        }
+        missed.assign(1, lightest);
+      }
+      for (size_t si : missed) {
+        for (size_t e : sets_dense[si]) {
+          const double w = weights.Get(e);
+          weights.Add(e, w);  // double
+          max_weight = std::max(max_weight, 2.0 * w);
+        }
+      }
+      // Renormalize before doubles overflow.
+      if (max_weight > 1e280) {
+        for (size_t i = 0; i < nu; ++i) {
+          weights.Set(i, weights.Get(i) * 1e-260);
+        }
+        max_weight *= 1e-260;
+      }
+    }
+    if (guess > nu) {
+      // Pathological sampling luck: fall back to the deterministic greedy so
+      // the caller still gets a verified hitting set.
+      return GreedyHittingSet(system);
+    }
+  }
+}
+
+}  // namespace hitting
+}  // namespace rrr

@@ -1,0 +1,49 @@
+#ifndef RRR_HITTING_EPSNET_H_
+#define RRR_HITTING_EPSNET_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "hitting/set_system.h"
+
+namespace rrr {
+namespace hitting {
+
+/// Which sets get their weights doubled when the sampled net misses them.
+enum class DoublingStrategy {
+  /// Double every missed set (the paper's Algorithm 3 pseudocode).
+  kAllMissed,
+  /// Double only the lightest missed set (classical Bronnimann-Goodrich).
+  kLightestMissed,
+};
+
+/// Tuning for EpsNetHittingSet.
+struct EpsNetOptions {
+  uint64_t seed = 7;
+  /// VC dimension of the range space; d (the attribute count) for k-sets
+  /// induced by half-spaces (Section 5.2).
+  int vc_dim = 3;
+  DoublingStrategy doubling = DoublingStrategy::kAllMissed;
+  /// Safety valve: abort a size guess after this many doubling rounds times
+  /// the guess; the guess is then doubled.
+  size_t rounds_per_guess_factor = 16;
+};
+
+/// \brief Bronnimann-Goodrich weight-doubling hitting set over a finite set
+/// system (the engine of MDRRR, Algorithm 3).
+///
+/// Guesses the optimal size c (doubling 1, 2, 4, ...); for each guess draws
+/// weighted eps-nets with eps = 1/(2c) and doubles the weights of missed
+/// sets until the net hits everything. The returned set is always verified
+/// to hit every input set, so callers get correctness independent of the
+/// sampling constants; the O(vc_dim * log(vc_dim * c)) size factor is the
+/// expected behaviour, not a hard promise.
+///
+/// Fails with InvalidArgument when a set is empty.
+Result<std::vector<int32_t>> EpsNetHittingSet(
+    const SetSystem& system, const EpsNetOptions& options = EpsNetOptions());
+
+}  // namespace hitting
+}  // namespace rrr
+
+#endif  // RRR_HITTING_EPSNET_H_

@@ -1,0 +1,149 @@
+#include "hitting/greedy.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace rrr {
+namespace hitting {
+
+Result<std::vector<int32_t>> GreedyHittingSet(const SetSystem& system) {
+  const size_t m = system.sets.size();
+  for (const auto& s : system.sets) {
+    if (s.empty()) {
+      return Status::InvalidArgument("empty set cannot be hit");
+    }
+  }
+  // element -> indices of sets containing it (deduped per set).
+  std::unordered_map<int32_t, std::vector<size_t>> element_sets;
+  for (size_t i = 0; i < m; ++i) {
+    std::unordered_set<int32_t> seen;
+    for (int32_t e : system.sets[i]) {
+      if (seen.insert(e).second) element_sets[e].push_back(i);
+    }
+  }
+  std::unordered_map<int32_t, size_t> gain;  // unhit sets containing e
+  for (const auto& [e, sets] : element_sets) gain[e] = sets.size();
+
+  std::vector<char> hit(m, 0);
+  size_t remaining = m;
+  std::vector<int32_t> chosen;
+  while (remaining > 0) {
+    int32_t best = 0;
+    size_t best_gain = 0;
+    for (const auto& [e, g] : gain) {
+      if (g > best_gain || (g == best_gain && g > 0 && e < best)) {
+        best = e;
+        best_gain = g;
+      }
+    }
+    RRR_CHECK(best_gain > 0) << "greedy stalled with unhit sets remaining";
+    chosen.push_back(best);
+    for (size_t si : element_sets[best]) {
+      if (hit[si]) continue;
+      hit[si] = 1;
+      --remaining;
+      // Newly hit: every member's gain drops by one.
+      std::unordered_set<int32_t> seen;
+      for (int32_t e : system.sets[si]) {
+        if (seen.insert(e).second) --gain[e];
+      }
+    }
+    gain.erase(best);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+namespace {
+
+/// Recursive branch-and-bound state for ExactHittingSet.
+class BnB {
+ public:
+  BnB(const SetSystem& system, size_t max_nodes)
+      : system_(system), max_nodes_(max_nodes) {}
+
+  Result<std::vector<int32_t>> Run() {
+    // Greedy gives the initial upper bound (and a feasibility check).
+    Result<std::vector<int32_t>> greedy = GreedyHittingSet(system_);
+    if (!greedy.ok()) return greedy.status();
+    best_ = std::move(greedy).value();
+    std::vector<int32_t> current;
+    std::vector<char> hit(system_.sets.size(), 0);
+    const Status st = Recurse(&current, &hit);
+    if (!st.ok()) return st;
+    std::sort(best_.begin(), best_.end());
+    return best_;
+  }
+
+ private:
+  Status Recurse(std::vector<int32_t>* current, std::vector<char>* hit) {
+    if (++nodes_ > max_nodes_) {
+      return Status::ResourceExhausted("exact hitting set node budget");
+    }
+    // Lower bound: greedily pack pairwise-disjoint unhit sets.
+    size_t packing = 0;
+    std::unordered_set<int32_t> used;
+    int64_t branch_set = -1;
+    size_t branch_size = SIZE_MAX;
+    for (size_t i = 0; i < system_.sets.size(); ++i) {
+      if ((*hit)[i]) continue;
+      if (branch_set < 0 || system_.sets[i].size() < branch_size) {
+        branch_set = static_cast<int64_t>(i);
+        branch_size = system_.sets[i].size();
+      }
+      bool disjoint = true;
+      for (int32_t e : system_.sets[i]) {
+        if (used.count(e) != 0) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (disjoint) {
+        ++packing;
+        for (int32_t e : system_.sets[i]) used.insert(e);
+      }
+    }
+    if (branch_set < 0) {  // all hit: candidate solution
+      if (current->size() < best_.size()) best_ = *current;
+      return Status::OK();
+    }
+    if (current->size() + packing >= best_.size()) return Status::OK();
+
+    // Branch on each element of the smallest unhit set.
+    for (int32_t e : system_.sets[static_cast<size_t>(branch_set)]) {
+      std::vector<size_t> newly_hit;
+      for (size_t i = 0; i < system_.sets.size(); ++i) {
+        if ((*hit)[i]) continue;
+        if (std::find(system_.sets[i].begin(), system_.sets[i].end(), e) !=
+            system_.sets[i].end()) {
+          (*hit)[i] = 1;
+          newly_hit.push_back(i);
+        }
+      }
+      current->push_back(e);
+      RRR_RETURN_IF_ERROR(Recurse(current, hit));
+      current->pop_back();
+      for (size_t i : newly_hit) (*hit)[i] = 0;
+    }
+    return Status::OK();
+  }
+
+  const SetSystem& system_;
+  size_t max_nodes_;
+  size_t nodes_ = 0;
+  std::vector<int32_t> best_;
+};
+
+}  // namespace
+
+Result<std::vector<int32_t>> ExactHittingSet(const SetSystem& system,
+                                             size_t max_nodes) {
+  if (system.sets.empty()) return std::vector<int32_t>{};
+  return BnB(system, max_nodes).Run();
+}
+
+}  // namespace hitting
+}  // namespace rrr

@@ -1,0 +1,29 @@
+#ifndef RRR_HITTING_GREEDY_H_
+#define RRR_HITTING_GREEDY_H_
+
+#include "common/result.h"
+#include "hitting/set_system.h"
+
+namespace rrr {
+namespace hitting {
+
+/// \brief Classic greedy hitting set: repeatedly choose the element that
+/// hits the most currently-unhit sets (ties to the smallest id).
+///
+/// ln(|sets|)+1 approximation of the optimal hitting set [Karp/Johnson].
+/// Fails with InvalidArgument when some set is empty.
+Result<std::vector<int32_t>> GreedyHittingSet(const SetSystem& system);
+
+/// \brief Exact minimum hitting set by branch and bound; exponential, meant
+/// as the ground-truth oracle in tests and for tiny instances.
+///
+/// Branches over the elements of a smallest unhit set; prunes with a
+/// disjoint-set packing lower bound. Fails with ResourceExhausted when
+/// `max_nodes` search nodes are exceeded.
+Result<std::vector<int32_t>> ExactHittingSet(const SetSystem& system,
+                                             size_t max_nodes = 1u << 20);
+
+}  // namespace hitting
+}  // namespace rrr
+
+#endif  // RRR_HITTING_GREEDY_H_

@@ -1,0 +1,138 @@
+#include "hitting/interval_cover.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rrr {
+namespace hitting {
+
+namespace {
+
+Result<std::vector<int32_t>> CoverBySweep(std::vector<Interval> intervals,
+                                          double lo, double hi, double tol) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              if (a.end != b.end) return a.end > b.end;
+              return a.id < b.id;
+            });
+  std::vector<int32_t> chosen;
+  double covered_to = lo;
+  size_t i = 0;
+  const size_t m = intervals.size();
+  while (covered_to < hi - tol) {
+    // Among intervals starting at or before the frontier, take the one
+    // reaching furthest right.
+    double best_end = -std::numeric_limits<double>::infinity();
+    int32_t best_id = -1;
+    while (i < m && intervals[i].begin <= covered_to + tol) {
+      if (intervals[i].end > best_end) {
+        best_end = intervals[i].end;
+        best_id = intervals[i].id;
+      }
+      ++i;
+    }
+    if (best_id < 0 || best_end <= covered_to + tol) {
+      return Status::FailedPrecondition(
+          StrFormat("intervals do not cover beyond %.17g", covered_to));
+    }
+    chosen.push_back(best_id);
+    covered_to = best_end;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+/// Length of intersection of [b, e] with the disjoint sorted uncovered
+/// segments in `gaps` (pairs).
+double OverlapLength(const std::vector<std::pair<double, double>>& gaps,
+                     double b, double e) {
+  double len = 0.0;
+  for (const auto& [gb, ge] : gaps) {
+    if (ge <= b) continue;
+    if (gb >= e) break;
+    len += std::min(e, ge) - std::max(b, gb);
+  }
+  return len;
+}
+
+/// Removes [b, e] from the disjoint sorted segments in `gaps`.
+void Subtract(std::vector<std::pair<double, double>>* gaps, double b,
+              double e) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(gaps->size() + 1);
+  for (const auto& [gb, ge] : *gaps) {
+    if (ge <= b || gb >= e) {
+      out.emplace_back(gb, ge);
+      continue;
+    }
+    if (gb < b) out.emplace_back(gb, b);
+    if (ge > e) out.emplace_back(e, ge);
+  }
+  *gaps = std::move(out);
+}
+
+Result<std::vector<int32_t>> CoverByMaxCoverage(
+    const std::vector<Interval>& intervals, double lo, double hi,
+    double tol) {
+  std::vector<std::pair<double, double>> gaps = {{lo, hi}};
+  std::vector<char> used(intervals.size(), 0);
+  std::vector<int32_t> chosen;
+  while (!gaps.empty()) {
+    // Drop slivers below tolerance (junction roundoff).
+    double total_gap = 0.0;
+    for (const auto& [gb, ge] : gaps) total_gap += ge - gb;
+    if (total_gap <= tol) break;
+
+    double best_cov = 0.0;
+    int64_t best = -1;
+    for (size_t t = 0; t < intervals.size(); ++t) {
+      if (used[t]) continue;
+      const double cov =
+          OverlapLength(gaps, intervals[t].begin, intervals[t].end);
+      if (cov > best_cov + tol ||
+          (cov > best_cov - tol && best >= 0 && cov > 0 &&
+           intervals[t].id < intervals[static_cast<size_t>(best)].id)) {
+        best_cov = cov;
+        best = static_cast<int64_t>(t);
+      }
+    }
+    if (best < 0 || best_cov <= tol) {
+      return Status::FailedPrecondition(
+          "intervals do not cover the line segment");
+    }
+    used[static_cast<size_t>(best)] = 1;
+    chosen.push_back(intervals[static_cast<size_t>(best)].id);
+    Subtract(&gaps, intervals[static_cast<size_t>(best)].begin,
+             intervals[static_cast<size_t>(best)].end);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace
+
+Result<std::vector<int32_t>> CoverLine(const std::vector<Interval>& intervals,
+                                       double lo, double hi,
+                                       CoverStrategy strategy, double tol) {
+  if (hi < lo) return Status::InvalidArgument("hi < lo");
+  if (hi == lo) {
+    // Point coverage: any interval containing lo.
+    for (const auto& iv : intervals) {
+      if (iv.begin <= lo + tol && iv.end >= lo - tol) {
+        return std::vector<int32_t>{iv.id};
+      }
+    }
+    return Status::FailedPrecondition("no interval contains the point");
+  }
+  if (strategy == CoverStrategy::kSweep) {
+    return CoverBySweep(intervals, lo, hi, tol);
+  }
+  return CoverByMaxCoverage(intervals, lo, hi, tol);
+}
+
+}  // namespace hitting
+}  // namespace rrr

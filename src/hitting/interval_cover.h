@@ -1,0 +1,43 @@
+#ifndef RRR_HITTING_INTERVAL_COVER_H_
+#define RRR_HITTING_INTERVAL_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rrr {
+namespace hitting {
+
+/// A closed interval [begin, end] tagged with the owning item id.
+struct Interval {
+  double begin = 0.0;
+  double end = 0.0;
+  int32_t id = 0;
+};
+
+/// Strategy for CoverLine.
+enum class CoverStrategy {
+  /// Classical left-to-right sweep: always extend furthest right. Provably
+  /// minimum number of intervals; default, and the strategy that realizes
+  /// Theorem 3's optimal-size guarantee for 2DRRR.
+  kSweep,
+  /// The paper's Algorithm 2 greedy: repeatedly pick the interval covering
+  /// the most currently-uncovered length. Matches the paper's pseudocode;
+  /// can exceed the optimum on adversarial families (see DESIGN.md).
+  kGreedyMaxCoverage,
+};
+
+/// \brief Covers the segment [lo, hi] with a subset of `intervals`,
+/// returning the chosen interval ids (sorted).
+///
+/// Fails with FailedPrecondition when the union of intervals does not cover
+/// [lo, hi] (up to `tol` slack at junctions).
+Result<std::vector<int32_t>> CoverLine(
+    const std::vector<Interval>& intervals, double lo, double hi,
+    CoverStrategy strategy = CoverStrategy::kSweep, double tol = 1e-12);
+
+}  // namespace hitting
+}  // namespace rrr
+
+#endif  // RRR_HITTING_INTERVAL_COVER_H_

@@ -1,0 +1,37 @@
+#include "hitting/set_system.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rrr {
+namespace hitting {
+
+std::vector<int32_t> SetSystem::Universe() const {
+  std::vector<int32_t> all;
+  for (const auto& s : sets) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+bool SetSystem::IsHit(const std::vector<int32_t>& chosen) const {
+  return FirstMissed(chosen) < 0;
+}
+
+int64_t SetSystem::FirstMissed(const std::vector<int32_t>& chosen) const {
+  std::unordered_set<int32_t> picked(chosen.begin(), chosen.end());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    bool hit = false;
+    for (int32_t e : sets[i]) {
+      if (picked.count(e) != 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace hitting
+}  // namespace rrr

@@ -1,0 +1,33 @@
+#ifndef RRR_HITTING_SET_SYSTEM_H_
+#define RRR_HITTING_SET_SYSTEM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rrr {
+namespace hitting {
+
+/// \brief A finite set system (range space): a collection of sets over an
+/// implicit universe of int32 element ids.
+///
+/// The MDRRR pipeline instantiates this with the collection of k-sets
+/// (Section 5.2's "mapping to geometric hitting set"). Sets need not be
+/// sorted; empty sets make any hitting-set query infeasible.
+struct SetSystem {
+  std::vector<std::vector<int32_t>> sets;
+
+  /// Sorted unique ids appearing in any set (the universe D of the paper's
+  /// mapping, D = union of the k-sets).
+  std::vector<int32_t> Universe() const;
+
+  /// True iff every set contains at least one chosen element.
+  bool IsHit(const std::vector<int32_t>& chosen) const;
+
+  /// Index of some set not hit by `chosen`, or -1 when all are hit.
+  int64_t FirstMissed(const std::vector<int32_t>& chosen) const;
+};
+
+}  // namespace hitting
+}  // namespace rrr
+
+#endif  // RRR_HITTING_SET_SYSTEM_H_

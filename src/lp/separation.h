@@ -1,0 +1,43 @@
+#ifndef RRR_LP_SEPARATION_H_
+#define RRR_LP_SEPARATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rrr {
+namespace lp {
+
+/// Outcome of a linear separation query (Equation 4 of the paper).
+struct SeparationResult {
+  /// True iff the `inside` points can be strictly separated from the rest by
+  /// a hyperplane with a non-negative normal so that every inside point
+  /// scores strictly higher.
+  bool separable = false;
+  /// Normal vector v (|v|_1 = 1) achieving the separation; empty when not
+  /// separable.
+  std::vector<double> weights;
+  /// Achieved margin: min over inside of v.t minus max over outside of v.t.
+  double margin = 0.0;
+};
+
+/// \brief Decides whether the point set indexed by `inside` is a valid k-set
+/// of the n x d row-major matrix `rows`.
+///
+/// Solves  max delta  s.t.  v.s - m >= delta  (s inside),
+///                          m - v.t >= delta  (t outside),
+///                          sum(v) = 1, v >= 0;
+/// the set is separable iff the optimum delta is positive. This is the LP of
+/// Equation 4 with the threshold point rho collapsed into the scalar m.
+///
+/// `tolerance` is the positivity threshold on delta (normalized data in
+/// [0, 1] keeps margins well above it for genuine k-sets).
+Result<SeparationResult> FindSeparatingWeights(
+    const double* rows, size_t n, size_t d,
+    const std::vector<int32_t>& inside, double tolerance = 1e-7);
+
+}  // namespace lp
+}  // namespace rrr
+
+#endif  // RRR_LP_SEPARATION_H_

@@ -1,0 +1,288 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rrr {
+namespace lp {
+
+namespace {
+
+/// Dense tableau simplex working state.
+///
+/// Layout: columns [0, n) are structural variables, [n, n+s) slacks/surplus,
+/// [n+s, total) artificials; one extra implicit column holds the RHS. Row i
+/// of `tab` is constraint i; `basis[i]` is the column basic in row i.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p, const SimplexOptions& opt)
+      : opt_(opt), m_(p.constraints.size()), n_(p.num_vars) {
+    // Count auxiliary columns. Rows are normalized to rhs >= 0 first, which
+    // flips the sense of negative-rhs rows.
+    size_t slacks = 0;
+    size_t artificials = 0;
+    senses_.reserve(m_);
+    for (const auto& c : p.constraints) {
+      Sense s = c.sense;
+      if (c.rhs < 0) s = (s == Sense::kLe) ? Sense::kGe
+                       : (s == Sense::kGe) ? Sense::kLe
+                                           : Sense::kEq;
+      senses_.push_back(s);
+      if (s == Sense::kLe) {
+        ++slacks;
+      } else if (s == Sense::kGe) {
+        ++slacks;  // surplus
+        ++artificials;
+      } else {
+        ++artificials;
+      }
+    }
+    num_slacks_ = slacks;
+    num_art_ = artificials;
+    cols_ = n_ + num_slacks_ + num_art_;
+    tab_.assign(m_, std::vector<double>(cols_ + 1, 0.0));
+    basis_.assign(m_, 0);
+
+    size_t slack_at = n_;
+    size_t art_at = n_ + num_slacks_;
+    for (size_t i = 0; i < m_; ++i) {
+      const Constraint& c = p.constraints[i];
+      const double sign = (c.rhs < 0) ? -1.0 : 1.0;
+      for (size_t j = 0; j < n_ && j < c.coeffs.size(); ++j) {
+        tab_[i][j] = sign * c.coeffs[j];
+      }
+      tab_[i][cols_] = sign * c.rhs;
+      switch (senses_[i]) {
+        case Sense::kLe:
+          tab_[i][slack_at] = 1.0;
+          basis_[i] = static_cast<int>(slack_at++);
+          break;
+        case Sense::kGe:
+          tab_[i][slack_at] = -1.0;
+          ++slack_at;
+          tab_[i][art_at] = 1.0;
+          basis_[i] = static_cast<int>(art_at++);
+          break;
+        case Sense::kEq:
+          tab_[i][art_at] = 1.0;
+          basis_[i] = static_cast<int>(art_at++);
+          break;
+      }
+    }
+  }
+
+  bool HasArtificials() const { return num_art_ > 0; }
+  bool IsArtificial(size_t col) const { return col >= n_ + num_slacks_; }
+
+  /// Runs one simplex phase on the reduced-cost row `z` (maximization).
+  /// `allow_cols` limits entering columns. Returns the phase status.
+  LpStatus Optimize(std::vector<double>* z, double* z_value, size_t max_col) {
+    for (size_t iter = 0; iter < opt_.max_iterations; ++iter) {
+      const bool bland = iter >= opt_.bland_threshold;
+      // Pricing: pick the entering column with the most positive reduced
+      // cost (Dantzig), or the first positive one (Bland).
+      size_t enter = max_col;
+      double best = opt_.tolerance;
+      for (size_t j = 0; j < max_col; ++j) {
+        if ((*z)[j] > best) {
+          enter = j;
+          if (bland) break;
+          best = (*z)[j];
+        }
+      }
+      if (enter == max_col) return LpStatus::kOptimal;
+
+      // Ratio test: tightest row with positive pivot element; ties go to the
+      // lowest basis index (lexicographic flavor, anti-cycling with Bland).
+      size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < m_; ++i) {
+        const double a = tab_[i][enter];
+        if (a > opt_.tolerance) {
+          const double ratio = tab_[i][cols_] / a;
+          if (ratio < best_ratio - opt_.tolerance ||
+              (ratio < best_ratio + opt_.tolerance && leave < m_ &&
+               basis_[i] < basis_[leave])) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == m_) return LpStatus::kUnbounded;
+
+      Pivot(leave, enter, z, z_value);
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  /// Builds phase-1 reduced costs: maximize -(sum of artificials).
+  void BuildPhase1Costs(std::vector<double>* z, double* z_value) const {
+    z->assign(cols_, 0.0);
+    *z_value = 0.0;
+    for (size_t j = n_ + num_slacks_; j < cols_; ++j) (*z)[j] = -1.0;
+    // Express in terms of the current basis (artificials are basic).
+    for (size_t i = 0; i < m_; ++i) {
+      const size_t b = static_cast<size_t>(basis_[i]);
+      if (IsArtificial(b)) {
+        // c_B = -1 for artificial rows: z_j = c_j - (-1)*row_j, and the
+        // starting objective value is -(sum of artificial values).
+        for (size_t j = 0; j < cols_; ++j) (*z)[j] += tab_[i][j];
+        *z_value -= tab_[i][cols_];
+      }
+    }
+    for (size_t i = 0; i < m_; ++i) (*z)[static_cast<size_t>(basis_[i])] = 0.0;
+  }
+
+  /// Builds phase-2 reduced costs for the caller objective `c`.
+  void BuildPhase2Costs(const std::vector<double>& c, std::vector<double>* z,
+                        double* z_value) const {
+    z->assign(cols_, 0.0);
+    for (size_t j = 0; j < n_ && j < c.size(); ++j) (*z)[j] = c[j];
+    *z_value = 0.0;
+    for (size_t i = 0; i < m_; ++i) {
+      const size_t b = static_cast<size_t>(basis_[i]);
+      const double cb = (b < n_ && b < c.size()) ? c[b] : 0.0;
+      if (cb != 0.0) {
+        for (size_t j = 0; j < cols_; ++j) (*z)[j] -= cb * tab_[i][j];
+        *z_value += cb * tab_[i][cols_];
+      }
+    }
+    for (size_t i = 0; i < m_; ++i) (*z)[static_cast<size_t>(basis_[i])] = 0.0;
+  }
+
+  /// Pivots artificial variables out of the basis after phase 1. Rows whose
+  /// only nonzero columns are artificial are redundant and are blanked.
+  void EvictArtificials() {
+    for (size_t i = 0; i < m_; ++i) {
+      const size_t b = static_cast<size_t>(basis_[i]);
+      if (!IsArtificial(b)) continue;
+      size_t enter = cols_;
+      for (size_t j = 0; j < n_ + num_slacks_; ++j) {
+        if (std::fabs(tab_[i][j]) > opt_.tolerance) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == cols_) {
+        // Redundant row: zero it so it can never constrain phase 2.
+        std::fill(tab_[i].begin(), tab_[i].end(), 0.0);
+        continue;
+      }
+      std::vector<double> dummy_z(cols_, 0.0);
+      double dummy_v = 0.0;
+      Pivot(i, enter, &dummy_z, &dummy_v);
+    }
+  }
+
+  /// Extracts structural variable values from the basis.
+  std::vector<double> ExtractX() const {
+    std::vector<double> x(n_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      const size_t b = static_cast<size_t>(basis_[i]);
+      if (b < n_) x[b] = tab_[i][cols_];
+    }
+    return x;
+  }
+
+  size_t structural_cols() const { return n_ + num_slacks_; }
+  size_t total_cols() const { return cols_; }
+
+ private:
+  void Pivot(size_t row, size_t col, std::vector<double>* z, double* z_value) {
+    const double p = tab_[row][col];
+    RRR_DCHECK(std::fabs(p) > 0.0) << "zero pivot";
+    const double inv = 1.0 / p;
+    for (size_t j = 0; j <= cols_; ++j) tab_[row][j] *= inv;
+    tab_[row][col] = 1.0;  // kill residual roundoff
+    for (size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double f = tab_[i][col];
+      if (f == 0.0) continue;
+      for (size_t j = 0; j <= cols_; ++j) tab_[i][j] -= f * tab_[row][j];
+      tab_[i][col] = 0.0;
+    }
+    const double zf = (*z)[col];
+    if (zf != 0.0) {
+      for (size_t j = 0; j < cols_; ++j) (*z)[j] -= zf * tab_[row][j];
+      *z_value += zf * tab_[row][cols_];
+      (*z)[col] = 0.0;
+    }
+    basis_[row] = static_cast<int>(col);
+  }
+
+  SimplexOptions opt_;
+  size_t m_;
+  size_t n_;
+  size_t num_slacks_ = 0;
+  size_t num_art_ = 0;
+  size_t cols_ = 0;
+  std::vector<Sense> senses_;
+  std::vector<std::vector<double>> tab_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+Result<LpSolution> Solve(const LpProblem& problem,
+                         const SimplexOptions& options) {
+  if (problem.objective.size() != problem.num_vars) {
+    return Status::InvalidArgument("objective size != num_vars");
+  }
+  for (const auto& c : problem.constraints) {
+    if (c.coeffs.size() != problem.num_vars) {
+      return Status::InvalidArgument("constraint width != num_vars");
+    }
+  }
+
+  LpSolution sol;
+  if (problem.constraints.empty()) {
+    // No constraints: optimum is 0 iff no positive objective coefficient.
+    for (double cj : problem.objective) {
+      if (cj > options.tolerance) {
+        sol.status = LpStatus::kUnbounded;
+        return sol;
+      }
+    }
+    sol.status = LpStatus::kOptimal;
+    sol.x.assign(problem.num_vars, 0.0);
+    sol.objective_value = 0.0;
+    return sol;
+  }
+
+  Tableau tab(problem, options);
+  std::vector<double> z;
+  double z_value = 0.0;
+
+  if (tab.HasArtificials()) {
+    tab.BuildPhase1Costs(&z, &z_value);
+    const LpStatus s1 = tab.Optimize(&z, &z_value, tab.total_cols());
+    if (s1 == LpStatus::kIterationLimit) {
+      sol.status = s1;
+      return sol;
+    }
+    // Phase-1 objective is -(sum of artificials); feasible iff it reached 0.
+    if (z_value < -options.tolerance * 100) {
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    tab.EvictArtificials();
+  }
+
+  tab.BuildPhase2Costs(problem.objective, &z, &z_value);
+  const LpStatus s2 = tab.Optimize(&z, &z_value, tab.structural_cols());
+  sol.status = s2;
+  if (s2 == LpStatus::kOptimal) {
+    sol.x = tab.ExtractX();
+    sol.objective_value = 0.0;
+    for (size_t j = 0; j < problem.num_vars; ++j) {
+      sol.objective_value += problem.objective[j] * sol.x[j];
+    }
+  }
+  return sol;
+}
+
+}  // namespace lp
+}  // namespace rrr

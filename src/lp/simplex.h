@@ -1,0 +1,75 @@
+#ifndef RRR_LP_SIMPLEX_H_
+#define RRR_LP_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rrr {
+namespace lp {
+
+/// Relational sense of a linear constraint row.
+enum class Sense { kLe, kGe, kEq };
+
+/// One linear constraint: coeffs . x  (sense)  rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+/// \brief A linear program in the form
+///   maximize  objective . x
+///   subject to constraints, x >= 0.
+///
+/// Free variables must be modeled by the caller as differences of two
+/// non-negative variables (the separation LP in separation.cc does this).
+struct LpProblem {
+  size_t num_vars = 0;
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+};
+
+/// Outcome class of a solve.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+/// Optimal basis information returned by Solve().
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective_value = 0.0;
+  std::vector<double> x;
+};
+
+/// Tuning knobs for the simplex solver.
+struct SimplexOptions {
+  /// Feasibility / pivot tolerance.
+  double tolerance = 1e-9;
+  /// Hard cap on pivots per phase; kIterationLimit is returned beyond it.
+  size_t max_iterations = 20000;
+  /// Number of Dantzig-rule pivots before switching to Bland's rule
+  /// (guards against cycling on degenerate problems).
+  size_t bland_threshold = 5000;
+};
+
+/// \brief Solves `problem` with a dense two-phase primal simplex.
+///
+/// Phase 1 minimizes the sum of artificial variables to find a basic
+/// feasible solution; phase 2 optimizes the caller's objective. Determinism:
+/// ties in pricing and ratio tests are broken by lowest column/row index, so
+/// repeated solves of the same problem return bit-identical answers.
+///
+/// Returns an error Status only for malformed input (dimension mismatches);
+/// infeasible/unbounded are reported through LpSolution::status.
+Result<LpSolution> Solve(const LpProblem& problem,
+                         const SimplexOptions& options = SimplexOptions());
+
+}  // namespace lp
+}  // namespace rrr
+
+#endif  // RRR_LP_SIMPLEX_H_

@@ -1,0 +1,49 @@
+#include "topk/rank.h"
+
+#include "common/logging.h"
+
+namespace rrr {
+namespace topk {
+
+int64_t RankOf(const data::Dataset& dataset, const LinearFunction& f,
+               int32_t item) {
+  const size_t n = dataset.size();
+  RRR_CHECK(item >= 0 && static_cast<size_t>(item) < n)
+      << "RankOf: item out of range";
+  const double s = f.Score(dataset.row(static_cast<size_t>(item)));
+  int64_t rank = 1;
+  for (size_t j = 0; j < n; ++j) {
+    const int32_t jj = static_cast<int32_t>(j);
+    if (jj == item) continue;
+    if (Outranks(f.Score(dataset.row(j)), jj, s, item)) ++rank;
+  }
+  return rank;
+}
+
+int64_t MinRankOfSubset(const data::Dataset& dataset, const LinearFunction& f,
+                        const std::vector<int32_t>& subset) {
+  RRR_CHECK(!subset.empty()) << "MinRankOfSubset: empty subset";
+  // Best member under the tie-broken order.
+  int32_t best = subset[0];
+  double best_score = f.Score(dataset, static_cast<size_t>(best));
+  for (size_t i = 1; i < subset.size(); ++i) {
+    const int32_t t = subset[i];
+    const double s = f.Score(dataset, static_cast<size_t>(t));
+    if (Outranks(s, t, best_score, best)) {
+      best = t;
+      best_score = s;
+    }
+  }
+  // Count tuples outranking the best member.
+  int64_t rank = 1;
+  const size_t n = dataset.size();
+  for (size_t j = 0; j < n; ++j) {
+    const int32_t jj = static_cast<int32_t>(j);
+    if (jj == best) continue;
+    if (Outranks(f.Score(dataset.row(j)), jj, best_score, best)) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace topk
+}  // namespace rrr

@@ -1,0 +1,26 @@
+#ifndef RRR_TOPK_RANK_H_
+#define RRR_TOPK_RANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "topk/scoring.h"
+
+namespace rrr {
+namespace topk {
+
+/// \brief Rank (1-based, 1 = best) of tuple `item` under `f`; the paper's
+/// nabla_f(t). O(n).
+int64_t RankOf(const data::Dataset& dataset, const LinearFunction& f,
+               int32_t item);
+
+/// \brief Minimum rank over `subset` under `f`; the paper's RR_f(X)
+/// (Definition 1). Requires a non-empty subset. O(n + |subset|).
+int64_t MinRankOfSubset(const data::Dataset& dataset, const LinearFunction& f,
+                        const std::vector<int32_t>& subset);
+
+}  // namespace topk
+}  // namespace rrr
+
+#endif  // RRR_TOPK_RANK_H_

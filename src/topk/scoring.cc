@@ -1,0 +1,41 @@
+#include "topk/scoring.h"
+
+#include "common/logging.h"
+#include "geometry/angles.h"
+
+namespace rrr {
+namespace topk {
+
+LinearFunction::LinearFunction(geometry::Vec weights)
+    : weights_(std::move(weights)) {
+  RRR_CHECK(!weights_.empty()) << "LinearFunction: empty weights";
+  double sum = 0.0;
+  for (double w : weights_) {
+    RRR_CHECK(w >= 0.0) << "LinearFunction: negative weight " << w;
+    sum += w;
+  }
+  RRR_CHECK(sum > 0.0) << "LinearFunction: all-zero weights";
+}
+
+LinearFunction LinearFunction::FromAngles(const geometry::Vec& angles) {
+  return LinearFunction(geometry::AnglesToWeights(angles));
+}
+
+double LinearFunction::Score(const double* row) const {
+  double s = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) s += weights_[i] * row[i];
+  return s;
+}
+
+double LinearFunction::Score(const data::Dataset& dataset, size_t i) const {
+  RRR_DCHECK(dataset.dims() == dims()) << "Score: dimension mismatch";
+  return Score(dataset.row(i));
+}
+
+bool Outranks(double score_a, int32_t a, double score_b, int32_t b) {
+  if (score_a != score_b) return score_a > score_b;
+  return a < b;
+}
+
+}  // namespace topk
+}  // namespace rrr

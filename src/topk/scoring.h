@@ -1,0 +1,47 @@
+#ifndef RRR_TOPK_SCORING_H_
+#define RRR_TOPK_SCORING_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "geometry/vec.h"
+
+namespace rrr {
+namespace topk {
+
+/// \brief A linear ranking function f(t) = sum_i w_i * t[i] with
+/// non-negative weights (Equation 1 of the paper).
+class LinearFunction {
+ public:
+  /// Takes ownership of the weight vector; weights must be non-negative and
+  /// not all zero (checked).
+  explicit LinearFunction(geometry::Vec weights);
+
+  /// Function from d-1 sweep angles (geometry::AnglesToWeights).
+  static LinearFunction FromAngles(const geometry::Vec& angles);
+
+  /// Score of a raw row of `dims()` values.
+  double Score(const double* row) const;
+
+  /// Score of row i of `dataset` (dimensions must match).
+  double Score(const data::Dataset& dataset, size_t i) const;
+
+  size_t dims() const { return weights_.size(); }
+  const geometry::Vec& weights() const { return weights_; }
+
+ private:
+  geometry::Vec weights_;
+};
+
+/// \brief Deterministic total order on tuples under a function: higher score
+/// first; exact score ties broken by lower tuple id (the paper's "arbitrary
+/// tie-breaker" made concrete so every component agrees on it).
+///
+/// Returns true when item `a` outranks item `b`.
+bool Outranks(double score_a, int32_t a, double score_b, int32_t b);
+
+}  // namespace topk
+}  // namespace rrr
+
+#endif  // RRR_TOPK_SCORING_H_

@@ -1,0 +1,109 @@
+#include "topk/threshold_algorithm.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace rrr {
+namespace topk {
+
+ThresholdAlgorithmIndex::ThresholdAlgorithmIndex(const data::Dataset& dataset)
+    : dataset_(dataset) {
+  const size_t n = dataset.size();
+  const size_t d = dataset.dims();
+  columns_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    auto& col = columns_[j];
+    col.resize(n);
+    std::iota(col.begin(), col.end(), 0);
+    std::sort(col.begin(), col.end(), [&](int32_t a, int32_t b) {
+      const double va = dataset.at(static_cast<size_t>(a), j);
+      const double vb = dataset.at(static_cast<size_t>(b), j);
+      if (va != vb) return va > vb;
+      return a < b;
+    });
+  }
+}
+
+std::vector<int32_t> ThresholdAlgorithmIndex::TopK(const LinearFunction& f,
+                                                   size_t k) const {
+  const size_t n = dataset_.size();
+  const size_t d = dataset_.dims();
+  RRR_CHECK(f.dims() == d) << "TA: function dimensionality mismatch";
+  k = std::min(k, n);
+  if (k == 0) {
+    last_scan_depth_ = 0;
+    return {};
+  }
+
+  // Candidate heap keeps the best k seen so far; worst on top.
+  struct Entry {
+    double score;
+    int32_t id;
+  };
+  auto worse = [](const Entry& a, const Entry& b) {
+    // True when a is better than b: min-heap on "goodness" keeps the
+    // weakest of the current top-k at the top.
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> best(worse);
+  std::unordered_set<int32_t> seen;
+  seen.reserve(4 * k);
+
+  size_t depth = 0;
+  for (; depth < n; ++depth) {
+    // One round of sorted access: position `depth` of every list.
+    double threshold = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const int32_t id = columns_[j][depth];
+      threshold +=
+          f.weights()[j] * dataset_.at(static_cast<size_t>(id), j);
+      if (seen.insert(id).second) {
+        const double score = f.Score(dataset_.row(static_cast<size_t>(id)));
+        if (best.size() < k) {
+          best.push(Entry{score, id});
+        } else if (Outranks(score, id, best.top().score, best.top().id)) {
+          best.pop();
+          best.push(Entry{score, id});
+        }
+      }
+    }
+    // TA stopping rule: the k-th best already matches or beats every
+    // unseen tuple's score ceiling. Ties are resolved conservatively (keep
+    // scanning) because an unseen tuple with score == threshold could still
+    // win the id tie-break only if its id is smaller — one extra round
+    // settles it, so strict inequality is enough for exactness here: any
+    // unseen tuple scores <= threshold, and an unseen tuple can only
+    // displace the current k-th if its score is strictly greater OR equal
+    // with smaller id; the equal-score case is covered once both of its
+    // sorted positions pass `depth`, which the continued scan guarantees.
+    if (best.size() == k && best.top().score > threshold) break;
+    if (best.size() == k && best.top().score == threshold) {
+      // Equal-score frontier: continue until the frontier strictly drops
+      // (rare; exact-duplicate bands).
+      continue;
+    }
+  }
+  last_scan_depth_ = std::min(depth + 1, n) * d;
+
+  std::vector<int32_t> out(best.size());
+  for (size_t i = out.size(); i-- > 0;) {
+    out[i] = best.top().id;
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<int32_t> ThresholdAlgorithmIndex::TopKSet(const LinearFunction& f,
+                                                      size_t k) const {
+  std::vector<int32_t> ids = TopK(f, k);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace topk
+}  // namespace rrr

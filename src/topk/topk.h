@@ -1,0 +1,28 @@
+#ifndef RRR_TOPK_TOPK_H_
+#define RRR_TOPK_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "topk/scoring.h"
+
+namespace rrr {
+namespace topk {
+
+/// \brief Ids of the top-k tuples of `dataset` under `f`, best first.
+///
+/// k is clamped to the dataset size. O(n + k log k) via selection;
+/// deterministic under the library-wide tie order (score desc, id asc).
+std::vector<int32_t> TopK(const data::Dataset& dataset,
+                          const LinearFunction& f, size_t k);
+
+/// Same ids as TopK but sorted ascending (set semantics) — the natural k-set
+/// representation used by the enumeration algorithms.
+std::vector<int32_t> TopKSet(const data::Dataset& dataset,
+                             const LinearFunction& f, size_t k);
+
+}  // namespace topk
+}  // namespace rrr
+
+#endif  // RRR_TOPK_TOPK_H_

@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace rrr {
+namespace {
+
+TEST(LoggingTest, ThresholdCanBeOverridden) {
+  const LogLevel original = internal::GetLogThreshold();
+  internal::SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(internal::GetLogThreshold(), LogLevel::kError);
+  internal::SetLogThreshold(original);
+}
+
+TEST(LoggingTest, NonFatalLogDoesNotAbort) {
+  RRR_LOG(INFO) << "informational " << 42;
+  RRR_LOG(WARNING) << "warning";
+  RRR_LOG(ERROR) << "error but not fatal";
+  SUCCEED();
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  RRR_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseWithMessage) {
+  EXPECT_DEATH({ RRR_CHECK(false) << "ctx " << 7; }, "Check failed.*ctx 7");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ RRR_LOG(FATAL) << "fatal msg"; }, "fatal msg");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnErrorStatus) {
+  EXPECT_DEATH({ RRR_CHECK_OK(Status::Internal("bad state")); },
+               "bad state");
+}
+
+TEST(LoggingTest, CheckOkPassesOnOk) {
+  RRR_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(LoggingTest, DcheckCompilesInBothModes) {
+  RRR_DCHECK(true) << "unused";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rrr

@@ -1,0 +1,151 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace rrr {
+namespace {
+
+TEST(RngTest, DeterministicUnderSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(6);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialIsPositiveWithRightMean) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(0.5);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);  // mean = 1/rate
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, UnitWeightVectorIsUnitAndNonNegative) {
+  Rng rng(9);
+  for (int dims = 1; dims <= 8; ++dims) {
+    for (int rep = 0; rep < 50; ++rep) {
+      const std::vector<double> w = rng.UnitWeightVector(dims);
+      ASSERT_EQ(w.size(), static_cast<size_t>(dims));
+      double norm2 = 0.0;
+      for (double wi : w) {
+        EXPECT_GE(wi, 0.0);
+        norm2 += wi * wi;
+      }
+      EXPECT_NEAR(norm2, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(RngTest, UnitWeightVectorCoversOrthantUniformly) {
+  // Marsaglia sampling: by symmetry each coordinate should exceed the others
+  // about equally often.
+  Rng rng(10);
+  const int dims = 3;
+  std::vector<int> argmax_counts(dims, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double> w = rng.UnitWeightVector(dims);
+    argmax_counts[static_cast<size_t>(
+        std::max_element(w.begin(), w.end()) - w.begin())]++;
+  }
+  for (int c : argmax_counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / dims, 0.02);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngDeathTest, UniformIntRejectsInvertedBounds) {
+  Rng rng(13);
+  EXPECT_DEATH({ (void)rng.UniformInt(3, 2); }, "lo=3 > hi=2");
+}
+
+TEST(RngDeathTest, ExponentialRejectsNonPositiveRate) {
+  Rng rng(14);
+  EXPECT_DEATH({ (void)rng.Exponential(0.0); }, "non-positive rate");
+}
+
+}  // namespace
+}  // namespace rrr

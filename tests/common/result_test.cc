@@ -1,0 +1,85 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rrr {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "gone");
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> good = 7;
+  Result<int> bad = Status::Internal("x");
+  EXPECT_EQ(good.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r = std::vector<int>{1};
+  r->push_back(2);
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(ResultTest, AssignOrReturnMacroExtractsValue) {
+  auto inner = []() -> Result<int> { return 10; };
+  auto outer = [&]() -> Result<int> {
+    int v = 0;
+    RRR_ASSIGN_OR_RETURN(v, inner());
+    return v + 1;
+  };
+  Result<int> r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 11);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("oops"); };
+  auto outer = [&]() -> Result<int> {
+    int v = 0;
+    RRR_ASSIGN_OR_RETURN(v, inner());
+    return v;
+  };
+  Result<int> r = outer();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "boom");
+}
+
+TEST(ResultDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH({ Result<int> r{Status::OK()}; (void)r; }, "Check failed");
+}
+
+}  // namespace
+}  // namespace rrr

@@ -1,0 +1,42 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace rrr {
+namespace {
+
+/// Burns deterministic CPU work the optimizer cannot elide.
+double BurnCpu() {
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  return sink;
+}
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch sw;
+  const double a = sw.ElapsedSeconds();
+  const double b = sw.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, MillisMatchesSeconds) {
+  Stopwatch sw;
+  EXPECT_GT(BurnCpu(), 0.0);
+  const double ms = sw.ElapsedMillis();
+  const double s = sw.ElapsedSeconds();
+  EXPECT_GE(ms, 0.0);
+  EXPECT_NEAR(ms, s * 1e3, s * 1e3 * 0.5 + 1.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch sw;
+  EXPECT_GT(BurnCpu(), 0.0);
+  const double before = sw.ElapsedSeconds();
+  sw.Restart();
+  const double after = sw.ElapsedSeconds();
+  EXPECT_LE(after, before + 1e-3);
+}
+
+}  // namespace
+}  // namespace rrr

@@ -1,0 +1,100 @@
+#include "core/kset.h"
+
+#include <gtest/gtest.h>
+
+namespace rrr {
+namespace core {
+namespace {
+
+TEST(KSetTest, NormalizeSorts) {
+  KSet s{{5, 1, 3}};
+  s.Normalize();
+  EXPECT_EQ(s.ids, (std::vector<int32_t>{1, 3, 5}));
+}
+
+TEST(KSetTest, EqualityIsOrderSensitiveUntilNormalized) {
+  KSet a{{1, 2}};
+  KSet b{{2, 1}};
+  EXPECT_FALSE(a == b);
+  b.Normalize();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(KSetTest, IntersectionSize) {
+  KSet a{{1, 3, 5, 7}};
+  KSet b{{3, 4, 5, 9}};
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(b.IntersectionSize(a), 2u);
+  EXPECT_EQ(a.IntersectionSize(a), 4u);
+  EXPECT_EQ(a.IntersectionSize(KSet{{}}), 0u);
+}
+
+TEST(KSetHashTest, EqualSetsHashEqual) {
+  KSetHash h;
+  EXPECT_EQ(h(KSet{{1, 2, 3}}), h(KSet{{1, 2, 3}}));
+  EXPECT_NE(h(KSet{{1, 2, 3}}), h(KSet{{1, 2, 4}}));
+  EXPECT_NE(h(KSet{{1, 2}}), h(KSet{{2, 1}}));  // unnormalized differ
+}
+
+TEST(KSetCollectionTest, InsertDeduplicates) {
+  KSetCollection c;
+  EXPECT_TRUE(c.Insert(KSet{{3, 1}}));
+  EXPECT_FALSE(c.Insert(KSet{{1, 3}}));  // same set, different order
+  EXPECT_TRUE(c.Insert(KSet{{1, 2}}));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(KSetCollectionTest, PreservesInsertionOrder) {
+  KSetCollection c;
+  c.Insert(KSet{{9}});
+  c.Insert(KSet{{1}});
+  c.Insert(KSet{{5}});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.sets()[0].ids, (std::vector<int32_t>{9}));
+  EXPECT_EQ(c.sets()[1].ids, (std::vector<int32_t>{1}));
+  EXPECT_EQ(c.sets()[2].ids, (std::vector<int32_t>{5}));
+}
+
+TEST(KSetCollectionTest, ContainsNormalizesQuery) {
+  KSetCollection c;
+  c.Insert(KSet{{4, 2}});
+  EXPECT_TRUE(c.Contains(KSet{{2, 4}}));
+  EXPECT_TRUE(c.Contains(KSet{{4, 2}}));
+  EXPECT_FALSE(c.Contains(KSet{{2, 5}}));
+}
+
+TEST(KSetCollectionTest, ToSetSystemMirrorsSets) {
+  KSetCollection c;
+  c.Insert(KSet{{2, 1}});
+  c.Insert(KSet{{3}});
+  const hitting::SetSystem sys = c.ToSetSystem();
+  ASSERT_EQ(sys.sets.size(), 2u);
+  EXPECT_EQ(sys.sets[0], (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(sys.sets[1], (std::vector<int32_t>{3}));
+}
+
+TEST(KSetGraphUtilTest, EdgesRequireSharedKMinusOne) {
+  const std::vector<KSet> sets = {
+      KSet{{1, 2}}, KSet{{2, 3}}, KSet{{4, 5}}, KSet{{1, 3}}};
+  const auto edges = KSetGraphEdges(sets);
+  // {1,2}-{2,3}, {1,2}-{1,3}, {2,3}-{1,3}; {4,5} is isolated.
+  EXPECT_EQ(edges.size(), 3u);
+  EXPECT_EQ(KSetGraphComponents(sets), 2u);
+}
+
+TEST(KSetGraphUtilTest, EmptyAndSingleton) {
+  EXPECT_EQ(KSetGraphComponents({}), 0u);
+  EXPECT_EQ(KSetGraphComponents({KSet{{1, 2}}}), 1u);
+  EXPECT_TRUE(KSetGraphEdges({KSet{{1, 2}}}).empty());
+}
+
+TEST(KSetCollectionTest, EmptyCollection) {
+  KSetCollection c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_TRUE(c.ToSetSystem().sets.empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rrr

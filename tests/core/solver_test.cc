@@ -1,0 +1,188 @@
+#include "core/solver.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "eval/rank_regret.h"
+#include "geometry/convex_hull.h"
+#include "test_util.h"
+
+namespace rrr {
+namespace core {
+namespace {
+
+TEST(SolverTest, AlgorithmNames) {
+  EXPECT_EQ(AlgorithmName(Algorithm::k2dRrr), "2DRRR");
+  EXPECT_EQ(AlgorithmName(Algorithm::kMdRrr), "MDRRR");
+  EXPECT_EQ(AlgorithmName(Algorithm::kMdRc), "MDRC");
+  EXPECT_EQ(AlgorithmName(Algorithm::kAuto), "AUTO");
+}
+
+TEST(SolverTest, AutoPicks2DrrrForTwoDims) {
+  const data::Dataset ds = data::GenerateUniform(50, 2, 1);
+  RrrOptions opts;
+  opts.k = 3;
+  Result<RrrResult> res = FindRankRegretRepresentative(ds, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->algorithm_used, Algorithm::k2dRrr);
+  EXPECT_FALSE(res->representative.empty());
+  EXPECT_GE(res->seconds, 0.0);
+}
+
+TEST(SolverTest, AutoPicksMdrcForHigherDims) {
+  const data::Dataset ds = data::GenerateUniform(50, 4, 2);
+  RrrOptions opts;
+  opts.k = 3;
+  Result<RrrResult> res = FindRankRegretRepresentative(ds, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->algorithm_used, Algorithm::kMdRc);
+}
+
+TEST(SolverTest, AutoPicksExactMaximaForKOneInHighDims) {
+  // k = 1 in d >= 3 cannot terminate under MDRC's partition (disjoint
+  // 1-sets); kAuto must route to the exact maxima solve instead.
+  const data::Dataset ds = data::GenerateUniform(60, 3, 21);
+  RrrOptions opts;
+  opts.k = 1;
+  Result<RrrResult> res = FindRankRegretRepresentative(ds, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->algorithm_used, Algorithm::kConvexMaxima);
+  // The result is exactly the convex maxima.
+  Result<std::vector<int32_t>> direct =
+      geometry::ConvexMaxima(ds.flat(), ds.size(), ds.dims());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(res->representative, *direct);
+  // And it is a true order-1 representative on sampled functions.
+  eval::SampledRankRegretOptions eval_opts;
+  eval_opts.num_functions = 2000;
+  Result<int64_t> regret =
+      eval::SampledRankRegret(ds, res->representative, eval_opts);
+  ASSERT_TRUE(regret.ok());
+  EXPECT_EQ(*regret, 1);
+}
+
+TEST(SolverTest, ConvexMaximaRejectsKGreaterThanOne) {
+  const data::Dataset ds = data::GenerateUniform(20, 3, 22);
+  RrrOptions opts;
+  opts.k = 2;
+  opts.algorithm = Algorithm::kConvexMaxima;
+  EXPECT_FALSE(FindRankRegretRepresentative(ds, opts).ok());
+}
+
+TEST(SolverTest, ExplicitAlgorithmIsRespected) {
+  const data::Dataset ds = data::GenerateUniform(80, 3, 3);
+  RrrOptions opts;
+  opts.k = 5;
+  opts.algorithm = Algorithm::kMdRrr;
+  Result<RrrResult> res = FindRankRegretRepresentative(ds, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->algorithm_used, Algorithm::kMdRrr);
+}
+
+TEST(SolverTest, TwoDrrrOnHighDimsIsRejected) {
+  const data::Dataset ds = data::GenerateUniform(20, 3, 4);
+  RrrOptions opts;
+  opts.k = 2;
+  opts.algorithm = Algorithm::k2dRrr;
+  EXPECT_FALSE(FindRankRegretRepresentative(ds, opts).ok());
+}
+
+TEST(SolverTest, RejectsBadArguments) {
+  data::Dataset empty;
+  RrrOptions opts;
+  EXPECT_FALSE(FindRankRegretRepresentative(empty, opts).ok());
+  const data::Dataset ds = data::GenerateUniform(10, 2, 5);
+  opts.k = 0;
+  EXPECT_FALSE(FindRankRegretRepresentative(ds, opts).ok());
+}
+
+TEST(SolverTest, RejectsNonFiniteData) {
+  Result<data::Dataset> ds = data::Dataset::FromRows(
+      {{0.5, 0.5}, {std::nan(""), 0.2}});
+  ASSERT_TRUE(ds.ok());
+  RrrOptions opts;
+  opts.k = 1;
+  Result<RrrResult> res = FindRankRegretRepresentative(*ds, opts);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverTest, ReportsElapsedTime) {
+  const data::Dataset ds = data::GenerateUniform(500, 3, 23);
+  RrrOptions opts;
+  opts.k = 10;
+  Result<RrrResult> res = FindRankRegretRepresentative(ds, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GE(res->seconds, 0.0);
+  EXPECT_LT(res->seconds, 60.0);
+}
+
+TEST(SolverTest, AllAlgorithmsMeetTheirBoundsOnOneDataset) {
+  const data::Dataset ds = data::GenerateUniform(80, 2, 6);
+  const size_t k = 4;
+  for (Algorithm algorithm :
+       {Algorithm::k2dRrr, Algorithm::kMdRrr, Algorithm::kMdRc}) {
+    RrrOptions opts;
+    opts.k = k;
+    opts.algorithm = algorithm;
+    Result<RrrResult> res = FindRankRegretRepresentative(ds, opts);
+    ASSERT_TRUE(res.ok()) << AlgorithmName(algorithm);
+    Result<int64_t> regret =
+        eval::ExactRankRegret2D(ds, res->representative);
+    ASSERT_TRUE(regret.ok());
+    // Weakest common guarantee: d*k = 2k (2DRRR promises 2k, MDRC d*k;
+    // MDRRR can exceed k only on k-sets its sample missed).
+    EXPECT_LE(*regret, static_cast<int64_t>(2 * k))
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST(DualProblemTest, FindsSmallKForGenerousBudget) {
+  const data::Dataset ds = data::GenerateUniform(200, 2, 7);
+  RrrOptions base;
+  Result<DualResult> dual = SolveDualProblem(ds, 8, base);
+  ASSERT_TRUE(dual.ok());
+  EXPECT_GE(dual->k, 1u);
+  EXPECT_LE(dual->representative.size(), 8u);
+  // Feasibility: re-solving at the returned k meets the budget.
+  RrrOptions check = base;
+  check.k = dual->k;
+  Result<RrrResult> res = FindRankRegretRepresentative(ds, check);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res->representative.size(), 8u);
+}
+
+TEST(DualProblemTest, TightBudgetNeedsLargerK) {
+  const data::Dataset ds = data::GenerateAnticorrelated(300, 2, 8);
+  RrrOptions base;
+  Result<DualResult> tight = SolveDualProblem(ds, 2, base);
+  Result<DualResult> loose = SolveDualProblem(ds, 12, base);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GE(tight->k, loose->k);
+  EXPECT_LE(tight->representative.size(), 2u);
+}
+
+TEST(DualProblemTest, BudgetOfOneIsAlwaysFeasibleAtKEqualN) {
+  // k = n makes any single item a representative, so max_size = 1 always
+  // has a solution.
+  const data::Dataset ds = data::GenerateUniform(60, 3, 9);
+  RrrOptions base;
+  Result<DualResult> dual = SolveDualProblem(ds, 1, base);
+  ASSERT_TRUE(dual.ok());
+  EXPECT_EQ(dual->representative.size(), 1u);
+}
+
+TEST(DualProblemTest, RejectsBadArguments) {
+  const data::Dataset ds = data::GenerateUniform(10, 2, 10);
+  RrrOptions base;
+  EXPECT_FALSE(SolveDualProblem(ds, 0, base).ok());
+  data::Dataset empty;
+  EXPECT_FALSE(SolveDualProblem(empty, 3, base).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,143 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace rrr {
+namespace data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "rrr_csv_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, ReadsHeaderAndRows) {
+  const std::string path = TempPath("basic.csv");
+  WriteFile(path, "x,y\n1.5,2.5\n3.0,4.0\n");
+  Result<Dataset> ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_EQ(ds->dims(), 2u);
+  EXPECT_EQ(ds->column_names(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_DOUBLE_EQ(ds->at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(ds->at(1, 1), 4.0);
+}
+
+TEST_F(CsvTest, ReadsHeaderless) {
+  const std::string path = TempPath("noheader.csv");
+  WriteFile(path, "1,2\n3,4\n");
+  CsvOptions opts;
+  opts.has_header = false;
+  Result<Dataset> ds = ReadCsv(path, opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_DOUBLE_EQ(ds->at(0, 0), 1.0);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blanks.csv");
+  WriteFile(path, "x\n1\n\n2\n\n");
+  Result<Dataset> ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+}
+
+TEST_F(CsvTest, RejectsBadFieldByDefault) {
+  const std::string path = TempPath("bad.csv");
+  WriteFile(path, "x,y\n1,notanumber\n");
+  Result<Dataset> ds = ReadCsv(path);
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, SkipBadRowsDropsThem) {
+  const std::string path = TempPath("skip.csv");
+  WriteFile(path, "x,y\n1,2\n1,oops\n3,4\n5\n6,7\n");
+  CsvOptions opts;
+  opts.skip_bad_rows = true;
+  Result<Dataset> ds = ReadCsv(path, opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 3u);  // the malformed and short rows are dropped
+}
+
+TEST_F(CsvTest, RejectsWidthMismatch) {
+  const std::string path = TempPath("width.csv");
+  WriteFile(path, "x,y\n1,2\n3\n");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  Result<Dataset> ds = ReadCsv(TempPath("does_not_exist.csv"));
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, HandlesCrlfLineEndings) {
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "x,y\r\n1,2\r\n3,4\r\n");
+  Result<Dataset> ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_EQ(ds->column_names()[1], "y");
+  EXPECT_DOUBLE_EQ(ds->at(1, 1), 4.0);
+}
+
+TEST_F(CsvTest, NanAndInfParseButSolverRejectsThem) {
+  // ParseDouble accepts "nan"/"inf" (strtod semantics); AllFinite is the
+  // guard that keeps them out of the solvers.
+  const std::string path = TempPath("nonfinite.csv");
+  WriteFile(path, "x,y\n1,nan\n2,inf\n3,4\n");
+  Result<Dataset> ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 3u);
+  EXPECT_FALSE(ds->AllFinite());
+}
+
+TEST_F(CsvTest, CustomSeparator) {
+  const std::string path = TempPath("semi.csv");
+  WriteFile(path, "a;b\n1;2\n");
+  CsvOptions opts;
+  opts.separator = ';';
+  Result<Dataset> ds = ReadCsv(path, opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->dims(), 2u);
+}
+
+TEST_F(CsvTest, WriteReadRoundTrip) {
+  const Dataset original = GenerateUniform(50, 4, 123);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(path, original).ok());
+  Result<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  ASSERT_EQ(loaded->dims(), original.dims());
+  EXPECT_EQ(loaded->column_names(), original.column_names());
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (size_t j = 0; j < original.dims(); ++j) {
+      // %.17g is lossless for doubles.
+      EXPECT_DOUBLE_EQ(loaded->at(i, j), original.at(i, j));
+    }
+  }
+}
+
+TEST_F(CsvTest, WriteToUnwritablePathFails) {
+  const Dataset ds = GenerateUniform(2, 2, 1);
+  EXPECT_EQ(WriteCsv("/nonexistent_dir_xyz/out.csv", ds).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace rrr

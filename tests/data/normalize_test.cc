@@ -1,0 +1,90 @@
+#include "data/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace rrr {
+namespace data {
+namespace {
+
+Dataset Make(const std::vector<std::vector<double>>& rows) {
+  Result<Dataset> ds = Dataset::FromRows(rows);
+  RRR_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(NormalizeTest, HigherBetterMapsMinToZeroMaxToOne) {
+  const Dataset ds = Make({{10.0}, {20.0}, {15.0}});
+  Result<Dataset> norm = MinMaxNormalize(ds);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_DOUBLE_EQ(norm->at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(norm->at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(norm->at(2, 0), 0.5);
+}
+
+TEST(NormalizeTest, LowerBetterFlips) {
+  const Dataset ds = Make({{10.0}, {20.0}, {15.0}});
+  Result<Dataset> norm =
+      MinMaxNormalize(ds, {Direction::kLowerBetter});
+  ASSERT_TRUE(norm.ok());
+  EXPECT_DOUBLE_EQ(norm->at(0, 0), 1.0);  // lowest raw value is best
+  EXPECT_DOUBLE_EQ(norm->at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(norm->at(2, 0), 0.5);
+}
+
+TEST(NormalizeTest, MixedDirections) {
+  const Dataset ds = Make({{1.0, 100.0}, {3.0, 200.0}});
+  Result<Dataset> norm = MinMaxNormalize(
+      ds, {Direction::kHigherBetter, Direction::kLowerBetter});
+  ASSERT_TRUE(norm.ok());
+  EXPECT_DOUBLE_EQ(norm->at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(norm->at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(norm->at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(norm->at(1, 1), 0.0);
+}
+
+TEST(NormalizeTest, ConstantColumnMapsToHalf) {
+  const Dataset ds = Make({{7.0, 1.0}, {7.0, 2.0}});
+  Result<Dataset> norm = MinMaxNormalize(ds);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_DOUBLE_EQ(norm->at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(norm->at(1, 0), 0.5);
+}
+
+TEST(NormalizeTest, OutputAlwaysInUnitInterval) {
+  const Dataset ds = Make({{-5.0, 3.0}, {2.5, -1.0}, {0.0, 9.0}});
+  Result<Dataset> norm = MinMaxNormalize(ds);
+  ASSERT_TRUE(norm.ok());
+  for (size_t i = 0; i < norm->size(); ++i) {
+    for (size_t j = 0; j < norm->dims(); ++j) {
+      EXPECT_GE(norm->at(i, j), 0.0);
+      EXPECT_LE(norm->at(i, j), 1.0);
+    }
+  }
+}
+
+TEST(NormalizeTest, PreservesRankOrderWithinColumn) {
+  const Dataset ds = Make({{3.0}, {-2.0}, {11.0}, {0.5}});
+  Result<Dataset> norm = MinMaxNormalize(ds);
+  ASSERT_TRUE(norm.ok());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (size_t j = 0; j < ds.size(); ++j) {
+      EXPECT_EQ(ds.at(i, 0) < ds.at(j, 0), norm->at(i, 0) < norm->at(j, 0));
+    }
+  }
+}
+
+TEST(NormalizeTest, RejectsDirectionCountMismatch) {
+  const Dataset ds = Make({{1.0, 2.0}});
+  EXPECT_FALSE(MinMaxNormalize(ds, {Direction::kHigherBetter}).ok());
+}
+
+TEST(NormalizeTest, KeepsColumnNames) {
+  Result<Dataset> ds = Dataset::FromRows({{1.0}, {2.0}}, {"price"});
+  Result<Dataset> norm = MinMaxNormalize(*ds, {Direction::kLowerBetter});
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm->column_names()[0], "price");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace rrr

@@ -1,0 +1,77 @@
+#include "eval/regret_ratio.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "test_util.h"
+
+namespace rrr {
+namespace eval {
+namespace {
+
+TEST(RegretRatioTest, FullDatasetHasZeroRegret) {
+  const data::Dataset ds = data::GenerateUniform(40, 3, 1);
+  std::vector<int32_t> all(ds.size());
+  std::iota(all.begin(), all.end(), 0);
+  Result<double> ratio = SampledRegretRatio(ds, all);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_DOUBLE_EQ(*ratio, 0.0);
+}
+
+TEST(RegretRatioTest, DominatingSingletonHasZeroRegret) {
+  data::Dataset ds = testing::MakeDataset(
+      {{0.9, 0.9}, {0.2, 0.3}, {0.4, 0.1}});
+  Result<double> ratio = SampledRegretRatio(ds, {0});
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_DOUBLE_EQ(*ratio, 0.0);
+}
+
+TEST(RegretRatioTest, WeakSingletonHasLargeRegret) {
+  data::Dataset ds = testing::MakeDataset(
+      {{1.0, 1.0}, {0.1, 0.1}});
+  Result<double> ratio = SampledRegretRatio(ds, {1});
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, 0.9, 1e-9);  // (s0 - s1)/s0 = 0.9 for every function
+}
+
+TEST(RegretRatioTest, RatioIsInUnitInterval) {
+  const data::Dataset ds = data::GenerateUniform(100, 4, 2);
+  Result<double> ratio = SampledRegretRatio(ds, {0, 1, 2});
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_GE(*ratio, 0.0);
+  EXPECT_LE(*ratio, 1.0);
+}
+
+TEST(RegretRatioTest, SupersetNeverHasLargerRegret) {
+  const data::Dataset ds = data::GenerateUniform(80, 3, 3);
+  RegretRatioOptions opts;
+  opts.num_functions = 1000;
+  Result<double> small = SampledRegretRatio(ds, {5}, opts);
+  Result<double> large = SampledRegretRatio(ds, {5, 17, 33, 60}, opts);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LE(*large, *small);
+}
+
+TEST(RegretRatioTest, DeterministicUnderSeed) {
+  const data::Dataset ds = data::GenerateUniform(60, 3, 4);
+  Result<double> a = SampledRegretRatio(ds, {1, 2, 3});
+  Result<double> b = SampledRegretRatio(ds, {1, 2, 3});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST(RegretRatioTest, RejectsBadArguments) {
+  const data::Dataset ds = data::GenerateUniform(10, 2, 5);
+  EXPECT_FALSE(SampledRegretRatio(ds, {}).ok());
+  EXPECT_FALSE(SampledRegretRatio(ds, {11}).ok());
+  data::Dataset empty;
+  EXPECT_FALSE(SampledRegretRatio(empty, {0}).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace rrr

@@ -1,0 +1,116 @@
+#include "geometry/angles.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geometry/vec.h"
+
+namespace rrr {
+namespace geometry {
+namespace {
+
+TEST(AnglesTest, ZeroAnglesGiveFirstAxis) {
+  EXPECT_TRUE(ApproxEqual(AnglesToWeights({0.0, 0.0}), {1.0, 0.0, 0.0}));
+}
+
+TEST(AnglesTest, AllHalfPiGivesLastAxis) {
+  const Vec w = AnglesToWeights({kHalfPi, kHalfPi});
+  EXPECT_NEAR(w[0], 0.0, 1e-15);
+  EXPECT_NEAR(w[1], 0.0, 1e-15);
+  EXPECT_NEAR(w[2], 1.0, 1e-15);
+}
+
+TEST(AnglesTest, TwoDMatchesPaperSweepAngle) {
+  // d = 2: w = (cos theta, sin theta), the sweep parameterization of §4.
+  for (double theta : {0.0, 0.3, kHalfPi / 2, 1.2, kHalfPi}) {
+    const Vec w = AnglesToWeights({theta});
+    EXPECT_NEAR(w[0], std::cos(theta), 1e-15);
+    EXPECT_NEAR(w[1], std::sin(theta), 1e-15);
+  }
+}
+
+TEST(AnglesTest, WeightsAreUnitAndNonNegative) {
+  Rng rng(21);
+  for (int dims = 2; dims <= 7; ++dims) {
+    for (int rep = 0; rep < 40; ++rep) {
+      Vec angles(static_cast<size_t>(dims - 1));
+      for (double& a : angles) a = rng.Uniform(0.0, kHalfPi);
+      const Vec w = AnglesToWeights(angles);
+      ASSERT_EQ(w.size(), static_cast<size_t>(dims));
+      double norm2 = 0.0;
+      for (double wi : w) {
+        EXPECT_GE(wi, 0.0);
+        norm2 += wi * wi;
+      }
+      EXPECT_NEAR(norm2, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(AnglesTest, RoundTripAnglesToWeightsToAngles) {
+  Rng rng(22);
+  for (int dims = 2; dims <= 6; ++dims) {
+    for (int rep = 0; rep < 40; ++rep) {
+      Vec angles(static_cast<size_t>(dims - 1));
+      // Stay off the poles so angles are uniquely recoverable.
+      for (double& a : angles) a = rng.Uniform(0.05, kHalfPi - 0.05);
+      Result<Vec> back = WeightsToAngles(AnglesToWeights(angles));
+      ASSERT_TRUE(back.ok());
+      ASSERT_EQ(back->size(), angles.size());
+      for (size_t i = 0; i < angles.size(); ++i) {
+        EXPECT_NEAR((*back)[i], angles[i], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(AnglesTest, RoundTripWeightsToAnglesToWeights) {
+  Rng rng(23);
+  for (int dims = 2; dims <= 6; ++dims) {
+    for (int rep = 0; rep < 40; ++rep) {
+      const Vec w = rng.UnitWeightVector(dims);
+      Result<Vec> angles = WeightsToAngles(w);
+      ASSERT_TRUE(angles.ok());
+      const Vec w2 = AnglesToWeights(*angles);
+      for (size_t i = 0; i < w.size(); ++i) EXPECT_NEAR(w2[i], w[i], 1e-9);
+    }
+  }
+}
+
+TEST(AnglesTest, UnnormalizedInputIsNormalized) {
+  Result<Vec> angles = WeightsToAngles({3.0, 4.0});
+  ASSERT_TRUE(angles.ok());
+  const Vec w = AnglesToWeights(*angles);
+  EXPECT_NEAR(w[0], 0.6, 1e-12);
+  EXPECT_NEAR(w[1], 0.8, 1e-12);
+}
+
+TEST(AnglesTest, ZeroSuffixGetsCanonicalZeroAngles) {
+  // (0, 1, 0): trailing zero makes the last angle ambiguous; the canonical
+  // inverse must still map back to the same weights.
+  Result<Vec> angles = WeightsToAngles({0.0, 1.0, 0.0});
+  ASSERT_TRUE(angles.ok());
+  const Vec w = AnglesToWeights(*angles);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[1], 1.0, 1e-12);
+  EXPECT_NEAR(w[2], 0.0, 1e-12);
+}
+
+TEST(AnglesTest, RejectsInvalidWeightVectors) {
+  EXPECT_FALSE(WeightsToAngles({}).ok());
+  EXPECT_FALSE(WeightsToAngles({0.0, 0.0}).ok());
+  EXPECT_FALSE(WeightsToAngles({0.5, -0.1}).ok());
+}
+
+TEST(AnglesTest, SingleDimensionHasNoAngles) {
+  Result<Vec> angles = WeightsToAngles({2.0});
+  ASSERT_TRUE(angles.ok());
+  EXPECT_TRUE(angles->empty());
+  EXPECT_TRUE(ApproxEqual(AnglesToWeights({}), {1.0}));
+}
+
+}  // namespace
+}  // namespace geometry
+}  // namespace rrr

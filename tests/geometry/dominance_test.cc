@@ -1,0 +1,145 @@
+#include "geometry/dominance.h"
+
+#include <algorithm>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace rrr {
+namespace geometry {
+namespace {
+
+TEST(DominatesTest, StrictAndNonStrictCases) {
+  const double a[2] = {0.5, 0.5};
+  const double b[2] = {0.4, 0.5};
+  const double c[2] = {0.5, 0.5};
+  const double d[2] = {0.6, 0.4};
+  EXPECT_TRUE(Dominates(a, b, 2));
+  EXPECT_FALSE(Dominates(b, a, 2));
+  EXPECT_FALSE(Dominates(a, c, 2));  // equal: no strict coordinate
+  EXPECT_FALSE(Dominates(a, d, 2));  // incomparable
+  EXPECT_FALSE(Dominates(d, a, 2));
+}
+
+TEST(SkylineTest, SimpleStaircase) {
+  // (.9,.1), (.5,.5), (.1,.9) are mutually incomparable; (.4,.4) dominated.
+  const std::vector<double> rows = {0.9, 0.1, 0.5, 0.5, 0.1, 0.9, 0.4, 0.4};
+  EXPECT_EQ(Skyline(rows.data(), 4, 2), (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST(SkylineTest, SinglePointAndEmpty) {
+  const std::vector<double> rows = {0.3, 0.7};
+  EXPECT_EQ(Skyline(rows.data(), 1, 2), (std::vector<int32_t>{0}));
+  EXPECT_TRUE(Skyline(nullptr, 0, 2).empty());
+}
+
+TEST(SkylineTest, DuplicatesKeepLowestIndex) {
+  const std::vector<double> rows = {0.5, 0.5, 0.5, 0.5, 0.2, 0.2};
+  EXPECT_EQ(Skyline(rows.data(), 3, 2), (std::vector<int32_t>{0}));
+}
+
+TEST(SkylineTest, TotalOrderChainKeepsOnlyMaximum) {
+  const std::vector<double> rows = {0.1, 0.1, 0.2, 0.2, 0.3, 0.3, 0.9, 0.9};
+  EXPECT_EQ(Skyline(rows.data(), 4, 2), (std::vector<int32_t>{3}));
+}
+
+class SkylineOracleTest : public ::testing::TestWithParam<
+                              std::tuple<int, int, int>> {};
+
+TEST_P(SkylineOracleTest, MatchesQuadraticOracle) {
+  const auto [seed, n, d] = GetParam();
+  const data::Dataset ds = data::GenerateUniform(
+      static_cast<size_t>(n), static_cast<size_t>(d),
+      static_cast<uint64_t>(seed));
+  const std::vector<int32_t> sky = Skyline(ds.flat(), ds.size(), ds.dims());
+
+  // Oracle: i survives iff nothing dominates it and no equal row precedes.
+  std::vector<int32_t> expected;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    bool out = false;
+    for (size_t j = 0; j < ds.size() && !out; ++j) {
+      if (i == j) continue;
+      if (Dominates(ds.row(j), ds.row(i), ds.dims())) out = true;
+      if (!out && j < i &&
+          std::equal(ds.row(j), ds.row(j) + ds.dims(), ds.row(i))) {
+        out = true;
+      }
+    }
+    if (!out) expected.push_back(static_cast<int32_t>(i));
+  }
+  EXPECT_EQ(sky, expected) << "seed=" << seed << " n=" << n << " d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInputs, SkylineOracleTest,
+    ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Values(20, 100),
+                       ::testing::Values(2, 3, 5)));
+
+TEST(KSkybandTest, KOneEqualsSkyline) {
+  const data::Dataset ds = data::GenerateUniform(150, 3, 11);
+  EXPECT_EQ(KSkyband(ds.flat(), ds.size(), ds.dims(), 1),
+            Skyline(ds.flat(), ds.size(), ds.dims()));
+}
+
+TEST(KSkybandTest, GrowsMonotonicallyWithK) {
+  const data::Dataset ds = data::GenerateUniform(200, 2, 12);
+  size_t prev = 0;
+  for (size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    const size_t size = KSkyband(ds.flat(), ds.size(), ds.dims(), k).size();
+    EXPECT_GE(size, prev);
+    prev = size;
+  }
+  // k >= n: nothing can have k dominators.
+  EXPECT_EQ(KSkyband(ds.flat(), ds.size(), ds.dims(), ds.size()).size(),
+            ds.size());
+}
+
+TEST(KSkybandTest, ContainsEveryTopKMemberOfSampledFunctions) {
+  // Soundness of the prefilter: anything in some top-k is in the skyband.
+  const data::Dataset ds = data::GenerateUniform(120, 3, 13);
+  const size_t k = 5;
+  const std::vector<int32_t> band =
+      KSkyband(ds.flat(), ds.size(), ds.dims(), k);
+  Rng rng(14);
+  for (int rep = 0; rep < 200; ++rep) {
+    // Inline top-k by full sort to avoid a topk-module dependency here.
+    std::vector<double> w = rng.UnitWeightVector(3);
+    std::vector<std::pair<double, int32_t>> scored;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < 3; ++j) s += w[j] * ds.at(i, j);
+      scored.push_back({-s, static_cast<int32_t>(i)});
+    }
+    std::sort(scored.begin(), scored.end());
+    for (size_t pos = 0; pos < k; ++pos) {
+      EXPECT_TRUE(std::binary_search(band.begin(), band.end(),
+                                     scored[pos].second))
+          << "top-" << k << " member escaped the " << k << "-skyband";
+    }
+  }
+}
+
+TEST(KSkybandTest, DuplicatesCountAsDominators) {
+  const std::vector<double> rows = {0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
+  // k = 1: only the first copy survives; k = 3: all three.
+  EXPECT_EQ(KSkyband(rows.data(), 3, 2, 1), (std::vector<int32_t>{0}));
+  EXPECT_EQ(KSkyband(rows.data(), 3, 2, 2), (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(KSkyband(rows.data(), 3, 2, 3),
+            (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST(SkylineTest, AnticorrelatedHasLargeSkylineCorrelatedSmall) {
+  const size_t n = 400;
+  const auto anti = data::GenerateAnticorrelated(n, 2, 9);
+  const auto corr = data::GenerateCorrelated(n, 2, 9, 0.95);
+  const size_t anti_size = Skyline(anti.flat(), n, 2).size();
+  const size_t corr_size = Skyline(corr.flat(), n, 2).size();
+  EXPECT_GT(anti_size, corr_size * 2);
+}
+
+}  // namespace
+}  // namespace geometry
+}  // namespace rrr

@@ -1,0 +1,72 @@
+#include "geometry/hyperplane.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace rrr {
+namespace geometry {
+namespace {
+
+TEST(HyperplaneTest, EvalSignsMatchSides) {
+  const Hyperplane h{{1.0, 1.0}, 1.0};  // x + y = 1
+  EXPECT_GT(h.Eval({1.0, 1.0}), 0.0);
+  EXPECT_LT(h.Eval({0.0, 0.0}), 0.0);
+  EXPECT_NEAR(h.Eval({0.5, 0.5}), 0.0, 1e-15);
+}
+
+TEST(HyperplaneTest, DualOfPaperEquationTwo) {
+  const Hyperplane d = DualOf({0.8, 0.28});
+  EXPECT_EQ(d.normal, (Vec{0.8, 0.28}));
+  EXPECT_DOUBLE_EQ(d.offset, 1.0);
+  // The dual hyperplane passes through (1/t1, 0) and (0, 1/t2).
+  EXPECT_NEAR(d.Eval({1.0 / 0.8, 0.0}), 0.0, 1e-15);
+  EXPECT_NEAR(d.Eval({0.0, 1.0 / 0.28}), 0.0, 1e-12);
+}
+
+TEST(HyperplaneTest, RayIntersectionOrdersLikeScores) {
+  // In the dual, intersections closer to the origin mean better rank
+  // (Section 3): the parameter must be 1 / score.
+  Rng rng(31);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Vec t = {rng.Uniform(0.1, 1.0), rng.Uniform(0.1, 1.0)};
+    const Vec w = rng.UnitWeightVector(2);
+    const double score = t[0] * w[0] + t[1] * w[1];
+    const double param = RayIntersectionParam(DualOf(t), w);
+    EXPECT_NEAR(param, 1.0 / score, 1e-12);
+  }
+}
+
+TEST(HyperplaneTest, ParallelRayGivesInfinity) {
+  const Hyperplane d = DualOf({1.0, 0.0});
+  EXPECT_TRUE(std::isinf(RayIntersectionParam(d, {0.0, 1.0})));
+}
+
+TEST(HyperplaneTest, DualOrderingEqualsScoreOrdering) {
+  // For random items and a random function, ordering by ray-intersection
+  // parameter (ascending) equals ordering by score (descending).
+  Rng rng(32);
+  const size_t n = 20;
+  std::vector<Vec> items;
+  for (size_t i = 0; i < n; ++i) {
+    items.push_back({rng.Uniform(0.1, 1.0), rng.Uniform(0.1, 1.0),
+                     rng.Uniform(0.1, 1.0)});
+  }
+  const Vec w = rng.UnitWeightVector(3);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double si = Dot(items[i], w);
+      const double sj = Dot(items[j], w);
+      const double pi = RayIntersectionParam(DualOf(items[i]), w);
+      const double pj = RayIntersectionParam(DualOf(items[j]), w);
+      EXPECT_EQ(si > sj, pi < pj);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geometry
+}  // namespace rrr

@@ -1,0 +1,55 @@
+#include "geometry/vec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rrr {
+namespace geometry {
+namespace {
+
+TEST(VecTest, DotBasic) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VecTest, DotAgainstRawRow) {
+  const double row[3] = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, row, 3), 32.0);
+}
+
+TEST(VecTest, L2NormOfPythagoreanTriple) {
+  EXPECT_DOUBLE_EQ(L2Norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(L2Norm({0.0, 0.0}), 0.0);
+}
+
+TEST(VecTest, NormalizedHasUnitNorm) {
+  const Vec v = Normalized({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(v[0], 0.6);
+  EXPECT_DOUBLE_EQ(v[1], 0.8);
+  EXPECT_NEAR(L2Norm(v), 1.0, 1e-15);
+}
+
+TEST(VecTest, AddSubScale) {
+  EXPECT_EQ(Add({1.0, 2.0}, {3.0, 4.0}), (Vec{4.0, 6.0}));
+  EXPECT_EQ(Sub({3.0, 4.0}, {1.0, 2.0}), (Vec{2.0, 2.0}));
+  EXPECT_EQ(Scale({1.0, -2.0}, 3.0), (Vec{3.0, -6.0}));
+}
+
+TEST(VecTest, ApproxEqualRespectsTolerance) {
+  EXPECT_TRUE(ApproxEqual({1.0, 2.0}, {1.0 + 1e-13, 2.0}, 1e-12));
+  EXPECT_FALSE(ApproxEqual({1.0, 2.0}, {1.0 + 1e-11, 2.0}, 1e-12));
+  EXPECT_FALSE(ApproxEqual({1.0}, {1.0, 2.0}));
+}
+
+TEST(VecDeathTest, DotSizeMismatchAborts) {
+  EXPECT_DEATH({ (void)Dot(Vec{1.0}, Vec{1.0, 2.0}); }, "size mismatch");
+}
+
+TEST(VecDeathTest, NormalizedZeroVectorAborts) {
+  EXPECT_DEATH({ (void)Normalized({0.0, 0.0}); }, "zero vector");
+}
+
+}  // namespace
+}  // namespace geometry
+}  // namespace rrr

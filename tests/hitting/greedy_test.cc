@@ -1,0 +1,130 @@
+#include "hitting/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace rrr {
+namespace hitting {
+namespace {
+
+/// Random set system over `universe` elements where every set is non-empty.
+SetSystem RandomSystem(Rng* rng, int32_t universe, size_t num_sets,
+                       size_t max_set_size) {
+  SetSystem s;
+  for (size_t i = 0; i < num_sets; ++i) {
+    const size_t size =
+        static_cast<size_t>(rng->UniformInt(1, static_cast<int64_t>(
+                                                   max_set_size)));
+    std::vector<int32_t> set;
+    for (size_t j = 0; j < size; ++j) {
+      set.push_back(static_cast<int32_t>(rng->UniformInt(0, universe - 1)));
+    }
+    s.sets.push_back(std::move(set));
+  }
+  return s;
+}
+
+TEST(GreedyHittingSetTest, SingleElementSetsForceAllOfThem) {
+  SetSystem s{{{1}, {2}, {3}}};
+  Result<std::vector<int32_t>> hit = GreedyHittingSet(s);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, (std::vector<int32_t>{1, 2, 3}));
+}
+
+TEST(GreedyHittingSetTest, SharedElementCollapsesToOne) {
+  SetSystem s{{{1, 9}, {2, 9}, {3, 9}}};
+  Result<std::vector<int32_t>> hit = GreedyHittingSet(s);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, (std::vector<int32_t>{9}));
+}
+
+TEST(GreedyHittingSetTest, OutputAlwaysHits) {
+  Rng rng(1);
+  for (int rep = 0; rep < 30; ++rep) {
+    const SetSystem s = RandomSystem(&rng, 30, 20, 5);
+    Result<std::vector<int32_t>> hit = GreedyHittingSet(s);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_TRUE(s.IsHit(*hit));
+  }
+}
+
+TEST(GreedyHittingSetTest, RejectsEmptySet) {
+  SetSystem s{{{1}, {}}};
+  EXPECT_FALSE(GreedyHittingSet(s).ok());
+}
+
+TEST(GreedyHittingSetTest, EmptySystemNeedsNothing) {
+  Result<std::vector<int32_t>> hit = GreedyHittingSet(SetSystem{});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->empty());
+}
+
+TEST(GreedyHittingSetTest, DuplicateElementsWithinSetCountOnce) {
+  // {5,5,5} and {6}: greedy must not over-count 5's gain.
+  SetSystem s{{{5, 5, 5}, {6}}};
+  Result<std::vector<int32_t>> hit = GreedyHittingSet(s);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->size(), 2u);
+}
+
+TEST(ExactHittingSetTest, FindsKnownOptimum) {
+  // Greedy can be fooled; exact cannot. Classic: pairwise structure where
+  // optimal = 2 ({1, 2}) but naive choices give 3.
+  SetSystem s{{{1, 3}, {1, 4}, {2, 3}, {2, 4}, {1, 2}}};
+  Result<std::vector<int32_t>> exact = ExactHittingSet(s);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->size(), 2u);
+  EXPECT_TRUE(s.IsHit(*exact));
+}
+
+TEST(ExactHittingSetTest, NeverWorseThanGreedy) {
+  Rng rng(2);
+  for (int rep = 0; rep < 25; ++rep) {
+    const SetSystem s = RandomSystem(&rng, 15, 12, 4);
+    Result<std::vector<int32_t>> exact = ExactHittingSet(s);
+    Result<std::vector<int32_t>> greedy = GreedyHittingSet(s);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_TRUE(s.IsHit(*exact));
+    EXPECT_LE(exact->size(), greedy->size());
+  }
+}
+
+TEST(ExactHittingSetTest, MatchesBruteForceOnTinyInstances) {
+  Rng rng(3);
+  for (int rep = 0; rep < 15; ++rep) {
+    const SetSystem s = RandomSystem(&rng, 8, 6, 3);
+    Result<std::vector<int32_t>> exact = ExactHittingSet(s);
+    ASSERT_TRUE(exact.ok());
+    // Brute force over all subsets of the universe.
+    const std::vector<int32_t> universe = s.Universe();
+    size_t best = universe.size();
+    for (size_t mask = 0; mask < (size_t{1} << universe.size()); ++mask) {
+      std::vector<int32_t> subset;
+      for (size_t b = 0; b < universe.size(); ++b) {
+        if (mask >> b & 1) subset.push_back(universe[b]);
+      }
+      if (s.IsHit(subset)) best = std::min(best, subset.size());
+    }
+    EXPECT_EQ(exact->size(), best);
+  }
+}
+
+TEST(ExactHittingSetTest, NodeBudgetIsEnforced) {
+  Rng rng(4);
+  const SetSystem s = RandomSystem(&rng, 40, 35, 6);
+  Result<std::vector<int32_t>> exact = ExactHittingSet(s, /*max_nodes=*/3);
+  EXPECT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExactHittingSetTest, EmptySystem) {
+  Result<std::vector<int32_t>> exact = ExactHittingSet(SetSystem{});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->empty());
+}
+
+}  // namespace
+}  // namespace hitting
+}  // namespace rrr

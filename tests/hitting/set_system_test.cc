@@ -1,0 +1,44 @@
+#include "hitting/set_system.h"
+
+#include <gtest/gtest.h>
+
+namespace rrr {
+namespace hitting {
+namespace {
+
+TEST(SetSystemTest, UniverseIsSortedUnique) {
+  SetSystem s{{{3, 1}, {1, 5}, {7}}};
+  EXPECT_EQ(s.Universe(), (std::vector<int32_t>{1, 3, 5, 7}));
+}
+
+TEST(SetSystemTest, EmptySystemUniverse) {
+  SetSystem s;
+  EXPECT_TRUE(s.Universe().empty());
+  EXPECT_TRUE(s.IsHit({}));
+}
+
+TEST(SetSystemTest, IsHitDetectsCoverage) {
+  SetSystem s{{{1, 2}, {3, 4}, {2, 3}}};
+  EXPECT_TRUE(s.IsHit({2, 3}));
+  EXPECT_TRUE(s.IsHit({1, 3}));
+  EXPECT_FALSE(s.IsHit({1, 4}));  // misses {2, 3}? no: 1 hits set0, 4 hits
+                                  // set1, neither hits {2,3}
+  EXPECT_FALSE(s.IsHit({}));
+  EXPECT_FALSE(s.IsHit({99}));
+}
+
+TEST(SetSystemTest, FirstMissedPointsAtUnhitSet) {
+  SetSystem s{{{1}, {2}, {3}}};
+  EXPECT_EQ(s.FirstMissed({1, 3}), 1);
+  EXPECT_EQ(s.FirstMissed({1, 2, 3}), -1);
+  EXPECT_EQ(s.FirstMissed({}), 0);
+}
+
+TEST(SetSystemTest, EmptySetIsNeverHit) {
+  SetSystem s{{{1}, {}}};
+  EXPECT_EQ(s.FirstMissed({1}), 1);
+}
+
+}  // namespace
+}  // namespace hitting
+}  // namespace rrr

@@ -1,0 +1,141 @@
+#include "lp/separation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace rrr {
+namespace lp {
+namespace {
+
+TEST(SeparationTest, SingletonMaximumIsSeparable) {
+  // (1, 1) dominates everything: {that point} is a 1-set.
+  const std::vector<double> rows = {1.0, 1.0, 0.2, 0.3, 0.5, 0.1};
+  Result<SeparationResult> sep = FindSeparatingWeights(rows.data(), 3, 2, {0});
+  ASSERT_TRUE(sep.ok());
+  EXPECT_TRUE(sep->separable);
+  EXPECT_GT(sep->margin, 0.0);
+  ASSERT_EQ(sep->weights.size(), 2u);
+}
+
+TEST(SeparationTest, DominatedSingletonIsNotSeparable) {
+  // (0.2, 0.3) is dominated; no non-negative direction ranks it on top.
+  const std::vector<double> rows = {1.0, 1.0, 0.2, 0.3, 0.5, 0.1};
+  Result<SeparationResult> sep = FindSeparatingWeights(rows.data(), 3, 2, {1});
+  ASSERT_TRUE(sep.ok());
+  EXPECT_FALSE(sep->separable);
+}
+
+TEST(SeparationTest, WeightsActuallySeparate) {
+  Rng rng(5);
+  // Random 2D points: validate the returned weights realize the separation.
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<double> rows;
+    const size_t n = 12;
+    for (size_t i = 0; i < 2 * n; ++i) rows.push_back(rng.Uniform());
+    // Candidate: top-2 of the diagonal function (always a valid 2-set).
+    std::vector<std::pair<double, int32_t>> scored;
+    for (size_t i = 0; i < n; ++i) {
+      scored.push_back({rows[2 * i] + rows[2 * i + 1],
+                        static_cast<int32_t>(i)});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](auto& a, auto& b) { return a.first > b.first; });
+    std::vector<int32_t> inside = {scored[0].second, scored[1].second};
+    Result<SeparationResult> sep =
+        FindSeparatingWeights(rows.data(), n, 2, inside);
+    ASSERT_TRUE(sep.ok());
+    ASSERT_TRUE(sep->separable);
+    // min inside score must exceed max outside score under the weights.
+    double min_in = 1e300, max_out = -1e300;
+    for (size_t i = 0; i < n; ++i) {
+      const double s =
+          sep->weights[0] * rows[2 * i] + sep->weights[1] * rows[2 * i + 1];
+      const bool is_in = (static_cast<int32_t>(i) == inside[0] ||
+                          static_cast<int32_t>(i) == inside[1]);
+      if (is_in) {
+        min_in = std::min(min_in, s);
+      } else {
+        max_out = std::max(max_out, s);
+      }
+    }
+    EXPECT_GT(min_in, max_out);
+  }
+}
+
+TEST(SeparationTest, NonTopSetIsNotSeparable) {
+  // {best, worst} of a collinear arrangement cannot be a 2-set: the middle
+  // point scores between them for every direction.
+  const std::vector<double> rows = {0.9, 0.9, 0.5, 0.5, 0.1, 0.1};
+  Result<SeparationResult> sep =
+      FindSeparatingWeights(rows.data(), 3, 2, {0, 2});
+  ASSERT_TRUE(sep.ok());
+  EXPECT_FALSE(sep->separable);
+}
+
+TEST(SeparationTest, WorksInThreeDimensions) {
+  const std::vector<double> rows = {
+      0.9, 0.1, 0.1,   // best on x
+      0.1, 0.9, 0.1,   // best on y
+      0.1, 0.1, 0.9,   // best on z
+      0.2, 0.2, 0.2};  // dominated-ish interior
+  for (int32_t i = 0; i < 3; ++i) {
+    Result<SeparationResult> sep =
+        FindSeparatingWeights(rows.data(), 4, 3, {i});
+    ASSERT_TRUE(sep.ok());
+    EXPECT_TRUE(sep->separable) << "corner " << i;
+  }
+  Result<SeparationResult> interior =
+      FindSeparatingWeights(rows.data(), 4, 3, {3});
+  ASSERT_TRUE(interior.ok());
+  EXPECT_FALSE(interior->separable);
+}
+
+TEST(SeparationTest, PaperExampleTwoSets) {
+  // Figure 6: the 2-sets of the running example are exactly
+  // {t1,t7}, {t7,t3}, {t3,t5} (0-based: {0,6}, {6,2}, {2,4}).
+  data::Dataset ds = testing::PaperFigure1Dataset();
+  auto separable = [&](std::vector<int32_t> inside) {
+    Result<SeparationResult> sep =
+        FindSeparatingWeights(ds.flat(), ds.size(), 2, inside);
+    RRR_CHECK(sep.ok()) << sep.status().ToString();
+    return sep->separable;
+  };
+  EXPECT_TRUE(separable({0, 6}));
+  EXPECT_TRUE(separable({2, 6}));
+  EXPECT_TRUE(separable({2, 4}));
+  // A few non-2-sets.
+  EXPECT_FALSE(separable({0, 1}));
+  EXPECT_FALSE(separable({3, 5}));
+  EXPECT_FALSE(separable({0, 4}));
+}
+
+TEST(SeparationTest, RejectsBadArguments) {
+  const std::vector<double> rows = {1.0, 0.0, 0.0, 1.0};
+  EXPECT_FALSE(FindSeparatingWeights(nullptr, 2, 2, {0}).ok());
+  EXPECT_FALSE(FindSeparatingWeights(rows.data(), 2, 2, {}).ok());
+  EXPECT_FALSE(FindSeparatingWeights(rows.data(), 2, 2, {0, 1}).ok());
+  EXPECT_FALSE(FindSeparatingWeights(rows.data(), 2, 2, {5}).ok());
+  EXPECT_FALSE(FindSeparatingWeights(rows.data(), 2, 0, {0}).ok());
+}
+
+TEST(SeparationTest, WeightsAreNonNegativeAndNormalized) {
+  const std::vector<double> rows = {1.0, 0.0, 0.0, 1.0, 0.4, 0.4};
+  Result<SeparationResult> sep =
+      FindSeparatingWeights(rows.data(), 3, 2, {0, 1});
+  ASSERT_TRUE(sep.ok());
+  ASSERT_TRUE(sep->separable);
+  double sum = 0.0;
+  for (double w : sep->weights) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace rrr

@@ -1,0 +1,283 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace rrr {
+namespace lp {
+namespace {
+
+LpProblem TwoVarProblem() {
+  // max 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x,y >= 0.
+  // Optimum at (4, 0): value 12.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {3.0, 2.0};
+  p.constraints = {{{1.0, 1.0}, Sense::kLe, 4.0},
+                   {{1.0, 3.0}, Sense::kLe, 6.0}};
+  return p;
+}
+
+TEST(SimplexTest, SolvesBasicMaximization) {
+  Result<LpSolution> sol = Solve(TwoVarProblem());
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 12.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, InteriorOptimum) {
+  // max x + y  s.t.  2x + y <= 4,  x + 2y <= 4  ->  (4/3, 4/3), value 8/3.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.constraints = {{{2.0, 1.0}, Sense::kLe, 4.0},
+                   {{1.0, 2.0}, Sense::kLe, 4.0}};
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 4.0 / 3.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 0.0};
+  p.constraints = {{{0.0, 1.0}, Sense::kLe, 5.0}};  // x unconstrained above
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 2 cannot hold together.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.constraints = {{{1.0}, Sense::kLe, 1.0}, {{1.0}, Sense::kGe, 2.0}};
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, HandlesEqualityConstraints) {
+  // max x + y  s.t.  x + y = 3,  x <= 2  ->  value 3.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.constraints = {{{1.0, 1.0}, Sense::kEq, 3.0},
+                   {{1.0, 0.0}, Sense::kLe, 2.0}};
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 3.0, 1e-9);
+  EXPECT_NEAR(sol->x[0] + sol->x[1], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, HandlesGeConstraints) {
+  // min x + y (= max -x - y)  s.t.  x + 2y >= 4,  3x + y >= 3.
+  // Optimum at intersection (0.4, 1.8): value 2.2.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {-1.0, -1.0};
+  p.constraints = {{{1.0, 2.0}, Sense::kGe, 4.0},
+                   {{3.0, 1.0}, Sense::kGe, 3.0}};
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, -2.2, 1e-9);
+  EXPECT_NEAR(sol->x[0], 0.4, 1e-9);
+  EXPECT_NEAR(sol->x[1], 1.8, 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsIsNormalized) {
+  // -x <= -2 is x >= 2; max -x -> x = 2.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {-1.0};
+  p.constraints = {{{-1.0}, Sense::kLe, -2.0}};
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, RedundantConstraintsAreHarmless) {
+  LpProblem p = TwoVarProblem();
+  p.constraints.push_back({{1.0, 1.0}, Sense::kLe, 4.0});   // duplicate
+  p.constraints.push_back({{1.0, 1.0}, Sense::kLe, 100.0});  // slack
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 12.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateVertexDoesNotCycle) {
+  // Classic degeneracy: three constraints meeting at one vertex.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.constraints = {{{1.0, 0.0}, Sense::kLe, 1.0},
+                   {{0.0, 1.0}, Sense::kLe, 1.0},
+                   {{1.0, 1.0}, Sense::kLe, 2.0}};
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, BealeCyclingExampleTerminates) {
+  // Beale's classic degenerate LP, on which naive Dantzig pivoting cycles
+  // forever:
+  //   max 0.75x1 - 150x2 + 0.02x3 - 6x4
+  //   s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+  //        0.5x1 - 90x2 - 0.02x3 + 3x4 <= 0
+  //        x3 <= 1
+  // Optimum value: 0.05 at x = (1/25? ...) -> known optimum 1/20.
+  LpProblem p;
+  p.num_vars = 4;
+  p.objective = {0.75, -150.0, 0.02, -6.0};
+  p.constraints = {
+      {{0.25, -60.0, -0.04, 9.0}, Sense::kLe, 0.0},
+      {{0.5, -90.0, -0.02, 3.0}, Sense::kLe, 0.0},
+      {{0.0, 0.0, 1.0, 0.0}, Sense::kLe, 1.0}};
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->status, LpStatus::kOptimal) << "anti-cycling failed";
+  EXPECT_NEAR(sol->objective_value, 0.05, 1e-9);
+}
+
+TEST(SimplexTest, NoConstraintsZeroObjective) {
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {0.0, -1.0, 0.0};
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 0.0, 1e-12);
+}
+
+TEST(SimplexTest, NoConstraintsPositiveObjectiveIsUnbounded) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  Result<LpSolution> sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, RejectsMalformedObjective) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0};  // wrong width
+  EXPECT_FALSE(Solve(p).ok());
+}
+
+TEST(SimplexTest, RejectsMalformedConstraint) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.constraints = {{{1.0}, Sense::kLe, 1.0}};  // wrong width
+  EXPECT_FALSE(Solve(p).ok());
+}
+
+TEST(SimplexTest, SolutionSatisfiesAllConstraints) {
+  // Random LPs: whenever kOptimal is reported the returned point must be
+  // primal feasible and reproduce the reported objective.
+  Rng rng(42);
+  for (int rep = 0; rep < 50; ++rep) {
+    LpProblem p;
+    p.num_vars = 3;
+    p.objective = {rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                   rng.Uniform(-1, 1)};
+    const int m = 5;
+    for (int i = 0; i < m; ++i) {
+      Constraint c;
+      c.coeffs = {rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1)};
+      c.sense = Sense::kLe;
+      c.rhs = rng.Uniform(0.5, 2.0);
+      p.constraints.push_back(c);
+    }
+    Result<LpSolution> sol = Solve(p);
+    ASSERT_TRUE(sol.ok());
+    ASSERT_EQ(sol->status, LpStatus::kOptimal);  // box-like: always feasible
+    double obj = 0.0;
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(sol->x[j], -1e-9);
+      obj += p.objective[j] * sol->x[j];
+    }
+    EXPECT_NEAR(obj, sol->objective_value, 1e-7);
+    for (const auto& c : p.constraints) {
+      double lhs = 0.0;
+      for (size_t j = 0; j < 3; ++j) lhs += c.coeffs[j] * sol->x[j];
+      EXPECT_LE(lhs, c.rhs + 1e-7);
+    }
+  }
+}
+
+TEST(SimplexTest, MatchesBruteForceOnRandomVertexEnumeration) {
+  // 2-variable LPs solved independently by enumerating constraint-pair
+  // intersections.
+  Rng rng(77);
+  for (int rep = 0; rep < 30; ++rep) {
+    LpProblem p;
+    p.num_vars = 2;
+    p.objective = {rng.Uniform(0.1, 1.0), rng.Uniform(0.1, 1.0)};
+    for (int i = 0; i < 4; ++i) {
+      p.constraints.push_back({{rng.Uniform(0.1, 1.0), rng.Uniform(0.1, 1.0)},
+                               Sense::kLe,
+                               rng.Uniform(0.5, 2.0)});
+    }
+    Result<LpSolution> sol = Solve(p);
+    ASSERT_TRUE(sol.ok());
+    ASSERT_EQ(sol->status, LpStatus::kOptimal);
+
+    // Brute force: candidate vertices are axis intercepts and pairwise
+    // constraint intersections.
+    std::vector<std::pair<double, double>> candidates = {{0.0, 0.0}};
+    const auto& cs = p.constraints;
+    for (size_t i = 0; i < cs.size(); ++i) {
+      if (cs[i].coeffs[0] > 0) {
+        candidates.push_back({cs[i].rhs / cs[i].coeffs[0], 0.0});
+      }
+      if (cs[i].coeffs[1] > 0) {
+        candidates.push_back({0.0, cs[i].rhs / cs[i].coeffs[1]});
+      }
+      for (size_t j = i + 1; j < cs.size(); ++j) {
+        const double det = cs[i].coeffs[0] * cs[j].coeffs[1] -
+                           cs[j].coeffs[0] * cs[i].coeffs[1];
+        if (std::fabs(det) < 1e-12) continue;
+        const double x =
+            (cs[i].rhs * cs[j].coeffs[1] - cs[j].rhs * cs[i].coeffs[1]) / det;
+        const double y =
+            (cs[i].coeffs[0] * cs[j].rhs - cs[j].coeffs[0] * cs[i].rhs) / det;
+        candidates.push_back({x, y});
+      }
+    }
+    double best = 0.0;
+    for (const auto& [x, y] : candidates) {
+      if (x < -1e-9 || y < -1e-9) continue;
+      bool feasible = true;
+      for (const auto& c : cs) {
+        if (c.coeffs[0] * x + c.coeffs[1] * y > c.rhs + 1e-9) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        best = std::max(best, p.objective[0] * x + p.objective[1] * y);
+      }
+    }
+    EXPECT_NEAR(sol->objective_value, best, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace rrr

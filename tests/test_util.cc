@@ -1,0 +1,69 @@
+#include "test_util.h"
+
+#include <cmath>
+#include <functional>
+
+#include "core/find_ranges.h"
+#include "geometry/angles.h"
+
+namespace rrr {
+namespace testing {
+
+namespace {
+
+/// Enumerates size-`r` subsets of `candidates`, invoking `fn` until it
+/// returns true; returns whether any subset succeeded.
+bool ForEachSubset(const std::vector<int32_t>& candidates, size_t r,
+                   std::vector<int32_t>* current, size_t from,
+                   const std::function<bool(const std::vector<int32_t>&)>& fn) {
+  if (current->size() == r) return fn(*current);
+  for (size_t i = from; i < candidates.size(); ++i) {
+    current->push_back(candidates[i]);
+    if (ForEachSubset(candidates, r, current, i + 1, fn)) return true;
+    current->pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+int64_t BruteForceOptimalRrrSize2D(const data::Dataset& dataset, size_t k) {
+  // Only items that ever appear in a top-k can help.
+  Result<std::vector<core::ItemRange>> ranges =
+      core::FindRanges(dataset, k);
+  RRR_CHECK(ranges.ok()) << ranges.status().ToString();
+  std::vector<int32_t> candidates;
+  for (size_t id = 0; id < ranges->size(); ++id) {
+    if ((*ranges)[id].in_topk) candidates.push_back(static_cast<int32_t>(id));
+  }
+  RRR_CHECK(!candidates.empty()) << "no top-k candidates";
+
+  for (size_t r = 1; r <= candidates.size(); ++r) {
+    std::vector<int32_t> current;
+    const bool found = ForEachSubset(
+        candidates, r, &current, 0,
+        [&](const std::vector<int32_t>& subset) {
+          Result<int64_t> regret = eval::ExactRankRegret2D(dataset, subset);
+          RRR_CHECK(regret.ok()) << regret.status().ToString();
+          return *regret <= static_cast<int64_t>(k);
+        });
+    if (found) return static_cast<int64_t>(r);
+  }
+  return static_cast<int64_t>(candidates.size());
+}
+
+std::vector<double> AngleGrid(size_t count) {
+  RRR_CHECK(count >= 2) << "grid needs at least the two endpoints";
+  std::vector<double> grid(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Fraction first so the endpoints are exactly 0 and kHalfPi (the
+    // multiply-then-divide order overshoots pi/2 by one ulp).
+    grid[i] = geometry::kHalfPi *
+              (static_cast<double>(i) / static_cast<double>(count - 1));
+  }
+  grid.back() = geometry::kHalfPi;
+  return grid;
+}
+
+}  // namespace testing
+}  // namespace rrr

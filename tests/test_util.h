@@ -1,0 +1,59 @@
+#ifndef RRR_TESTS_TEST_UTIL_H_
+#define RRR_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "data/dataset.h"
+#include "eval/rank_regret.h"
+#include "geometry/vec.h"
+#include "topk/scoring.h"
+#include "topk/topk.h"
+
+namespace rrr {
+namespace testing {
+
+/// Builds a dataset from literal rows, aborting on malformed input
+/// (tests construct only well-formed data).
+inline data::Dataset MakeDataset(
+    const std::vector<std::vector<double>>& rows) {
+  Result<data::Dataset> ds = data::Dataset::FromRows(rows);
+  RRR_CHECK(ds.ok()) << ds.status().ToString();
+  return std::move(ds).value();
+}
+
+/// The running example of the paper (Figure 1), 0-based ids: t1 -> 0, ...,
+/// t7 -> 6.
+inline data::Dataset PaperFigure1Dataset() {
+  return MakeDataset({{0.80, 0.28},
+                      {0.54, 0.45},
+                      {0.67, 0.60},
+                      {0.32, 0.42},
+                      {0.46, 0.72},
+                      {0.23, 0.52},
+                      {0.91, 0.43}});
+}
+
+/// Top-k (best first) under the 2D function w = (cos theta, sin theta),
+/// straight from the definition.
+inline std::vector<int32_t> TopKAtAngle(const data::Dataset& dataset,
+                                        double theta, size_t k) {
+  return topk::TopK(
+      dataset, topk::LinearFunction({std::cos(theta), std::sin(theta)}), k);
+}
+
+/// Exhaustive minimum RRR size for 2D datasets: tries all subsets of the
+/// items that ever enter a top-k, smallest cardinality first, checking exact
+/// rank-regret with the sweep evaluator. Exponential; use only for tiny n.
+int64_t BruteForceOptimalRrrSize2D(const data::Dataset& dataset, size_t k);
+
+/// Evenly spaced angles in [0, pi/2] including both endpoints.
+std::vector<double> AngleGrid(size_t count);
+
+}  // namespace testing
+}  // namespace rrr
+
+#endif  // RRR_TESTS_TEST_UTIL_H_

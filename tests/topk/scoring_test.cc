@@ -1,0 +1,75 @@
+#include "topk/scoring.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geometry/angles.h"
+#include "test_util.h"
+
+namespace rrr {
+namespace topk {
+namespace {
+
+TEST(LinearFunctionTest, ScoreIsDotProduct) {
+  LinearFunction f({0.5, 2.0});
+  const double row[2] = {4.0, 3.0};
+  EXPECT_DOUBLE_EQ(f.Score(row), 8.0);
+  EXPECT_EQ(f.dims(), 2u);
+}
+
+TEST(LinearFunctionTest, ScoreOnDatasetRow) {
+  data::Dataset ds = testing::MakeDataset({{1.0, 2.0}, {3.0, 4.0}});
+  LinearFunction f({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(f.Score(ds, 0), 3.0);
+  EXPECT_DOUBLE_EQ(f.Score(ds, 1), 7.0);
+}
+
+TEST(LinearFunctionTest, FromAnglesMatchesSphericalWeights) {
+  LinearFunction f = LinearFunction::FromAngles({0.7});
+  EXPECT_NEAR(f.weights()[0], std::cos(0.7), 1e-15);
+  EXPECT_NEAR(f.weights()[1], std::sin(0.7), 1e-15);
+}
+
+TEST(LinearFunctionTest, ZeroWeightOnSomeAxesIsAllowed) {
+  LinearFunction f({0.0, 1.0});
+  const double row[2] = {100.0, 2.0};
+  EXPECT_DOUBLE_EQ(f.Score(row), 2.0);
+}
+
+TEST(LinearFunctionDeathTest, RejectsEmptyNegativeAndAllZero) {
+  EXPECT_DEATH({ LinearFunction f({}); (void)f; }, "empty weights");
+  EXPECT_DEATH({ LinearFunction f({0.5, -0.1}); (void)f; },
+               "negative weight");
+  EXPECT_DEATH({ LinearFunction f({0.0, 0.0}); (void)f; },
+               "all-zero weights");
+}
+
+TEST(OutranksTest, HigherScoreWins) {
+  EXPECT_TRUE(Outranks(2.0, 5, 1.0, 1));
+  EXPECT_FALSE(Outranks(1.0, 1, 2.0, 5));
+}
+
+TEST(OutranksTest, TiesBreakByLowerId) {
+  EXPECT_TRUE(Outranks(1.0, 1, 1.0, 2));
+  EXPECT_FALSE(Outranks(1.0, 2, 1.0, 1));
+}
+
+TEST(OutranksTest, IsAStrictTotalOrder) {
+  // Irreflexive and asymmetric on a few samples.
+  EXPECT_FALSE(Outranks(1.0, 3, 1.0, 3));
+  for (double sa : {0.0, 1.0}) {
+    for (double sb : {0.0, 1.0}) {
+      for (int32_t a = 0; a < 3; ++a) {
+        for (int32_t b = 0; b < 3; ++b) {
+          if (a == b && sa == sb) continue;
+          EXPECT_NE(Outranks(sa, a, sb, b), Outranks(sb, b, sa, a));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk
+}  // namespace rrr

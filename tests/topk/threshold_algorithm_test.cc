@@ -1,0 +1,107 @@
+#include "topk/threshold_algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "test_util.h"
+#include "topk/topk.h"
+
+namespace rrr {
+namespace topk {
+namespace {
+
+TEST(ThresholdAlgorithmTest, PaperExampleMatchesNaive) {
+  data::Dataset ds = testing::PaperFigure1Dataset();
+  ThresholdAlgorithmIndex index(ds);
+  for (double theta : testing::AngleGrid(50)) {
+    LinearFunction f({std::cos(theta), std::sin(theta)});
+    for (size_t k = 1; k <= 7; ++k) {
+      EXPECT_EQ(index.TopK(f, k), TopK(ds, f, k))
+          << "theta=" << theta << " k=" << k;
+    }
+  }
+}
+
+TEST(ThresholdAlgorithmTest, KZeroAndKBeyondN) {
+  data::Dataset ds = testing::PaperFigure1Dataset();
+  ThresholdAlgorithmIndex index(ds);
+  LinearFunction f({0.5, 0.5});
+  EXPECT_TRUE(index.TopK(f, 0).empty());
+  EXPECT_EQ(index.TopK(f, 100).size(), 7u);
+}
+
+TEST(ThresholdAlgorithmTest, ZeroWeightAxesAreHandled) {
+  // w = (0, 1): the x-list contributes nothing; TA must still terminate
+  // and agree.
+  const data::Dataset ds = data::GenerateUniform(50, 2, 3);
+  ThresholdAlgorithmIndex index(ds);
+  LinearFunction f({0.0, 1.0});
+  EXPECT_EQ(index.TopK(f, 5), TopK(ds, f, 5));
+}
+
+TEST(ThresholdAlgorithmTest, DuplicateRowsKeepIdOrder)  {
+  data::Dataset ds = testing::MakeDataset(
+      {{0.5, 0.5}, {0.5, 0.5}, {0.9, 0.9}, {0.5, 0.5}});
+  ThresholdAlgorithmIndex index(ds);
+  LinearFunction f({1.0, 1.0});
+  EXPECT_EQ(index.TopK(f, 3), (std::vector<int32_t>{2, 0, 1}));
+}
+
+class TaOracleTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TaOracleTest, AgreesWithNaiveTopKEverywhere) {
+  const auto [seed, n, d] = GetParam();
+  const data::Dataset ds = data::GenerateUniform(
+      static_cast<size_t>(n), static_cast<size_t>(d),
+      static_cast<uint64_t>(seed));
+  ThresholdAlgorithmIndex index(ds);
+  Rng rng(static_cast<uint64_t>(seed) + 99);
+  for (int rep = 0; rep < 25; ++rep) {
+    LinearFunction f(rng.UnitWeightVector(d));
+    for (size_t k : {1u, 5u, 17u}) {
+      ASSERT_EQ(index.TopK(f, k), TopK(ds, f, k))
+          << "seed=" << seed << " rep=" << rep << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInputs, TaOracleTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(30, 200, 800),
+                       ::testing::Values(2, 4, 6)));
+
+TEST(ThresholdAlgorithmTest, CorrelatedDataStopsEarly) {
+  // On strongly correlated data the lists agree near the top, so TA should
+  // touch far fewer than n*d entries.
+  const size_t n = 5000;
+  const data::Dataset ds = data::GenerateCorrelated(n, 3, 5, 0.95);
+  ThresholdAlgorithmIndex index(ds);
+  LinearFunction f({0.4, 0.3, 0.3});
+  (void)index.TopK(f, 10);
+  EXPECT_LT(index.last_scan_depth(), n * 3 / 4)
+      << "TA degenerated to a full scan on correlated data";
+}
+
+TEST(ThresholdAlgorithmTest, ScanDepthNeverExceedsFullScan) {
+  const data::Dataset ds = data::GenerateAnticorrelated(500, 3, 6);
+  ThresholdAlgorithmIndex index(ds);
+  LinearFunction f({0.2, 0.5, 0.3});
+  (void)index.TopK(f, 20);
+  EXPECT_LE(index.last_scan_depth(), 500u * 3u);
+}
+
+TEST(ThresholdAlgorithmTest, TopKSetIsSorted) {
+  const data::Dataset ds = data::GenerateUniform(100, 3, 7);
+  ThresholdAlgorithmIndex index(ds);
+  LinearFunction f({0.3, 0.3, 0.4});
+  const auto set = index.TopKSet(f, 10);
+  EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  EXPECT_EQ(set, TopKSet(ds, f, 10));
+}
+
+}  // namespace
+}  // namespace topk
+}  // namespace rrr
