@@ -26,7 +26,8 @@ struct KBorderSegment {
 /// border is returned in sweep order; consecutive segments share endpoints
 /// and jointly cover [0, pi/2]. A tuple may own several non-adjacent
 /// segments (the paper's observation that d(t3) contributes two facets for
-/// k = 2 is covered by a test).
+/// k = 2 is covered by a test). O(E log n) via the angular sweep, E being
+/// the number of rank exchanges (at most n(n-1)/2).
 ///
 /// Fails with InvalidArgument unless dims == 2 and 1 <= k <= n.
 Result<std::vector<KBorderSegment>> ComputeKBorder2D(

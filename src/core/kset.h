@@ -41,7 +41,7 @@ std::vector<std::pair<size_t, size_t>> KSetGraphEdges(
 
 /// \brief Number of connected components of the k-set graph. Theorem 7
 /// states a complete k-set collection yields exactly 1; the enumeration
-/// algorithms rely on that.
+/// algorithms rely on that. O(|S|^2 k) — dominated by edge construction.
 size_t KSetGraphComponents(const std::vector<KSet>& sets);
 
 /// \brief Deduplicating accumulator for k-sets; preserves first-insertion

@@ -16,7 +16,8 @@ namespace core {
 /// k-set exactly once (under general position). O(E log n) where E is the
 /// total number of rank exchanges.
 ///
-/// Fails with InvalidArgument unless dims == 2 and 1 <= k.
+/// Fails with InvalidArgument unless dims == 2 and k >= 1; cannot fail
+/// otherwise (no LP is involved on the 2D path).
 Result<KSetCollection> EnumerateKSets2D(const data::Dataset& dataset,
                                         size_t k);
 

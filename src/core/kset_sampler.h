@@ -48,6 +48,10 @@ struct KSetSampleResult {
 /// the sample is therefore a lower bound certificate, not a proof (Section
 /// 5.2.1 discusses why misses are rare and benign in practice).
 ///
+/// Cost is O(samples * n (d + log k)) with the default linear-scan top-k;
+/// the skyband prefilter and Threshold Algorithm options trade one-off
+/// indexing for cheaper per-sample queries (identical output either way).
+///
 /// Fails with InvalidArgument for k == 0 or an empty dataset.
 Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
                                      const KSetSamplerOptions& options = {});

@@ -74,7 +74,13 @@ struct MdrcStats {
 /// shared), which is what makes the algorithm near-constant in n in
 /// practice. Measured rank-regret is typically <= k (Section 6).
 ///
-/// Fails with InvalidArgument for k == 0 or an empty dataset.
+/// Cost is O(nodes * 2^(d-1) * n log n) worst case — each uncached corner
+/// evaluation is a top-k scan — but cache hits dominate on real data and
+/// the node count is small for k a meaningful fraction of n (Section 6.3
+/// reports near-constant scaling in n).
+///
+/// Fails with InvalidArgument for k == 0 or an empty dataset, and with
+/// ResourceExhausted when the recursion exceeds options.max_nodes.
 Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
                                        const MdrcOptions& options = {},
                                        MdrcStats* stats = nullptr);

@@ -39,12 +39,23 @@ struct MdrrrOptions {
 /// every linear ranking function (Lemma 5); the size is within an
 /// O(d log(d c)) factor of optimal. With a sampled collection (K-SETr) the
 /// guarantee holds for every k-set in the sample.
+///
+/// Cost is the hitting-set engine's: the eps-net strategy runs O(log c)
+/// weight-doubling rounds over |S| = c sets of size k; greedy is
+/// O(c^2 k) worst case. Both are polynomial in the collection, which is
+/// the input here — enumeration/sampling cost is paid by the caller.
+///
+/// Fails with InvalidArgument when the dataset or k-set collection is
+/// empty; propagates any Status from the hitting-set engine.
 Result<std::vector<int32_t>> SolveMdrrr(const data::Dataset& dataset,
                                         const KSetCollection& ksets,
                                         const MdrrrOptions& options = {});
 
 /// \brief Full MDRRR pipeline as evaluated in Section 6: K-SETr sampling
-/// followed by the hitting set.
+/// (Algorithm 4) followed by the hitting set (Algorithm 3).
+///
+/// Fails with InvalidArgument for k == 0 or an empty dataset; propagates
+/// sampler and hitting-set errors otherwise.
 Result<std::vector<int32_t>> SolveMdrrrSampled(
     const data::Dataset& dataset, size_t k, const MdrrrOptions& options = {},
     const KSetSamplerOptions& sampler_options = {});

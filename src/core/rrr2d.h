@@ -28,7 +28,7 @@ struct Rrr2dOptions {
 /// always <= k. Runs in O(n^2 log n).
 ///
 /// Fails with InvalidArgument unless dims == 2, k >= 1, and the dataset is
-/// non-empty.
+/// non-empty; propagates any Status from FindRanges or the interval cover.
 Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
                                         size_t k,
                                         const Rrr2dOptions& options = {});

@@ -61,9 +61,15 @@ struct RrrResult {
 /// \brief One-call entry point to the library: computes a rank-regret
 /// representative of `dataset` for the options' k.
 ///
-/// See the per-algorithm headers for the exact guarantees (2DRRR: optimal
-/// size / 2k regret; MDRRR: k regret on the sampled k-sets / log-factor
-/// size; MDRC: dk regret / small size in practice).
+/// See the per-algorithm headers for the exact guarantees and costs
+/// (2DRRR: optimal size / 2k regret, O(n^2 log n); MDRRR: k regret on the
+/// sampled k-sets / log-factor size; MDRC: dk regret / small size in
+/// practice).
+///
+/// Fails with InvalidArgument for an empty dataset, k == 0, or an
+/// algorithm/dimension mismatch (k2dRrr on d != 2, kConvexMaxima with
+/// k > 1); otherwise propagates the dispatched algorithm's Status (e.g.
+/// MDRC's ResourceExhausted).
 Result<RrrResult> FindRankRegretRepresentative(const data::Dataset& dataset,
                                                const RrrOptions& options);
 
@@ -78,10 +84,14 @@ struct DualResult {
 /// \brief The dual formulation (Section 2): given a maximum representative
 /// size, binary-search the smallest k whose representative fits.
 ///
-/// Uses FindRankRegretRepresentative as the oracle, so the result inherits
-/// the chosen algorithm's approximation character. Fails with NotFound when
-/// even k = n produces a representative larger than `max_size` (cannot
-/// happen for max_size >= 1 with MDRC/2DRRR).
+/// Uses FindRankRegretRepresentative as the oracle — O(log n) oracle calls
+/// — so the result inherits the chosen algorithm's approximation character.
+///
+/// Fails with InvalidArgument for max_size == 0 or an empty dataset, and
+/// with NotFound when even k = n produces a representative larger than
+/// `max_size` (cannot happen for max_size >= 1 with MDRC/2DRRR); oracle
+/// ResourceExhausted probes are treated as "too large" and the search
+/// continues upward.
 Result<DualResult> SolveDualProblem(const data::Dataset& dataset,
                                     size_t max_size,
                                     const RrrOptions& base_options);

@@ -52,6 +52,9 @@ class AngularSweep {
   /// Exchanges at equal angles are applied in a deterministic order (heap
   /// order on (angle, upper item id)). Returns the number of exchanges
   /// applied (including the one on which the callback stopped the sweep).
+  /// O((n + E) log n): each of the E exchanges costs one heap pop and at
+  /// most two pushes. Cannot fail; precondition violations (non-2D data)
+  /// abort via RRR_CHECK in the constructor.
   size_t Run(const SweepCallback& cb) const;
 
   /// \brief Exchange angle of two items: the theta at which a and b score
