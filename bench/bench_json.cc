@@ -1,0 +1,169 @@
+#include "bench_json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/parallel.h"
+#include "common/string_util.h"
+
+namespace rrr {
+namespace bench {
+
+namespace {
+
+bool EmissionDisabledByEnv() {
+  const char* env = std::getenv("RRR_BENCH_JSON");
+  return env != nullptr && std::string(env) == "0";
+}
+
+std::string OutputDir() {
+  const char* env = std::getenv("RRR_BENCH_JSON_DIR");
+  return (env != nullptr && env[0] != '\0') ? env : ".";
+}
+
+void WriteGlobalAtExit() {
+  if (!BenchJson::Global().active()) return;
+  Result<std::string> path = BenchJson::Global().WriteFile();
+  if (path.ok()) {
+    std::fprintf(stderr, "# wrote %s\n", path->c_str());
+  } else {
+    std::fprintf(stderr, "# bench json: %s\n",
+                 path.status().ToString().c_str());
+  }
+}
+
+}  // namespace
+
+BenchJson& BenchJson::Global() {
+  static BenchJson* instance = new BenchJson();
+  return *instance;
+}
+
+void BenchJson::Begin(const std::string& slug, const std::string& title) {
+  disabled_ = EmissionDisabledByEnv();
+  slug_ = slug;
+  title_ = title;
+  rows_.clear();
+  if (!begun_) {
+    begun_ = true;
+    std::atexit(WriteGlobalAtExit);
+  }
+}
+
+void BenchJson::SetColumns(const std::vector<std::string>& columns) {
+  columns_ = columns;
+}
+
+void BenchJson::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+bool BenchJson::active() const { return begun_ && !disabled_; }
+
+Result<std::string> BenchJson::WriteFile() {
+  if (!active()) return Status::FailedPrecondition("bench json inactive");
+  const std::string path = OutputDir() + "/BENCH_" + slug_ + ".json";
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const char* env_full = std::getenv("RRR_BENCH_FULL");
+  const bool full = env_full != nullptr && std::string(env_full) == "1";
+  out << "{\n";
+  out << "  \"bench\": \"" << JsonEscape(slug_) << "\",\n";
+  out << "  \"title\": \"" << JsonEscape(title_) << "\",\n";
+  out << "  \"scale\": \"" << (full ? "full" : "laptop") << "\",\n";
+  out << "  \"threads_available\": " << HardwareConcurrency() << ",\n";
+  out << "  \"columns\": [";
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    if (j > 0) out << ", ";
+    out << '"' << JsonEscape(columns_[j]) << '"';
+  }
+  out << "],\n";
+  out << "  \"rows\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {";
+    const std::vector<std::string>& cells = rows_[i];
+    const size_t fields = std::min(cells.size(), columns_.size());
+    for (size_t j = 0; j < fields; ++j) {
+      if (j > 0) out << ", ";
+      out << '"' << JsonEscape(columns_[j]) << "\": ";
+      if (IsJsonNumber(cells[j])) {
+        out << cells[j];
+      } else {
+        out << '"' << JsonEscape(cells[j]) << '"';
+      }
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return path;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x",
+                           static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool IsJsonNumber(const std::string& s) {
+  // JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  size_t i = 0;
+  const size_t n = s.size();
+  if (n == 0) return false;
+  if (s[i] == '-') ++i;
+  if (i == n || !std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  if (s[i] == '0' && i + 1 < n &&
+      std::isdigit(static_cast<unsigned char>(s[i + 1]))) {
+    return false;  // leading zeros are not JSON numbers
+  }
+  while (i < n && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (i < n && s[i] == '.') {
+    ++i;
+    if (i == n || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+    while (i < n && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i == n || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+    while (i < n && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  return i == n;
+}
+
+}  // namespace bench
+}  // namespace rrr

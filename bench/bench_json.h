@@ -1,0 +1,74 @@
+#ifndef RRR_BENCH_BENCH_JSON_H_
+#define RRR_BENCH_BENCH_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rrr {
+namespace bench {
+
+/// \brief Machine-readable sink for bench results: collects the same rows
+/// the drivers print as CSV and writes them as `BENCH_<slug>.json` when the
+/// process exits.
+///
+/// This is the perf-trajectory record: every fig*/driver run leaves a JSON
+/// artifact that later PRs (and CI) can diff for regressions. The file is
+/// written to $RRR_BENCH_JSON_DIR (default: the working directory); set
+/// RRR_BENCH_JSON=0 to disable emission entirely.
+///
+/// Schema:
+/// {
+///   "bench": "<slug>",                 // stable driver name
+///   "title": "<human setting>",
+///   "scale": "full" | "laptop",
+///   "threads_available": N,            // hardware concurrency of the host
+///   "columns": ["algorithm", "n", ...],
+///   "rows": [ {"algorithm": "MDRC", "n": 100000, "time_sec": 1.23, ...} ]
+/// }
+/// Cells that parse as finite numbers are emitted as JSON numbers, all
+/// others as strings.
+class BenchJson {
+ public:
+  /// Process-wide collector used by figure_util's header/row helpers.
+  static BenchJson& Global();
+
+  /// Starts a report: remembers the slug/title and registers the atexit
+  /// writer (first call only).
+  void Begin(const std::string& slug, const std::string& title);
+
+  /// Declares the column names subsequent AddRow calls pair up with.
+  void SetColumns(const std::vector<std::string>& columns);
+
+  /// Records one result row (same cells the CSV printer shows).
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// True when emission is enabled (RRR_BENCH_JSON != "0") and Begin ran.
+  bool active() const;
+
+  /// Writes BENCH_<slug>.json; returns the path written. Called
+  /// automatically at exit, but drivers may call it eagerly to report the
+  /// path. Subsequent rows are appended and rewritten at exit.
+  Result<std::string> WriteFile();
+
+ private:
+  bool begun_ = false;
+  bool disabled_ = false;
+  std::string slug_;
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// True when `s` is a valid JSON number literal (so it can be emitted
+/// unquoted exactly as printed).
+bool IsJsonNumber(const std::string& s);
+
+}  // namespace bench
+}  // namespace rrr
+
+#endif  // RRR_BENCH_BENCH_JSON_H_

@@ -13,7 +13,7 @@
 int main() {
   using namespace rrr;
   bench::PrintFigureHeader(
-      "Figure 7", "k-set overlap, 20-item DOT-like sample, d=2, k=2",
+      "fig07_kset_overlap", "Figure 7", "k-set overlap, 20-item DOT-like sample, d=2, k=2",
       "item,memberships,sets_total");
 
   const data::Dataset dot = data::GenerateDotLike(10000, 7).ProjectPrefix(2);

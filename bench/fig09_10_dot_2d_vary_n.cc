@@ -21,6 +21,7 @@
 int main() {
   using namespace rrr;
   bench::PrintFigureHeader(
+      "fig09_10_dot_2d_vary_n",
       "Figures 9 (time) + 10 (quality)",
       "DOT-like, d=2, k=1% of n, vary n",
       "algorithm,n,time_sec,exact_rank_regret,output_size");

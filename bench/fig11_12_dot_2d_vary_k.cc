@@ -21,6 +21,7 @@ int main() {
   using namespace rrr;
   const size_t n = bench::FullScale() ? 10000 : 4000;
   bench::PrintFigureHeader(
+      "fig11_12_dot_2d_vary_k",
       "Figures 11 (time) + 12 (quality)",
       StrFormat("DOT-like, d=2, n=%zu, vary k", n),
       "algorithm,k_percent,k,time_sec,exact_rank_regret,output_size");

@@ -19,7 +19,7 @@ int main() {
   using namespace rrr;
   const size_t n = bench::DefaultN();
   bench::PrintFigureHeader(
-      "Figure 13", StrFormat("DOT-like, d=3, n=%zu: |S| vs k", n),
+      "fig13_ksets_dot_vary_k", "Figure 13", StrFormat("DOT-like, d=3, n=%zu: |S| vs k", n),
       "k_percent,k,ksets_actual,upper_bound_nk32,samples,time_sec");
 
   const data::Dataset ds = data::GenerateDotLike(n, 42).ProjectPrefix(3);

@@ -21,7 +21,7 @@ int main() {
   const size_t n = bench::DefaultN();
   const size_t k = std::max<size_t>(1, n / 100);
   bench::PrintFigureHeader(
-      "Figure 14", StrFormat("DOT-like, n=%zu, k=%zu: |S| vs d", n, k),
+      "fig14_ksets_dot_vary_d", "Figure 14", StrFormat("DOT-like, n=%zu, k=%zu: |S| vs d", n, k),
       "d,ksets_actual,upper_bound,samples,time_sec");
 
   const data::Dataset all = data::GenerateDotLike(n, 42);

@@ -16,7 +16,7 @@ int main() {
   using namespace rrr;
   const size_t n = bench::DefaultN();
   bench::PrintFigureHeader(
-      "Figure 15", StrFormat("BN-like, d=3, n=%zu: |S| vs k", n),
+      "fig15_ksets_bn_vary_k", "Figure 15", StrFormat("BN-like, d=3, n=%zu: |S| vs k", n),
       "k_percent,k,ksets_actual,upper_bound_nk32,samples,time_sec");
 
   const data::Dataset ds = data::GenerateBnLike(n, 42).ProjectPrefix(3);

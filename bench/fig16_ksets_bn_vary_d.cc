@@ -16,7 +16,7 @@ int main() {
   const size_t n = bench::DefaultN();
   const size_t k = std::max<size_t>(1, n / 100);
   bench::PrintFigureHeader(
-      "Figure 16", StrFormat("BN-like, n=%zu, k=%zu: |S| vs d", n, k),
+      "fig16_ksets_bn_vary_d", "Figure 16", StrFormat("BN-like, n=%zu, k=%zu: |S| vs d", n, k),
       "d,ksets_actual,upper_bound,samples,time_sec");
 
   const data::Dataset all = data::GenerateBnLike(n, 42);

@@ -14,9 +14,10 @@
 int main() {
   using namespace rrr;
   bench::PrintFigureHeader(
+      "fig17_18_dot_md_vary_n",
       "Figures 17 (time) + 18 (quality)",
       "DOT-like, d=3, k=1% of n, vary n",
-      "algorithm,n,time_sec,sampled_rank_regret,output_size");
+      bench::MdComparisonColumns("n"));
 
   const size_t full_max = 400000;
   const data::Dataset all =

@@ -10,9 +10,10 @@
 int main() {
   using namespace rrr;
   bench::PrintFigureHeader(
+      "fig19_20_bn_md_vary_n",
       "Figures 19 (time) + 20 (quality)",
       "BN-like, d=3, k=1% of n, vary n",
-      "algorithm,n,time_sec,sampled_rank_regret,output_size");
+      bench::MdComparisonColumns("n"));
 
   const size_t full_max = 100000;
   const data::Dataset all =

@@ -17,9 +17,10 @@ int main() {
   const size_t n = bench::DefaultN();
   const size_t k = std::max<size_t>(1, n / 100);
   bench::PrintFigureHeader(
+      "fig21_22_dot_md_vary_d",
       "Figures 21 (time) + 22 (quality)",
       StrFormat("DOT-like, n=%zu, k=%zu, vary d", n, k),
-      "algorithm,d,time_sec,sampled_rank_regret,output_size");
+      bench::MdComparisonColumns("d"));
 
   const data::Dataset all = data::GenerateDotLike(n, 42);
   const size_t max_d = bench::FullScale() ? 6 : 5;

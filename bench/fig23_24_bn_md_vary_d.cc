@@ -12,9 +12,10 @@ int main() {
   const size_t n = bench::DefaultN();
   const size_t k = std::max<size_t>(1, n / 100);
   bench::PrintFigureHeader(
+      "fig23_24_bn_md_vary_d",
       "Figures 23 (time) + 24 (quality)",
       StrFormat("BN-like, n=%zu, k=%zu, vary d", n, k),
-      "algorithm,d,time_sec,sampled_rank_regret,output_size");
+      bench::MdComparisonColumns("d"));
 
   const data::Dataset all = data::GenerateBnLike(n, 42);
   for (size_t d = 3; d <= 5; ++d) {

@@ -15,9 +15,10 @@ int main() {
   using namespace rrr;
   const size_t n = bench::DefaultN();
   bench::PrintFigureHeader(
+      "fig25_26_dot_md_vary_k",
       "Figures 25 (time) + 26 (quality)",
       StrFormat("DOT-like, d=3, n=%zu, vary k", n),
-      "algorithm,k,time_sec,sampled_rank_regret,output_size");
+      bench::MdComparisonColumns("k"));
 
   const data::Dataset ds = data::GenerateDotLike(n, 42).ProjectPrefix(3);
   for (double kp : {0.001, 0.01, 0.1}) {

@@ -11,9 +11,10 @@ int main() {
   using namespace rrr;
   const size_t n = bench::DefaultN();
   bench::PrintFigureHeader(
+      "fig27_28_bn_md_vary_k",
       "Figures 27 (time) + 28 (quality)",
       StrFormat("BN-like, d=3, n=%zu, vary k", n),
-      "algorithm,k,time_sec,sampled_rank_regret,output_size");
+      bench::MdComparisonColumns("k"));
 
   const data::Dataset ds = data::GenerateBnLike(n, 42).ProjectPrefix(3);
   for (double kp : {0.001, 0.01, 0.1}) {

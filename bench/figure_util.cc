@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "bench_json.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/mdrc.h"
@@ -20,7 +22,8 @@ bool FullScale() {
 
 size_t EvalFunctions() { return FullScale() ? 10000 : 1000; }
 
-void PrintFigureHeader(const std::string& figure, const std::string& title,
+void PrintFigureHeader(const std::string& slug, const std::string& figure,
+                       const std::string& title,
                        const std::string& columns) {
   std::printf("# %s\n", figure.c_str());
   std::printf("# %s\n", title.c_str());
@@ -28,11 +31,14 @@ void PrintFigureHeader(const std::string& figure, const std::string& title,
               FullScale() ? "FULL" : "laptop default");
   std::printf("%s\n", columns.c_str());
   std::fflush(stdout);
+  BenchJson::Global().Begin(slug, title);
+  BenchJson::Global().SetColumns(Split(columns, ','));
 }
 
 void PrintRow(const std::vector<std::string>& cells) {
   std::printf("%s\n", Join(cells, ",").c_str());
   std::fflush(stdout);
+  BenchJson::Global().AddRow(cells);
 }
 
 std::vector<size_t> NSweep(size_t full_max) {
@@ -53,37 +59,51 @@ std::vector<size_t> NSweep2D(size_t full_max) {
 
 size_t DefaultN() { return FullScale() ? 10000 : 2000; }
 
+std::string MdComparisonColumns(const std::string& x) {
+  return "algorithm," + x +
+         ",time_sec,sampled_rank_regret,output_size,threads";
+}
+
 void RunMdComparisonRow(const data::Dataset& dataset,
                         const MdComparisonConfig& config) {
+  const size_t threads = ResolveThreads(config.threads);
+  const std::string threads_cell = StrFormat("%zu", threads);
   eval::SampledRankRegretOptions eval_opts;
   eval_opts.num_functions = EvalFunctions();
   eval_opts.seed = config.eval_seed;
+  eval_opts.threads = threads;
 
   // MDRC.
+  core::MdrcOptions mdrc_opts;
+  mdrc_opts.threads = threads;
   Stopwatch timer;
-  Result<std::vector<int32_t>> mdrc = core::SolveMdrc(dataset, config.k);
+  Result<std::vector<int32_t>> mdrc =
+      core::SolveMdrc(dataset, config.k, mdrc_opts);
   const double mdrc_time = timer.ElapsedSeconds();
   RRR_CHECK_OK(mdrc.status());
   const int64_t mdrc_regret =
       *eval::SampledRankRegret(dataset, *mdrc, eval_opts);
   PrintRow({"MDRC", config.label, StrFormat("%.4f", mdrc_time),
             StrFormat("%lld", static_cast<long long>(mdrc_regret)),
-            StrFormat("%zu", mdrc->size())});
+            StrFormat("%zu", mdrc->size()), threads_cell});
 
   // MDRRR = K-SETr + hitting set (Section 6 pipeline).
   if (config.run_mdrrr) {
+    core::KSetSamplerOptions sampler_opts;
+    sampler_opts.threads = threads;
     timer.Restart();
     Result<std::vector<int32_t>> mdrrr =
-        core::SolveMdrrrSampled(dataset, config.k);
+        core::SolveMdrrrSampled(dataset, config.k, {}, sampler_opts);
     const double mdrrr_time = timer.ElapsedSeconds();
     RRR_CHECK_OK(mdrrr.status());
     const int64_t mdrrr_regret =
         *eval::SampledRankRegret(dataset, *mdrrr, eval_opts);
     PrintRow({"MDRRR", config.label, StrFormat("%.4f", mdrrr_time),
               StrFormat("%lld", static_cast<long long>(mdrrr_regret)),
-              StrFormat("%zu", mdrrr->size())});
+              StrFormat("%zu", mdrrr->size()), threads_cell});
   } else {
-    PrintRow({"MDRRR", config.label, "did-not-scale", "-", "-"});
+    PrintRow({"MDRRR", config.label, "did-not-scale", "-", "-",
+              threads_cell});
   }
 
   // HD-RRMS at MDRC's output size (the paper's comparison protocol).
@@ -99,7 +119,7 @@ void RunMdComparisonRow(const data::Dataset& dataset,
       *eval::SampledRankRegret(dataset, hd->representative, eval_opts);
   PrintRow({"HD-RRMS", config.label, StrFormat("%.4f", hd_time),
             StrFormat("%lld", static_cast<long long>(hd_regret)),
-            StrFormat("%zu", hd->representative.size())});
+            StrFormat("%zu", hd->representative.size()), threads_cell});
 }
 
 }  // namespace bench

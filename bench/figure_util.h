@@ -20,11 +20,15 @@ bool FullScale();
 /// full mode (the paper's protocol), 1,000 scaled.
 size_t EvalFunctions();
 
-/// Prints the figure banner: which paper figure, the setting, the columns.
-void PrintFigureHeader(const std::string& figure, const std::string& title,
-                       const std::string& columns);
+/// Prints the figure banner (which paper figure, the setting, the columns)
+/// and opens the machine-readable BENCH_<slug>.json report (bench_json.h);
+/// every subsequent PrintRow lands in both. `slug` must be a stable
+/// filename-safe driver name (e.g. "fig17_18_dot_md_vary_n").
+void PrintFigureHeader(const std::string& slug, const std::string& figure,
+                       const std::string& title, const std::string& columns);
 
-/// Prints one CSV row (already formatted values).
+/// Prints one CSV row (already formatted values) and records it in the
+/// JSON report.
 void PrintRow(const std::vector<std::string>& cells);
 
 /// Dataset-size sweep used by the vary-n figures.
@@ -46,9 +50,15 @@ struct MdComparisonConfig {
   size_t k = 0;
   bool run_mdrrr = true;
   uint64_t eval_seed = 23;
+  /// Worker threads for MDRC/MDRRR/the evaluator: 0 = hardware concurrency.
+  size_t threads = 0;
 };
 void RunMdComparisonRow(const data::Dataset& dataset,
                         const MdComparisonConfig& config);
+
+/// Column list matching RunMdComparisonRow's output; `x` names the swept
+/// variable ("n", "d", or "k").
+std::string MdComparisonColumns(const std::string& x);
 
 }  // namespace bench
 }  // namespace rrr

@@ -1,0 +1,129 @@
+// Serial-vs-parallel baseline for the rrr::common::ThreadPool subsystem:
+// the three parallelized hot paths (MDRC cell expansion, K-SETr sampling,
+// the sampled rank-regret evaluator) timed at 1/2/4/hardware threads on one
+// fixed workload each. The committed BENCH_parallel_baseline.json is this
+// driver's output — the first recorded perf trajectory point; re-run after
+// any solver change and diff.
+//
+// Representatives are thread-count invariant (the equivalence tests pin
+// this), so rows differ only in wall time.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/kset_sampler.h"
+#include "core/mdrc.h"
+#include "data/generators.h"
+#include "eval/rank_regret.h"
+#include "figure_util.h"
+
+namespace {
+
+std::vector<size_t> ThreadSweep() {
+  std::vector<size_t> sweep = {1, 2, 4};
+  const size_t hw = rrr::HardwareConcurrency();
+  if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) {
+    sweep.push_back(hw);
+  }
+  return sweep;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rrr;
+  bench::PrintFigureHeader(
+      "parallel_baseline", "Parallel baseline",
+      "MDRC n=100k (d=3 and d=5) / K-SETr n=4k / evaluator n=100k, "
+      "serial vs parallel",
+      "algorithm,n,d,k,threads,time_sec,output_size,speedup_vs_serial");
+
+  // MDRC: the fig17 acceptance workload (d=3, k=1%, shallow tree) and a
+  // deep-tree variant (d=5, k=0.5%) where corner evaluations dominate and
+  // the per-depth fan-out has real width. One untimed warm-up solve per
+  // dataset keeps first-touch page faults out of the serial row.
+  {
+    const size_t n = 100000;
+    const data::Dataset all = data::GenerateDotLike(n, 42);
+    struct McdrcCase {
+      size_t d;
+      size_t k;
+    };
+    for (const McdrcCase& c : {McdrcCase{3, n / 100}, McdrcCase{5, n / 200}}) {
+      const data::Dataset ds = all.ProjectPrefix(c.d);
+      RRR_CHECK_OK(core::SolveMdrc(ds, c.k, {}).status());  // warm-up
+      double serial_time = 0.0;
+      for (size_t threads : ThreadSweep()) {
+        core::MdrcOptions opts;
+        opts.threads = threads;
+        Stopwatch timer;
+        Result<std::vector<int32_t>> rep = core::SolveMdrc(ds, c.k, opts);
+        const double t = timer.ElapsedSeconds();
+        RRR_CHECK_OK(rep.status());
+        if (threads == 1) serial_time = t;
+        bench::PrintRow({"MDRC", StrFormat("%zu", n),
+                         StrFormat("%zu", c.d), StrFormat("%zu", c.k),
+                         StrFormat("%zu", threads), StrFormat("%.4f", t),
+                         StrFormat("%zu", rep->size()),
+                         StrFormat("%.2f", serial_time / t)});
+      }
+    }
+  }
+
+  // K-SETr sampling: per-sample top-k scans fan out. Sized so one thread
+  // sweep stays seconds, not minutes (this driver is CI's bench smoke).
+  {
+    const size_t n = 4000;
+    const size_t k = 40;
+    const data::Dataset ds = data::GenerateDotLike(n, 42).ProjectPrefix(3);
+    RRR_CHECK_OK(core::SampleKSets(ds, k, {}).status());  // warm-up
+    double serial_time = 0.0;
+    for (size_t threads : ThreadSweep()) {
+      core::KSetSamplerOptions opts;
+      opts.threads = threads;
+      Stopwatch timer;
+      Result<core::KSetSampleResult> sample = core::SampleKSets(ds, k, opts);
+      const double t = timer.ElapsedSeconds();
+      RRR_CHECK_OK(sample.status());
+      if (threads == 1) serial_time = t;
+      bench::PrintRow({"K-SETr", StrFormat("%zu", n), "3",
+                       StrFormat("%zu", k), StrFormat("%zu", threads),
+                       StrFormat("%.4f", t),
+                       StrFormat("%zu", sample->ksets.size()),
+                       StrFormat("%.2f", serial_time / t)});
+    }
+  }
+
+  // Sampled rank-regret evaluator: per-function rank scans fan out.
+  {
+    const size_t n = 100000;
+    const size_t k = n / 100;
+    const data::Dataset ds = data::GenerateDotLike(n, 42).ProjectPrefix(3);
+    Result<std::vector<int32_t>> rep = core::SolveMdrc(ds, k, {});
+    RRR_CHECK_OK(rep.status());
+    {
+      eval::SampledRankRegretOptions warmup;
+      warmup.num_functions = 100;
+      RRR_CHECK_OK(eval::SampledRankRegret(ds, *rep, warmup).status());
+    }
+    double serial_time = 0.0;
+    for (size_t threads : ThreadSweep()) {
+      eval::SampledRankRegretOptions opts;
+      opts.num_functions = 2000;
+      opts.threads = threads;
+      Stopwatch timer;
+      Result<int64_t> regret = eval::SampledRankRegret(ds, *rep, opts);
+      const double t = timer.ElapsedSeconds();
+      RRR_CHECK_OK(regret.status());
+      if (threads == 1) serial_time = t;
+      bench::PrintRow({"EVAL-SAMPLED", StrFormat("%zu", n), "3",
+                       StrFormat("%zu", k), StrFormat("%zu", threads),
+                       StrFormat("%.4f", t), StrFormat("%zu", rep->size()),
+                       StrFormat("%.2f", serial_time / t)});
+    }
+  }
+  return 0;
+}

@@ -40,7 +40,14 @@ Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
           ranges[up].begin = ev.angle;
         }
         in_topk_now[up] = 1;
-        ranges[down].end = ev.angle;  // overwritten on re-entry/re-exit
+        if (ranges[down].begin == ev.angle) {
+          // Entered and left at the same angle: a transient visitor of an
+          // equal-angle tie cascade. Its net range is empty — drop it so a
+          // zero-width phantom interval can never be picked as a cover.
+          ranges[down].in_topk = false;
+        } else {
+          ranges[down].end = ev.angle;  // overwritten on re-entry/re-exit
+        }
         in_topk_now[down] = 0;
       }
       return true;

@@ -18,22 +18,26 @@ Result<std::vector<KBorderSegment>> ComputeKBorder2D(
   AngularSweep sweep(dataset);
   std::vector<KBorderSegment> border;
   int32_t current = sweep.InitialOrder()[k - 1];
+  int32_t pending = current;
   double segment_start = 0.0;
 
   sweep.Run([&](const SweepEvent& ev) {
     // The k-th ranked tuple changes only when the exchange touches rank k.
-    int32_t next = current;
+    // Track it through every exchange, but emit a segment only at settled
+    // orders — mid-cascade holders of rank k (equal-angle tie groups) are
+    // bookkeeping states, not ranks any function realizes, and would
+    // produce zero-width phantom segments.
     if (ev.upper_position == k) {
       // Ranks k and k+1 swapped: the riser now holds rank k.
-      next = ev.item_up;
+      pending = ev.item_up;
     } else if (k >= 2 && ev.upper_position == k - 1) {
       // Ranks k-1 and k swapped: the dropper now holds rank k.
-      next = ev.item_down;
+      pending = ev.item_down;
     }
-    if (next != current) {
+    if (ev.settled && pending != current) {
       border.push_back(KBorderSegment{segment_start, ev.angle, current});
       segment_start = ev.angle;
-      current = next;
+      current = pending;
     }
     return true;
   });

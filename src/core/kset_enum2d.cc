@@ -26,6 +26,7 @@ Result<KSetCollection> EnumerateKSets2D(const data::Dataset& dataset,
   out.Insert(current);
 
   if (kk < n) {
+    bool boundary_crossed = false;
     sweep.Run([&](const SweepEvent& ev) {
       if (ev.upper_position == kk) {
         // The boundary exchange replaces item_down with item_up.
@@ -33,7 +34,14 @@ Result<KSetCollection> EnumerateKSets2D(const data::Dataset& dataset,
                             ev.item_down);
         RRR_DCHECK(it != current.ids.end()) << "k-border bookkeeping";
         *it = ev.item_up;
+        boundary_crossed = true;
+      }
+      // Record only settled orders: mid-cascade states of an equal-angle
+      // tie group are not any function's top-k and would insert phantom
+      // k-sets.
+      if (ev.settled && boundary_crossed) {
         out.Insert(current);
+        boundary_crossed = false;
       }
       return true;
     });

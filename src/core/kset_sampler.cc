@@ -1,7 +1,9 @@
 #include "core/kset_sampler.h"
 
+#include <algorithm>
 #include <memory>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "geometry/dominance.h"
 #include "topk/scoring.h"
@@ -15,6 +17,7 @@ Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
                                      const KSetSamplerOptions& options) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  RRR_RETURN_IF_ERROR(dataset.CheckFinite());
 
   // Optional sound search-space reduction: only k-skyband members can ever
   // appear in a top-k, and their relative id order (the tie-break) is
@@ -43,23 +46,71 @@ Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
     ta_index = std::make_unique<topk::ThresholdAlgorithmIndex>(*search);
   }
 
+  auto top_k_set = [&](const topk::LinearFunction& f) {
+    std::vector<int32_t> ids =
+        ta_index ? ta_index->TopKSet(f, k) : topk::TopKSet(*search, f, k);
+    if (options.skyband_prefilter) {
+      for (int32_t& id : ids) id = band_ids[static_cast<size_t>(id)];
+    }
+    return ids;
+  };
+
   Rng rng(options.seed);
   KSetSampleResult out;
   size_t misses = 0;
+  const size_t threads = ResolveThreads(options.threads);
+
+  if (threads <= 1) {
+    // Serial path: evaluate each draw before deciding whether to stop.
+    while (misses < options.termination_count &&
+           out.samples_drawn < options.max_samples) {
+      ++out.samples_drawn;
+      topk::LinearFunction f(
+          rng.UnitWeightVector(static_cast<int>(dataset.dims())));
+      KSet s;
+      s.ids = top_k_set(f);
+      if (out.ksets.Insert(std::move(s))) {
+        misses = 0;
+      } else {
+        ++misses;
+      }
+    }
+    return out;
+  }
+
+  // Parallel path: draw a batch of functions from the single Rng (cheap,
+  // serial — the draw sequence is what determinism rests on), fan the
+  // expensive top-k evaluations out, then replay the results in draw order
+  // against the coupon-collector termination rule. Batch results past the
+  // stopping point are discarded, so the recorded collection matches the
+  // serial path sample for sample.
+  const size_t batch_size = std::min<size_t>(
+      std::max<size_t>(4 * threads, 16), options.termination_count);
+  std::vector<topk::LinearFunction> funcs;
+  std::vector<std::vector<int32_t>> results;
   while (misses < options.termination_count &&
          out.samples_drawn < options.max_samples) {
-    ++out.samples_drawn;
-    topk::LinearFunction f(
-        rng.UnitWeightVector(static_cast<int>(dataset.dims())));
-    KSet s;
-    s.ids = ta_index ? ta_index->TopKSet(f, k) : topk::TopKSet(*search, f, k);
-    if (options.skyband_prefilter) {
-      for (int32_t& id : s.ids) id = band_ids[static_cast<size_t>(id)];
+    const size_t batch =
+        std::min(batch_size, options.max_samples - out.samples_drawn);
+    funcs.clear();
+    funcs.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      funcs.emplace_back(
+          rng.UnitWeightVector(static_cast<int>(dataset.dims())));
     }
-    if (out.ksets.Insert(std::move(s))) {
-      misses = 0;
-    } else {
-      ++misses;
+    results.assign(batch, {});
+    ParallelFor(threads, batch,
+                [&](size_t i) { results[i] = top_k_set(funcs[i]); });
+    for (size_t i = 0; i < batch; ++i) {
+      ++out.samples_drawn;
+      KSet s;
+      s.ids = std::move(results[i]);
+      if (out.ksets.Insert(std::move(s))) {
+        misses = 0;
+      } else {
+        ++misses;
+      }
+      if (misses >= options.termination_count) break;
     }
   }
   return out;

@@ -29,6 +29,12 @@ struct KSetSamplerOptions {
   /// O(d n log n) once; each query then stops early on correlated data.
   /// Results are identical either way. Composes with skyband_prefilter.
   bool use_threshold_algorithm = false;
+  /// Worker threads for the per-sample top-k evaluations: 0 = hardware
+  /// concurrency, 1 = serial. Ranking functions are always drawn from the
+  /// single seeded Rng in sequence and their k-sets are recorded in draw
+  /// order, so the sampled collection (and samples_drawn) is identical for
+  /// every thread count; only the top-k scans fan out.
+  size_t threads = 0;
 };
 
 /// Output of SampleKSets.

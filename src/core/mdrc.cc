@@ -1,10 +1,17 @@
 #include "core/mdrc.h"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "geometry/angles.h"
 #include "topk/scoring.h"
 #include "topk/topk.h"
@@ -14,52 +21,105 @@ namespace core {
 
 namespace {
 
-/// One recursion-tree node: an axis-aligned box in angle space.
+/// One partition-tree node: an axis-aligned box in angle space, plus its
+/// branch path from the root ('0' = upper half, '1' = lower half per
+/// split). Lexicographic path order equals the serial solver's traversal
+/// order, which the leaf replay below depends on.
 struct Node {
   std::vector<std::pair<double, double>> box;  // per-dimension [lo, hi]
   size_t level = 0;
+  std::string path;
 };
 
-/// Memoizing top-k evaluator keyed by the exact corner angle vector.
-/// Corner coordinates are dyadic fractions of pi/2, so exact double
-/// comparison is a sound cache key and siblings share corner results. The
-/// entry cap bounds memory on explosive instances: past it, corners are
-/// recomputed instead of stored (the returned reference then aliases a
-/// scratch slot that lives until the next TopKAt call).
-class CornerCache {
- public:
-  CornerCache(const data::Dataset& dataset, size_t k, size_t max_entries,
-              MdrcStats* stats)
-      : dataset_(dataset), k_(k), max_entries_(max_entries), stats_(stats) {}
+/// FNV-1a over the raw bytes of the corner coordinates. Corner coordinates
+/// are dyadic fractions of pi/2 propagated top-down, so equal corners are
+/// bit-identical doubles and byte hashing is sound.
+struct CornerHash {
+  size_t operator()(const geometry::Vec& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (double x : v) {
+      uint64_t bits;
+      std::memcpy(&bits, &x, sizeof(bits));
+      for (int b = 0; b < 8; ++b) {
+        h ^= (bits >> (8 * b)) & 0xffu;
+        h *= 1099511628211ull;
+      }
+    }
+    return static_cast<size_t>(h);
+  }
+};
 
-  const std::vector<int32_t>& TopKAt(const geometry::Vec& angles) {
-    auto it = cache_.find(angles);
-    if (it != cache_.end()) {
-      ++stats_->cache_hits;
-      return it->second;
+/// Concurrent memoizing top-k evaluator keyed by the exact corner angle
+/// vector, sharded to keep lock contention off the hot path. Entries are
+/// compute-once (std::call_once): sibling cells share most corners, so a
+/// thread that requests an in-flight corner waits for the computing thread
+/// instead of duplicating an O(n log k) top-k scan. Results are returned by
+/// value so no reference ever outlives a shard mutation. The per-shard
+/// entry cap bounds memory on explosive instances: past it, corners are
+/// recomputed instead of stored.
+class ShardedCornerCache {
+ public:
+  ShardedCornerCache(const data::Dataset& dataset, size_t k,
+                     size_t max_entries)
+      : dataset_(dataset),
+        k_(k),
+        per_shard_cap_(std::max<size_t>(1, max_entries / kShards)) {}
+
+  std::vector<int32_t> TopKAt(const geometry::Vec& angles) {
+    Shard& shard = shards_[CornerHash{}(angles) % kShards];
+    std::shared_ptr<Entry> entry;
+    bool existed = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(angles);
+      if (it != shard.map.end()) {
+        entry = it->second;
+        existed = true;
+      } else if (shard.map.size() < per_shard_cap_) {
+        entry = std::make_shared<Entry>();
+        shard.map.emplace(angles, entry);
+      }
     }
-    ++stats_->corner_evals;
-    std::vector<int32_t> topk =
-        topk::TopKSet(dataset_, topk::LinearFunction::FromAngles(angles), k_);
-    if (cache_.size() >= max_entries_) {
-      scratch_ = std::move(topk);
-      return scratch_;
+    if (entry == nullptr) {  // shard at capacity: evaluate without caching
+      corner_evals.fetch_add(1, std::memory_order_relaxed);
+      return Evaluate(angles);
     }
-    auto inserted = cache_.emplace(angles, std::move(topk));
-    return inserted.first->second;
+    if (existed) cache_hits.fetch_add(1, std::memory_order_relaxed);
+    std::call_once(entry->once, [&] {
+      corner_evals.fetch_add(1, std::memory_order_relaxed);
+      entry->topk = Evaluate(angles);
+    });
+    return entry->topk;
   }
 
+  std::atomic<size_t> corner_evals{0};
+  std::atomic<size_t> cache_hits{0};
+
  private:
+  static constexpr size_t kShards = 32;
+  struct Entry {
+    std::once_flag once;
+    std::vector<int32_t> topk;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<geometry::Vec, std::shared_ptr<Entry>, CornerHash> map;
+  };
+
+  std::vector<int32_t> Evaluate(const geometry::Vec& angles) const {
+    return topk::TopKSet(dataset_, topk::LinearFunction::FromAngles(angles),
+                         k_);
+  }
+
   const data::Dataset& dataset_;
   size_t k_;
-  size_t max_entries_;
-  MdrcStats* stats_;
-  std::map<geometry::Vec, std::vector<int32_t>> cache_;
-  std::vector<int32_t> scratch_;
+  size_t per_shard_cap_;
+  Shard shards_[kShards];
 };
 
 /// Intersection of the (sorted) top-k sets of all 2^dims corners of `box`.
-std::vector<int32_t> CornerIntersection(const Node& node, CornerCache* cache) {
+std::vector<int32_t> CornerIntersection(const Node& node,
+                                        ShardedCornerCache* cache) {
   const size_t dims = node.box.size();
   const size_t corners = size_t{1} << dims;
   std::vector<int32_t> common;
@@ -68,7 +128,7 @@ std::vector<int32_t> CornerIntersection(const Node& node, CornerCache* cache) {
     for (size_t j = 0; j < dims; ++j) {
       angles[j] = (mask >> j & 1) ? node.box[j].second : node.box[j].first;
     }
-    const std::vector<int32_t>& corner_topk = cache->TopKAt(angles);
+    const std::vector<int32_t> corner_topk = cache->TopKAt(angles);
     if (mask == 0) {
       common = corner_topk;
     } else {
@@ -82,6 +142,24 @@ std::vector<int32_t> CornerIntersection(const Node& node, CornerCache* cache) {
   return common;
 }
 
+/// A resolved cell, carried from the parallel expansion to the serial
+/// replay. `common` holds the full corner intersection so the replay can
+/// apply the order-dependent reuse_chosen logic exactly as the serial
+/// traversal would.
+struct LeafRecord {
+  std::string path;
+  std::vector<int32_t> common;  // empty for depth-cap leaves
+  int32_t fallback_item = -1;   // set for depth-cap leaves
+};
+
+/// Per-node outcome of one expansion round.
+struct NodeOutcome {
+  enum Kind : uint8_t { kInternal, kCommonLeaf, kDepthCapLeaf, kSkipped };
+  Kind kind = kSkipped;
+  std::vector<int32_t> common;
+  int32_t fallback_item = -1;
+};
+
 }  // namespace
 
 Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
@@ -89,6 +167,7 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
                                        MdrcStats* stats) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  RRR_RETURN_IF_ERROR(dataset.CheckFinite());
   MdrcStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = MdrcStats{};
@@ -100,66 +179,142 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
   }
   const size_t angle_dims = d - 1;
   const size_t max_level = options.max_splits_per_dim * angle_dims;
+  const size_t threads = ResolveThreads(options.threads);
 
-  CornerCache cache(dataset, std::min(k, dataset.size()),
-                    options.max_cache_entries, stats);
-  std::unordered_set<int32_t> chosen;
+  ShardedCornerCache cache(dataset, std::min(k, dataset.size()),
+                           options.max_cache_entries);
 
-  std::vector<Node> stack;
+  std::atomic<size_t> nodes{0};
+  std::atomic<size_t> leaves{0};
+  std::atomic<size_t> depth_cap_leaves{0};
+  std::atomic<size_t> max_depth{0};
+  std::atomic<bool> exhausted{false};
+
+  // Level-synchronous expansion: every node of one depth is independent, so
+  // each round is a parallel map over the frontier. The tree (and therefore
+  // the leaf set) is identical for every thread count; only the evaluation
+  // order differs, and the replay below erases that difference.
+  std::vector<Node> frontier;
+  std::vector<LeafRecord> leaf_records;
   Node root;
   root.box.assign(angle_dims, {0.0, geometry::kHalfPi});
-  stack.push_back(std::move(root));
+  frontier.push_back(std::move(root));
 
-  while (!stack.empty()) {
-    Node node = std::move(stack.back());
-    stack.pop_back();
-    if (++stats->nodes > options.max_nodes) {
-      return Status::ResourceExhausted(
-          "MDRC node budget exceeded; k is likely too small relative to n "
-          "for this dimensionality (raise MdrcOptions::max_nodes or k)");
+  while (!frontier.empty() && !exhausted.load(std::memory_order_relaxed)) {
+    std::vector<NodeOutcome> outcomes(frontier.size());
+    ParallelFor(threads, frontier.size(), [&](size_t i) {
+      if (exhausted.load(std::memory_order_relaxed)) return;
+      if (nodes.fetch_add(1, std::memory_order_relaxed) + 1 >
+          options.max_nodes) {
+        exhausted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const Node& node = frontier[i];
+      size_t seen = max_depth.load(std::memory_order_relaxed);
+      while (node.level > seen &&
+             !max_depth.compare_exchange_weak(seen, node.level,
+                                              std::memory_order_relaxed)) {
+      }
+
+      NodeOutcome& out = outcomes[i];
+      std::vector<int32_t> common = CornerIntersection(node, &cache);
+      if (!common.empty()) {
+        leaves.fetch_add(1, std::memory_order_relaxed);
+        out.kind = NodeOutcome::kCommonLeaf;
+        out.common = std::move(common);
+        return;
+      }
+      if (node.level >= max_level) {
+        // Degenerate geometry: corners disagree at sub-epsilon cell sizes.
+        // Keep the guarantee "some item per cell" with the first corner's
+        // best item; counted so callers can detect the fallback.
+        depth_cap_leaves.fetch_add(1, std::memory_order_relaxed);
+        geometry::Vec corner(angle_dims);
+        for (size_t j = 0; j < angle_dims; ++j) corner[j] = node.box[j].first;
+        out.kind = NodeOutcome::kDepthCapLeaf;
+        out.fallback_item = cache.TopKAt(corner).front();
+        return;
+      }
+      out.kind = NodeOutcome::kInternal;
+    });
+    if (exhausted.load(std::memory_order_relaxed)) break;
+
+    std::vector<Node> next;
+    next.reserve(2 * frontier.size());
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      NodeOutcome& out = outcomes[i];
+      Node& node = frontier[i];
+      switch (out.kind) {
+        case NodeOutcome::kCommonLeaf:
+          leaf_records.push_back(
+              LeafRecord{std::move(node.path), std::move(out.common), -1});
+          break;
+        case NodeOutcome::kDepthCapLeaf:
+          leaf_records.push_back(
+              LeafRecord{std::move(node.path), {}, out.fallback_item});
+          break;
+        case NodeOutcome::kInternal: {
+          const size_t dim = node.level % angle_dims;
+          const double mid =
+              0.5 * (node.box[dim].first + node.box[dim].second);
+          Node upper = node;
+          upper.level = node.level + 1;
+          upper.box[dim].first = mid;
+          upper.path.push_back('0');  // visited first by the serial solver
+          Node lower = std::move(node);
+          lower.level = upper.level;
+          lower.box[dim].second = mid;
+          lower.path.push_back('1');
+          next.push_back(std::move(upper));
+          next.push_back(std::move(lower));
+          break;
+        }
+        case NodeOutcome::kSkipped:
+          break;
+      }
     }
-    stats->max_depth = std::max(stats->max_depth, node.level);
+    frontier = std::move(next);
+  }
 
-    const std::vector<int32_t> common = CornerIntersection(node, &cache);
-    if (!common.empty()) {
-      ++stats->leaves;
-      // Prefer an already-chosen tuple (any member of the intersection
-      // satisfies Theorem 6, so reusing one shrinks the output for free);
-      // otherwise take the smallest id for determinism.
-      bool reused = false;
-      if (options.reuse_chosen) {
-        for (int32_t id : common) {
-          if (chosen.count(id) != 0) {
-            reused = true;
-            break;
-          }
+  stats->nodes = nodes.load();
+  stats->leaves = leaves.load();
+  stats->depth_cap_leaves = depth_cap_leaves.load();
+  stats->max_depth = max_depth.load();
+  stats->corner_evals = cache.corner_evals.load();
+  stats->cache_hits = cache.cache_hits.load();
+  if (exhausted.load()) {
+    return Status::ResourceExhausted(
+        "MDRC node budget exceeded; k is likely too small relative to n "
+        "for this dimensionality (raise MdrcOptions::max_nodes or k)");
+  }
+
+  // Serial replay in traversal order. reuse_chosen makes each leaf's
+  // decision depend on every earlier leaf's decision, so the replay walks
+  // the leaves exactly as the depth-first serial solver would reach them;
+  // this is what makes the output thread-count-invariant.
+  std::sort(leaf_records.begin(), leaf_records.end(),
+            [](const LeafRecord& a, const LeafRecord& b) {
+              return a.path < b.path;
+            });
+  std::unordered_set<int32_t> chosen;
+  for (const LeafRecord& rec : leaf_records) {
+    if (rec.common.empty()) {
+      chosen.insert(rec.fallback_item);
+      continue;
+    }
+    // Prefer an already-chosen tuple (any member of the intersection
+    // satisfies Theorem 6, so reusing one shrinks the output for free);
+    // otherwise take the smallest id for determinism.
+    bool reused = false;
+    if (options.reuse_chosen) {
+      for (int32_t id : rec.common) {
+        if (chosen.count(id) != 0) {
+          reused = true;
+          break;
         }
       }
-      if (!reused) chosen.insert(common.front());
-      continue;
     }
-    if (node.level >= max_level) {
-      // Degenerate geometry: corners disagree at sub-epsilon cell sizes.
-      // Keep the guarantee "some item per cell" with the first corner's
-      // best item; counted so callers can detect the fallback.
-      ++stats->depth_cap_leaves;
-      geometry::Vec corner(angle_dims);
-      for (size_t j = 0; j < angle_dims; ++j) corner[j] = node.box[j].first;
-      chosen.insert(cache.TopKAt(corner).front());
-      continue;
-    }
-
-    const size_t dim = node.level % angle_dims;
-    const double mid =
-        0.5 * (node.box[dim].first + node.box[dim].second);
-    Node left = node;
-    left.level = node.level + 1;
-    left.box[dim].second = mid;
-    Node right = std::move(node);
-    right.level = left.level;
-    right.box[dim].first = mid;
-    stack.push_back(std::move(left));
-    stack.push_back(std::move(right));
+    if (!reused) chosen.insert(rec.common.front());
   }
 
   std::vector<int32_t> out(chosen.begin(), chosen.end());

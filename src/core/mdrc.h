@@ -43,9 +43,22 @@ struct MdrcOptions {
   /// paper workloads at d >= 5 — see the micro_mdrc ablation). Off
   /// reproduces the paper's "return I[1]" literally.
   bool reuse_chosen = true;
+
+  /// Worker threads for the partition expansion: 0 = hardware concurrency,
+  /// 1 = serial. Child cells at one depth are expanded concurrently over a
+  /// sharded corner-top-k memo; leaf decisions are replayed in the serial
+  /// traversal order afterwards, so the representative is identical for
+  /// every thread count (the equivalence tests pin this).
+  size_t threads = 0;
 };
 
 /// Observability counters for a SolveMdrc run.
+///
+/// All counters are exact at threads = 1. Under parallel expansion the
+/// structural counters (nodes, leaves, depth_cap_leaves, max_depth) stay
+/// exact; corner_evals/cache_hits match the serial counts too (cache
+/// entries are compute-once), except when the cache cap forces uncached
+/// re-evaluations, whose hit/miss split can then differ slightly.
 struct MdrcStats {
   /// Recursion-tree nodes visited.
   size_t nodes = 0;

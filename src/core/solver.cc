@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "geometry/convex_hull.h"
 #include "geometry/dominance.h"
@@ -15,8 +16,9 @@ namespace {
 /// non-negative linear function. Prefilters to the skyline (maxima are
 /// always Pareto-optimal, and separation from the skyline implies
 /// separation from everything it dominates), then runs the per-candidate
-/// separation LP.
-Result<std::vector<int32_t>> SolveConvexMaxima(const data::Dataset& dataset) {
+/// separation LP (fanned out over `threads`).
+Result<std::vector<int32_t>> SolveConvexMaxima(const data::Dataset& dataset,
+                                               size_t threads) {
   const std::vector<int32_t> sky = geometry::Skyline(
       dataset.flat(), dataset.size(), dataset.dims());
   if (sky.size() <= 1) return sky;
@@ -32,7 +34,7 @@ Result<std::vector<int32_t>> SolveConvexMaxima(const data::Dataset& dataset) {
   std::vector<int32_t> maxima;
   RRR_ASSIGN_OR_RETURN(
       maxima, geometry::ConvexMaxima(compact->flat(), compact->size(),
-                                     compact->dims()));
+                                     compact->dims(), threads));
   for (int32_t& id : maxima) id = sky[static_cast<size_t>(id)];
   std::sort(maxima.begin(), maxima.end());
   return maxima;
@@ -60,10 +62,7 @@ Result<RrrResult> FindRankRegretRepresentative(const data::Dataset& dataset,
                                                const RrrOptions& options) {
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (!dataset.AllFinite()) {
-    return Status::InvalidArgument(
-        "dataset contains NaN or infinite values; normalize/clean first");
-  }
+  RRR_RETURN_IF_ERROR(dataset.CheckFinite());
 
   Algorithm algorithm = options.algorithm;
   if (algorithm == Algorithm::kAuto) {
@@ -83,6 +82,15 @@ Result<RrrResult> FindRankRegretRepresentative(const data::Dataset& dataset,
         "convex maxima solve is exact only for k == 1");
   }
 
+  // A facade-level thread count overrides the per-algorithm sub-options so
+  // one knob controls the whole solve.
+  KSetSamplerOptions sampler_options = options.sampler;
+  MdrcOptions mdrc_options = options.mdrc;
+  if (options.threads != 0) {
+    sampler_options.threads = options.threads;
+    mdrc_options.threads = options.threads;
+  }
+
   RrrResult result;
   result.algorithm_used = algorithm;
   Stopwatch timer;
@@ -97,17 +105,18 @@ Result<RrrResult> FindRankRegretRepresentative(const data::Dataset& dataset,
       RRR_ASSIGN_OR_RETURN(
           result.representative,
           SolveMdrrrSampled(dataset, options.k, options.mdrrr,
-                            options.sampler));
+                            sampler_options));
       break;
     }
     case Algorithm::kMdRc: {
       RRR_ASSIGN_OR_RETURN(result.representative,
-                           SolveMdrc(dataset, options.k, options.mdrc));
+                           SolveMdrc(dataset, options.k, mdrc_options));
       break;
     }
     case Algorithm::kConvexMaxima: {
-      RRR_ASSIGN_OR_RETURN(result.representative,
-                           SolveConvexMaxima(dataset));
+      RRR_ASSIGN_OR_RETURN(
+          result.representative,
+          SolveConvexMaxima(dataset, ResolveThreads(options.threads)));
       break;
     }
     case Algorithm::kAuto:
@@ -129,15 +138,19 @@ Result<DualResult> SolveDualProblem(const data::Dataset& dataset,
   size_t hi = dataset.size();
   DualResult best;
   bool found = false;
+  size_t probes = 0;
+  size_t exhausted_probes = 0;
   while (lo <= hi) {
     const size_t mid = lo + (hi - lo) / 2;
     RrrOptions options = base_options;
     options.k = mid;
     Result<RrrResult> probe = FindRankRegretRepresentative(dataset, options);
+    ++probes;
     if (!probe.ok() &&
         probe.status().code() == StatusCode::kResourceExhausted) {
       // The solver could not finish at this k (e.g. MDRC's node budget for
       // tiny k in high dimension): treat as infeasible and search upward.
+      ++exhausted_probes;
       lo = mid + 1;
       continue;
     }
@@ -155,6 +168,16 @@ Result<DualResult> SolveDualProblem(const data::Dataset& dataset,
     }
   }
   if (!found) {
+    if (exhausted_probes == probes) {
+      // Every probe died on the solver's own resource budget, so "no k met
+      // the size budget" would misattribute the failure: the search never
+      // saw a representative at all. Surface the real cause so callers can
+      // raise the algorithm budget instead of the size budget.
+      return Status::ResourceExhausted(
+          "every probe of the dual binary search exhausted the solver's "
+          "budget before producing a representative (raise the algorithm's "
+          "resource limits, e.g. MdrcOptions::max_nodes)");
+    }
     return Status::NotFound(
         "no k in [1, n] met the size budget with this algorithm");
   }

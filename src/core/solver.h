@@ -42,6 +42,12 @@ struct RrrOptions {
   /// linear ranking function.
   size_t k = 1;
   Algorithm algorithm = Algorithm::kAuto;
+  /// Worker threads for the dispatched algorithm: 0 = hardware concurrency
+  /// (the default), 1 = serial. Non-zero values override the `threads`
+  /// field of the per-algorithm sub-options below; 0 leaves them as set.
+  /// Every algorithm returns an identical representative for every thread
+  /// count (parallelism only reorders internal evaluation).
+  size_t threads = 0;
   Rrr2dOptions rrr2d;
   MdrrrOptions mdrrr;
   KSetSamplerOptions sampler;
@@ -91,7 +97,9 @@ struct DualResult {
 /// with NotFound when even k = n produces a representative larger than
 /// `max_size` (cannot happen for max_size >= 1 with MDRC/2DRRR); oracle
 /// ResourceExhausted probes are treated as "too large" and the search
-/// continues upward.
+/// continues upward. When *every* probe is exhausted — no k produced any
+/// representative at all — the failure is reported as ResourceExhausted
+/// (the solver budget, not the size budget, is what failed).
 Result<DualResult> SolveDualProblem(const data::Dataset& dataset,
                                     size_t max_size,
                                     const RrrOptions& base_options);

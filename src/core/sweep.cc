@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "geometry/angles.h"
 
 namespace rrr {
 namespace core {
@@ -36,24 +37,27 @@ AngularSweep::AngularSweep(const data::Dataset& dataset) : dataset_(dataset) {
   initial_order_.resize(n);
   std::iota(initial_order_.begin(), initial_order_.end(), 0);
   const double* rows = dataset.flat();
-  // Order at theta -> 0+: by x desc, then y desc (the limit tie-break),
-  // then id asc for exact duplicates.
+  // Order at theta = 0 exactly: score = x, score ties by lower id — the
+  // library-wide tie-break (topk::Outranks), so the sweep and the top-k
+  // scans agree at the endpoint function w = (1, 0). Same-x groups are then
+  // bubbled into the theta > 0 order (y descending) by exchange events at
+  // angle 0 during Run.
   std::sort(initial_order_.begin(), initial_order_.end(),
             [rows](int32_t a, int32_t b) {
               const double ax = rows[2 * a], bx = rows[2 * b];
               if (ax != bx) return ax > bx;
-              const double ay = rows[2 * a + 1], by = rows[2 * b + 1];
-              if (ay != by) return ay > by;
               return a < b;
             });
 }
 
 double AngularSweep::ExchangeAngle(const double* a, const double* b) {
   // `a` currently outranks `b`. Scores cross where
-  // cos(t)*(a.x - b.x) = sin(t)*(b.y - a.y).
+  // cos(t)*(a.x - b.x) = sin(t)*(b.y - a.y). dx == 0 with dy > 0 is the
+  // same-x tie resolved by id at theta = 0: the exchange fires at angle 0
+  // (atan2(0, dy)), restoring the y-descending order for every theta > 0.
   const double dx = a[0] - b[0];
   const double dy = b[1] - a[1];
-  if (dy <= 0.0 || dx <= 0.0) return -1.0;  // b never overtakes a
+  if (dy <= 0.0 || dx < 0.0) return -1.0;  // b never overtakes a
   return std::atan2(dx, dy);
 }
 
@@ -70,7 +74,15 @@ size_t AngularSweep::Run(const SweepCallback& cb) const {
   auto push_pair = [&](size_t upper_idx) {
     const int32_t u = order[upper_idx];
     const int32_t l = order[upper_idx + 1];
-    const double angle = ExchangeAngle(rows + 2 * u, rows + 2 * l);
+    double angle = ExchangeAngle(rows + 2 * u, rows + 2 * l);
+    if (angle < 0.0 && u > l && rows[2 * u + 1] == rows[2 * l + 1] &&
+        rows[2 * u] > rows[2 * l]) {
+      // Same-y pair held in x order but out of id order: their scores tie
+      // at exactly theta = pi/2, where the library-wide tie-break (lower id
+      // first, topk::Outranks) takes over. Exchange at the endpoint so the
+      // sweep's final order matches the top-k scan under w = (0, 1).
+      angle = geometry::kHalfPi;
+    }
     if (angle >= 0.0) heap.push(Event{angle, u, l});
   };
   for (size_t i = 0; i + 1 < n; ++i) push_pair(i);
@@ -94,13 +106,28 @@ size_t AngularSweep::Run(const SweepCallback& cb) const {
     out.upper_position = pu + 1;  // 1-based rank of the upper slot
     out.item_down = ev.upper;
     out.item_up = ev.lower;
-    const bool keep_going = cb(out);
 
-    // New adjacencies created by the exchange.
+    // New adjacencies created by the exchange (pushed before the settled
+    // peek so same-angle cascade continuations are visible).
     if (pu > 0) push_pair(pu - 1);
     if (pl + 1 < n) push_pair(pl);
 
-    if (!keep_going) break;
+    // The event is settled when no valid exchange at this exact angle
+    // remains: discard stale same-angle heads (they would be skipped on
+    // pop anyway) until a live one or a different angle surfaces.
+    out.settled = true;
+    while (!heap.empty()) {
+      const Event& top = heap.top();
+      if (top.angle != ev.angle) break;
+      if (pos[static_cast<size_t>(top.lower)] ==
+          pos[static_cast<size_t>(top.upper)] + 1) {
+        out.settled = false;
+        break;
+      }
+      heap.pop();
+    }
+
+    if (!cb(out)) break;
   }
   return exchanges;
 }

@@ -16,11 +16,21 @@ namespace core {
 /// At `angle` the items at ranks `upper_position` and `upper_position + 1`
 /// (1-based; 1 = best) swap. `item_down` held the upper position before the
 /// swap, `item_up` the lower one.
+///
+/// Exchanges sharing one exact angle form a group (a multi-item score tie
+/// resolving all at once — e.g. a same-x block reordering at angle 0, or
+/// coincident crossings). Orders *between* the group's exchanges are
+/// bookkeeping states, not rankings any function realizes; `settled` marks
+/// the group's last exchange, after which the maintained order is real
+/// again. Consumers that interpret the order as a ranking (regret maxima,
+/// k-set snapshots) must act only on settled events; consumers that track
+/// incremental position state still apply every event.
 struct SweepEvent {
   double angle = 0.0;
   size_t upper_position = 0;
   int32_t item_down = 0;
   int32_t item_up = 0;
+  bool settled = true;
 };
 
 /// Callback invoked after each exchange is applied; return false to stop
@@ -43,7 +53,12 @@ class AngularSweep {
   /// The dataset must be 2-dimensional.
   explicit AngularSweep(const data::Dataset& dataset);
 
-  /// Ranking at theta = 0 (score = x, ties by lower id first), best first.
+  /// Ranking at theta = 0 exactly (score = x, score ties by lower id — the
+  /// library-wide tie-break of topk::Outranks), best first. Same-x groups
+  /// are reordered for theta > 0 by exchange events fired at angle 0, and
+  /// same-y groups snap to id order by events at exactly pi/2, so the
+  /// sweep's order agrees with the top-k scans at both endpoint functions
+  /// and everywhere in between.
   const std::vector<int32_t>& InitialOrder() const { return initial_order_; }
 
   /// \brief Runs the sweep, invoking `cb` for each exchange in
@@ -58,10 +73,13 @@ class AngularSweep {
   size_t Run(const SweepCallback& cb) const;
 
   /// \brief Exchange angle of two items: the theta at which a and b score
-  /// equally, or a negative value when they never swap in (0, pi/2).
+  /// equally, or a negative value when they never swap in [0, pi/2).
   ///
-  /// With a currently outranking b (a.x > b.x or tie-break), they exchange
-  /// at tan(theta) = (a.x - b.x) / (b.y - a.y) provided b.y > a.y.
+  /// With a currently outranking b (a.x > b.x, or a.x == b.x with a.id <
+  /// b.id), they exchange at tan(theta) = (a.x - b.x) / (b.y - a.y)
+  /// provided b.y > a.y; a.x == b.x yields angle 0 (the id tie-break holds
+  /// only at the theta = 0 endpoint). Same-y id-tie exchanges at pi/2 are
+  /// handled inside Run, which knows the ids.
   static double ExchangeAngle(const double* a, const double* b);
 
  private:

@@ -8,6 +8,71 @@
 namespace rrr {
 namespace data {
 
+namespace {
+
+/// Splits one CSV record into fields, honoring RFC-4180 quoting: a field
+/// wrapped in double quotes may contain the separator, and a doubled quote
+/// inside a quoted field is a literal quote. Returns InvalidArgument for a
+/// quote that is never closed (the caller attaches the line number).
+Result<std::vector<std::string>> SplitCsvRecord(std::string_view line,
+                                                char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');  // escaped quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      // Opening quote (only honored at field start, like common parsers).
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+/// True when `field` must be quoted on output to survive a round trip.
+/// (Line breaks are rejected by WriteCsv before this is consulted — the
+/// line-based reader cannot parse a field spanning physical lines.)
+bool NeedsQuoting(std::string_view field, char sep) {
+  return field.find(sep) != std::string_view::npos ||
+         field.find('"') != std::string_view::npos;
+}
+
+std::string QuoteField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
 Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
   std::ifstream in(path);
   if (!in.is_open()) {
@@ -20,12 +85,23 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
   std::vector<double> cells;
   size_t n = 0;
   size_t line_no = 0;
+  // std::getline yields the final record whether or not the file ends with
+  // a newline; a trailing CRLF '\r' is stripped below before splitting so a
+  // Windows file never corrupts its last field.
   while (std::getline(in, line)) {
     ++line_no;
-    std::string_view trimmed = Trim(line);
-    if (trimmed.empty()) continue;
-    std::vector<std::string> fields = Split(std::string(trimmed),
-                                            options.separator);
+    std::string_view record = line;
+    if (!record.empty() && record.back() == '\r') record.remove_suffix(1);
+    if (Trim(record).empty()) continue;
+    Result<std::vector<std::string>> split =
+        SplitCsvRecord(record, options.separator);
+    if (!split.ok()) {
+      if (options.skip_bad_rows) continue;
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %s", line_no,
+                    split.status().message().c_str()));
+    }
+    std::vector<std::string>& fields = *split;
     if (first) {
       first = false;
       if (options.has_header) {
@@ -72,7 +148,21 @@ Status WriteCsv(const std::string& path, const Dataset& dataset,
   }
   const char sep = options.separator;
   if (options.has_header) {
-    out << Join(dataset.column_names(), std::string(1, sep)) << '\n';
+    std::vector<std::string> header;
+    header.reserve(dataset.column_names().size());
+    for (const std::string& name : dataset.column_names()) {
+      if (name.find('\n') != std::string::npos ||
+          name.find('\r') != std::string::npos) {
+        // The line-based reader cannot parse a quoted field spanning
+        // physical lines, so such a file would not round-trip: refuse to
+        // write it rather than emit something ReadCsv rejects.
+        return Status::InvalidArgument(
+            "column name contains a line break; rename the column before "
+            "writing CSV");
+      }
+      header.push_back(NeedsQuoting(name, sep) ? QuoteField(name) : name);
+    }
+    out << Join(header, std::string(1, sep)) << '\n';
   }
   std::ostringstream line;
   for (size_t i = 0; i < dataset.size(); ++i) {

@@ -100,6 +100,20 @@ bool Dataset::AllFinite() const {
   return true;
 }
 
+Status Dataset::CheckFinite() const {
+  for (size_t idx = 0; idx < cells_.size(); ++idx) {
+    if (!std::isfinite(cells_[idx])) {
+      const size_t i = idx / d_;
+      const size_t j = idx % d_;
+      return Status::InvalidArgument(StrFormat(
+          "non-finite value %g at row %zu, column '%s'; NaN/inf scores make "
+          "comparator ordering undefined — clean the data first",
+          cells_[idx], i, names_[j].c_str()));
+    }
+  }
+  return Status::OK();
+}
+
 Result<Dataset> Dataset::Project(const std::vector<int32_t>& columns) const {
   for (int32_t c : columns) {
     if (c < 0 || static_cast<size_t>(c) >= d_) {

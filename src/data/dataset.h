@@ -67,6 +67,12 @@ class Dataset {
   /// input; NaN scores would silently corrupt every comparison.
   bool AllFinite() const;
 
+  /// OK when every cell is finite; otherwise InvalidArgument naming the
+  /// first offending row/column. Use this at validation boundaries (CSV
+  /// ingest, normalization) where the caller needs to know *where* the NaN
+  /// or infinity came from; AllFinite() is the cheap boolean form.
+  Status CheckFinite() const;
+
  private:
   Dataset(std::vector<double> cells, size_t n, size_t d,
           std::vector<std::string> names);

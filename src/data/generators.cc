@@ -20,7 +20,12 @@ Dataset FinishRaw(std::vector<double> cells, size_t n, size_t d,
   Result<Dataset> raw =
       Dataset::FromFlat(std::move(cells), n, d, std::move(names));
   RRR_CHECK(raw.ok()) << raw.status().ToString();
-  Result<Dataset> normalized = MinMaxNormalize(*raw, directions);
+  // Tiny n can legitimately produce a constant column (e.g. n = 1), so the
+  // generators keep the permissive map-to-0.5 policy.
+  NormalizeOptions norm_options;
+  norm_options.constant_columns = ConstantColumnPolicy::kMapToHalf;
+  Result<Dataset> normalized = MinMaxNormalize(*raw, directions,
+                                               norm_options);
   RRR_CHECK(normalized.ok()) << normalized.status().ToString();
   return std::move(normalized).value();
 }

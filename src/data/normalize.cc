@@ -9,12 +9,14 @@ namespace rrr {
 namespace data {
 
 Result<Dataset> MinMaxNormalize(const Dataset& input,
-                                const std::vector<Direction>& directions) {
+                                const std::vector<Direction>& directions,
+                                const NormalizeOptions& options) {
   if (directions.size() != input.dims()) {
     return Status::InvalidArgument(
         StrFormat("got %zu directions for %zu columns", directions.size(),
                   input.dims()));
   }
+  RRR_RETURN_IF_ERROR(input.CheckFinite());
   const size_t n = input.size();
   const size_t d = input.dims();
   std::vector<double> lo(d, std::numeric_limits<double>::infinity());
@@ -24,6 +26,18 @@ Result<Dataset> MinMaxNormalize(const Dataset& input,
     for (size_t j = 0; j < d; ++j) {
       lo[j] = std::min(lo[j], r[j]);
       hi[j] = std::max(hi[j], r[j]);
+    }
+  }
+  if (n > 0 &&
+      options.constant_columns == ConstantColumnPolicy::kReject) {
+    for (size_t j = 0; j < d; ++j) {
+      if (hi[j] - lo[j] <= 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "column '%s' has zero range (constant value %g); it carries no "
+            "ranking information — drop it, or normalize with "
+            "ConstantColumnPolicy::kMapToHalf",
+            input.column_names()[j].c_str(), lo[j]));
+      }
     }
   }
   std::vector<double> cells;
@@ -46,9 +60,11 @@ Result<Dataset> MinMaxNormalize(const Dataset& input,
   return Dataset::FromFlat(std::move(cells), n, d, input.column_names());
 }
 
-Result<Dataset> MinMaxNormalize(const Dataset& input) {
+Result<Dataset> MinMaxNormalize(const Dataset& input,
+                                const NormalizeOptions& options) {
   return MinMaxNormalize(
-      input, std::vector<Direction>(input.dims(), Direction::kHigherBetter));
+      input, std::vector<Direction>(input.dims(), Direction::kHigherBetter),
+      options);
 }
 
 }  // namespace data

@@ -15,18 +15,42 @@ enum class Direction {
   kLowerBetter,
 };
 
+/// What MinMaxNormalize does with a zero-range (constant) column.
+enum class ConstantColumnPolicy {
+  /// Fail with InvalidArgument naming the column. A constant column carries
+  /// no ranking information, and silently keeping it degrades every solver
+  /// (it inflates d, and its weight never changes any comparison) — the
+  /// safe default is to make the caller drop or fix the column.
+  kReject,
+  /// Map the column to 0.5 (the historical behavior; useful when the
+  /// column set is fixed by an external schema).
+  kMapToHalf,
+};
+
+/// Options for MinMaxNormalize.
+struct NormalizeOptions {
+  ConstantColumnPolicy constant_columns = ConstantColumnPolicy::kReject;
+};
+
 /// \brief Min-max normalizes every column into [0, 1] so that 1 is always
 /// the preferred end (Section 6.1 of the paper):
 ///   higher-better:  (v - min) / (max - min)
 ///   lower-better:   (max - v) / (max - min)
 ///
-/// Constant columns (max == min) carry no ranking information and map to
-/// 0.5. `directions` must have one entry per column.
+/// `directions` must have one entry per column.
+///
+/// Degenerate inputs are rejected with InvalidArgument instead of being
+/// propagated into scores (where NaN makes every comparator's ordering
+/// undefined and the 2D sweep can cycle): any NaN or infinite cell fails,
+/// and constant (zero-range) columns fail under the default policy — pass
+/// ConstantColumnPolicy::kMapToHalf to keep them at 0.5 instead.
 Result<Dataset> MinMaxNormalize(const Dataset& input,
-                                const std::vector<Direction>& directions);
+                                const std::vector<Direction>& directions,
+                                const NormalizeOptions& options = {});
 
 /// Convenience overload: all columns higher-better.
-Result<Dataset> MinMaxNormalize(const Dataset& input);
+Result<Dataset> MinMaxNormalize(const Dataset& input,
+                                const NormalizeOptions& options = {});
 
 }  // namespace data
 }  // namespace rrr

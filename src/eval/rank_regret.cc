@@ -1,9 +1,11 @@
 #include "eval/rank_regret.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "core/kset_graph.h"
 #include "core/sweep.h"
@@ -20,6 +22,7 @@ Result<int64_t> ExactRankRegret2D(const data::Dataset& dataset,
     return Status::InvalidArgument("ExactRankRegret2D requires 2D data");
   }
   if (subset.empty()) return Status::InvalidArgument("empty subset");
+  RRR_RETURN_IF_ERROR(dataset.CheckFinite());
   const size_t n = dataset.size();
   std::vector<char> in_subset(n, 0);
   for (int32_t id : subset) {
@@ -43,19 +46,25 @@ Result<int64_t> ExactRankRegret2D(const data::Dataset& dataset,
   sweep.Run([&](const core::SweepEvent& ev) {
     const bool down_in = in_subset[static_cast<size_t>(ev.item_down)] != 0;
     const bool up_in = in_subset[static_cast<size_t>(ev.item_up)] != 0;
-    if (down_in == up_in) return true;  // best position unchanged
-    const size_t upper = ev.upper_position - 1;  // 0-based slot
-    if (down_in) {
-      // A member moved down one slot.
-      member_positions.erase(upper);
-      member_positions.insert(upper + 1);
-    } else {
-      // A member moved up one slot.
-      member_positions.erase(upper + 1);
-      member_positions.insert(upper);
+    if (down_in != up_in) {
+      const size_t upper = ev.upper_position - 1;  // 0-based slot
+      if (down_in) {
+        // A member moved down one slot.
+        member_positions.erase(upper);
+        member_positions.insert(upper + 1);
+      } else {
+        // A member moved up one slot.
+        member_positions.erase(upper + 1);
+        member_positions.insert(upper);
+      }
     }
-    worst = std::max(worst,
-                     static_cast<int64_t>(*member_positions.begin()) + 1);
+    // Only settled orders are rankings some function realizes; taking the
+    // max inside an equal-angle cascade would overstate the regret on
+    // tie-heavy data.
+    if (ev.settled) {
+      worst = std::max(worst,
+                       static_cast<int64_t>(*member_positions.begin()) + 1);
+    }
     return true;
   });
   return worst;
@@ -63,7 +72,7 @@ Result<int64_t> ExactRankRegret2D(const data::Dataset& dataset,
 
 Result<RankRegretCertificate> ExactRankRegretWithinK(
     const data::Dataset& dataset, const std::vector<int32_t>& subset,
-    size_t k) {
+    size_t k, size_t threads) {
   if (subset.empty()) return Status::InvalidArgument("empty subset");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   const size_t n = dataset.size();
@@ -83,21 +92,32 @@ Result<RankRegretCertificate> ExactRankRegretWithinK(
 
   core::KSetCollection ksets;
   RRR_ASSIGN_OR_RETURN(ksets, core::EnumerateKSetsGraph(dataset, k));
-  for (const core::KSet& s : ksets.sets()) {
-    bool hit = false;
-    for (int32_t id : s.ids) {
-      if (members.count(id) != 0) {
-        hit = true;
-        break;
-      }
-    }
-    if (hit) continue;
+  const std::vector<core::KSet>& sets = ksets.sets();
+
+  // Hit checks are independent per k-set; fan them out, then certify the
+  // first miss in enumeration order (so the witness does not depend on the
+  // thread count).
+  std::vector<char> hit(sets.size(), 0);
+  ParallelForChunked(
+      ResolveThreads(threads), sets.size(), 8,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          for (int32_t id : sets[i].ids) {
+            if (members.count(id) != 0) {
+              hit[i] = 1;
+              break;
+            }
+          }
+        }
+      });
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (hit[i]) continue;
     // Missed k-set: its separating weights realize a function whose whole
     // top-k avoids the subset (Lemma 5), i.e. regret > k there.
     lp::SeparationResult sep;
     RRR_ASSIGN_OR_RETURN(
         sep, lp::FindSeparatingWeights(dataset.flat(), n, dataset.dims(),
-                                       s.ids));
+                                       sets[i].ids));
     if (!sep.separable) {
       return Status::Internal("enumerated k-set failed re-separation");
     }
@@ -122,12 +142,40 @@ Result<int64_t> SampledRankRegret(const data::Dataset& dataset,
     }
   }
   Rng rng(options.seed);
-  int64_t worst = 1;
-  for (size_t s = 0; s < options.num_functions; ++s) {
-    topk::LinearFunction f(
-        rng.UnitWeightVector(static_cast<int>(dataset.dims())));
-    worst = std::max(worst, topk::MinRankOfSubset(dataset, f, subset));
+  const size_t threads = ResolveThreads(options.threads);
+  if (threads <= 1) {
+    int64_t worst = 1;
+    for (size_t s = 0; s < options.num_functions; ++s) {
+      topk::LinearFunction f(
+          rng.UnitWeightVector(static_cast<int>(dataset.dims())));
+      worst = std::max(worst, topk::MinRankOfSubset(dataset, f, subset));
+    }
+    return worst;
   }
+
+  // Parallel path: the draws stay serial (one seeded Rng, same sequence as
+  // the serial path) and the O(n) rank scans fan out. max() is commutative,
+  // so the estimate is identical for every thread count.
+  std::vector<topk::LinearFunction> funcs;
+  funcs.reserve(options.num_functions);
+  for (size_t s = 0; s < options.num_functions; ++s) {
+    funcs.emplace_back(
+        rng.UnitWeightVector(static_cast<int>(dataset.dims())));
+  }
+  std::vector<int64_t> per_chunk_worst;
+  std::mutex mu;
+  ParallelForChunked(
+      threads, funcs.size(), 16, [&](size_t begin, size_t end) {
+        int64_t local = 1;
+        for (size_t s = begin; s < end; ++s) {
+          local = std::max(local,
+                           topk::MinRankOfSubset(dataset, funcs[s], subset));
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        per_chunk_worst.push_back(local);
+      });
+  int64_t worst = 1;
+  for (int64_t w : per_chunk_worst) worst = std::max(worst, w);
   return worst;
 }
 

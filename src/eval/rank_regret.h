@@ -25,6 +25,10 @@ struct SampledRankRegretOptions {
   /// sphere (the paper's Section 6.1 uses 10,000).
   size_t num_functions = 10000;
   uint64_t seed = 23;
+  /// Worker threads for the per-function rank scans: 0 = hardware
+  /// concurrency, 1 = serial. The estimate is a max over draws from one
+  /// seeded Rng, so the result is identical for every thread count.
+  size_t threads = 0;
 };
 
 /// \brief Monte-Carlo lower bound on the rank-regret of `subset`: the max
@@ -57,9 +61,14 @@ struct RankRegretCertificate {
 /// estimator. When the answer is no, the witness weight vector comes from
 /// the separation LP of the missed k-set, so callers can show the exact
 /// "unhappy user".
+///
+/// `threads` fans the per-k-set hit checks out (0 = hardware concurrency,
+/// 1 = serial); the certificate — including which missed k-set supplies
+/// the witness — is identical for every thread count, because the first
+/// miss in enumeration order is always the one certified.
 Result<RankRegretCertificate> ExactRankRegretWithinK(
     const data::Dataset& dataset, const std::vector<int32_t>& subset,
-    size_t k);
+    size_t k, size_t threads = 0);
 
 }  // namespace eval
 }  // namespace rrr

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "lp/separation.h"
 
 namespace rrr {
@@ -65,17 +66,27 @@ std::vector<int32_t> ConvexHull2D(const double* rows, size_t n) {
 }
 
 Result<std::vector<int32_t>> ConvexMaxima(const double* rows, size_t n,
-                                          size_t d) {
+                                          size_t d, size_t threads) {
   if (rows == nullptr) return Status::InvalidArgument("null rows");
   std::vector<int32_t> maxima;
   if (n == 0) return maxima;
   if (n == 1) return std::vector<int32_t>{0};
+  // One independent separation LP per candidate; flags keep the output in
+  // ascending index order regardless of which thread ran which candidate.
+  std::vector<char> is_maximum(n, 0);
+  std::vector<Status> errors(n);
+  ParallelFor(ResolveThreads(threads), n, [&](size_t i) {
+    Result<lp::SeparationResult> sep = lp::FindSeparatingWeights(
+        rows, n, d, {static_cast<int32_t>(i)});
+    if (!sep.ok()) {
+      errors[i] = sep.status();
+      return;
+    }
+    if (sep->separable) is_maximum[i] = 1;
+  });
   for (size_t i = 0; i < n; ++i) {
-    lp::SeparationResult sep;
-    RRR_ASSIGN_OR_RETURN(
-        sep, lp::FindSeparatingWeights(rows, n, d,
-                                       {static_cast<int32_t>(i)}));
-    if (sep.separable) maxima.push_back(static_cast<int32_t>(i));
+    if (!errors[i].ok()) return errors[i];
+    if (is_maximum[i]) maxima.push_back(static_cast<int32_t>(i));
   }
   return maxima;
 }

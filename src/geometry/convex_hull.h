@@ -25,8 +25,12 @@ std::vector<int32_t> ConvexHull2D(const double* rows, size_t n);
 /// For each candidate row this solves the separation LP (is {i} a 1-set?);
 /// works in any dimension. O(n) LP solves of n constraints each, so intended
 /// for small/medium n (tests, examples, ground truth).
+///
+/// The per-candidate LPs are independent; `threads` fans them out (0 =
+/// hardware concurrency; the default 1 stays serial). Candidates are
+/// reported in ascending index order for every thread count.
 Result<std::vector<int32_t>> ConvexMaxima(const double* rows, size_t n,
-                                          size_t d);
+                                          size_t d, size_t threads = 1);
 
 }  // namespace geometry
 }  // namespace rrr

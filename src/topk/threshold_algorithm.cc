@@ -35,7 +35,7 @@ std::vector<int32_t> ThresholdAlgorithmIndex::TopK(const LinearFunction& f,
   RRR_CHECK(f.dims() == d) << "TA: function dimensionality mismatch";
   k = std::min(k, n);
   if (k == 0) {
-    last_scan_depth_ = 0;
+    last_scan_depth_.store(0, std::memory_order_relaxed);
     return {};
   }
 
@@ -88,7 +88,7 @@ std::vector<int32_t> ThresholdAlgorithmIndex::TopK(const LinearFunction& f,
       continue;
     }
   }
-  last_scan_depth_ = std::min(depth + 1, n) * d;
+  last_scan_depth_.store(std::min(depth + 1, n) * d, std::memory_order_relaxed);
 
   std::vector<int32_t> out(best.size());
   for (size_t i = out.size(); i-- > 0;) {

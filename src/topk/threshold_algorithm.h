@@ -1,6 +1,7 @@
 #ifndef RRR_TOPK_THRESHOLD_ALGORITHM_H_
 #define RRR_TOPK_THRESHOLD_ALGORITHM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -36,15 +37,20 @@ class ThresholdAlgorithmIndex {
   std::vector<int32_t> TopKSet(const LinearFunction& f, size_t k) const;
 
   /// Tuples touched by sorted access on the most recent query (query-cost
-  /// observability; n*d means the query degenerated to a full scan).
-  size_t last_scan_depth() const { return last_scan_depth_; }
+  /// observability; n*d means the query degenerated to a full scan). Under
+  /// concurrent queries (the parallel K-SETr sampler) this reports one of
+  /// the in-flight queries' depths; the counter is atomic so reads stay
+  /// well-defined either way.
+  size_t last_scan_depth() const {
+    return last_scan_depth_.load(std::memory_order_relaxed);
+  }
 
  private:
   const data::Dataset& dataset_;
   /// columns_[j] holds tuple ids sorted by attribute j descending
   /// (ties by id ascending, consistent with the library order).
   std::vector<std::vector<int32_t>> columns_;
-  mutable size_t last_scan_depth_ = 0;
+  mutable std::atomic<size_t> last_scan_depth_{0};
 };
 
 }  // namespace topk

@@ -175,6 +175,60 @@ TEST(DualProblemTest, BudgetOfOneIsAlwaysFeasibleAtKEqualN) {
   EXPECT_EQ(dual->representative.size(), 1u);
 }
 
+TEST(DualProblemTest, BudgetAtLeastNIsSatisfiedByKOne) {
+  // max_size >= n: every k fits, so the search must return the smallest
+  // k = 1 (and must not fall off either end of the binary search).
+  const data::Dataset ds = data::GenerateUniform(40, 2, 11);
+  RrrOptions base;
+  for (size_t budget : {ds.size(), 2 * ds.size()}) {
+    Result<DualResult> dual = SolveDualProblem(ds, budget, base);
+    ASSERT_TRUE(dual.ok()) << "budget " << budget;
+    EXPECT_EQ(dual->k, 1u);
+    EXPECT_LE(dual->representative.size(), budget);
+  }
+}
+
+TEST(DualProblemTest, SingletonDataset) {
+  const data::Dataset ds = data::GenerateUniform(1, 3, 12);
+  RrrOptions base;
+  Result<DualResult> dual = SolveDualProblem(ds, 1, base);
+  ASSERT_TRUE(dual.ok());
+  EXPECT_EQ(dual->k, 1u);
+  EXPECT_EQ(dual->representative, (std::vector<int32_t>{0}));
+}
+
+TEST(DualProblemTest, AllProbesExhaustedIsResourceExhaustedNotNotFound) {
+  // With a zero node budget every MDRC probe dies with ResourceExhausted;
+  // reporting NotFound ("no k met the size budget") would send the caller
+  // to raise max_size when the actual failure is the solver budget.
+  const data::Dataset ds = data::GenerateUniform(60, 3, 13);
+  RrrOptions base;
+  base.k = 2;  // force MDRC (kAuto picks it for d > 2, k > 1)
+  base.algorithm = Algorithm::kMdRc;
+  base.mdrc.max_nodes = 0;
+  Result<DualResult> dual = SolveDualProblem(ds, 5, base);
+  ASSERT_FALSE(dual.ok());
+  EXPECT_EQ(dual.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DualProblemTest, PartialExhaustionStillFindsFeasibleK) {
+  // Small-but-nonzero node budget: small-k probes exhaust, large-k probes
+  // resolve quickly; the search must keep walking upward and succeed.
+  const data::Dataset ds = data::GenerateUniform(120, 3, 14);
+  RrrOptions base;
+  base.algorithm = Algorithm::kMdRc;
+  base.mdrc.max_nodes = 3000;
+  Result<DualResult> dual = SolveDualProblem(ds, 6, base);
+  ASSERT_TRUE(dual.ok());
+  EXPECT_LE(dual->representative.size(), 6u);
+  // Feasibility check at the returned k.
+  RrrOptions check = base;
+  check.k = dual->k;
+  Result<RrrResult> res = FindRankRegretRepresentative(ds, check);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res->representative.size(), 6u);
+}
+
 TEST(DualProblemTest, RejectsBadArguments) {
   const data::Dataset ds = data::GenerateUniform(10, 2, 10);
   RrrOptions base;

@@ -94,6 +94,101 @@ TEST_F(CsvTest, HandlesCrlfLineEndings) {
   EXPECT_DOUBLE_EQ(ds->at(1, 1), 4.0);
 }
 
+TEST_F(CsvTest, MissingTrailingNewlineKeepsLastRow) {
+  const std::string path = TempPath("notrail.csv");
+  WriteFile(path, "x,y\n1,2\n3,4");  // no newline after the final row
+  Result<Dataset> ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->size(), 2u);
+  EXPECT_DOUBLE_EQ(ds->at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(ds->at(1, 1), 4.0);
+}
+
+TEST_F(CsvTest, CrlfWithoutTrailingNewlineKeepsLastRow) {
+  // The combination that used to corrupt the final tuple: Windows endings
+  // and no newline after the last record.
+  const std::string path = TempPath("crlf_notrail.csv");
+  WriteFile(path, "x,y\r\n1,2\r\n3,4\r");
+  Result<Dataset> ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->size(), 2u);
+  EXPECT_DOUBLE_EQ(ds->at(1, 1), 4.0);
+}
+
+TEST_F(CsvTest, QuotedFieldsMayContainTheSeparator) {
+  const std::string path = TempPath("quoted.csv");
+  WriteFile(path, "\"price, usd\",rating\n\"1,234.5\",4\n\"2,000\",5\n");
+  // Quoted numeric fields with grouping commas are not parseable doubles;
+  // the quoting must still isolate them as single fields (not split and
+  // silently shift the row), so strict mode reports a clean parse error...
+  Result<Dataset> strict = ReadCsv(path);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+  // ...and the header (also containing the delimiter) stays one column.
+  CsvOptions skip;
+  skip.skip_bad_rows = true;
+  Result<Dataset> ds = ReadCsv(path, skip);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->dims(), 2u);
+  EXPECT_EQ(ds->column_names()[0], "price, usd");
+  EXPECT_EQ(ds->size(), 0u);  // both rows dropped: field not a number
+}
+
+TEST_F(CsvTest, QuotedNumericFieldsParse) {
+  const std::string path = TempPath("quoted_num.csv");
+  WriteFile(path, "x,y\n\"1.5\",\"2.5\"\n3,\"4\"\n");
+  Result<Dataset> ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->size(), 2u);
+  EXPECT_DOUBLE_EQ(ds->at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(ds->at(1, 1), 4.0);
+}
+
+TEST_F(CsvTest, EscapedQuotesInsideQuotedField) {
+  const std::string path = TempPath("escq.csv");
+  WriteFile(path, "\"col \"\"a\"\"\",b\n1,2\n");
+  Result<Dataset> ds = ReadCsv(path);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->column_names()[0], "col \"a\"");
+  EXPECT_EQ(ds->size(), 1u);
+}
+
+TEST_F(CsvTest, UnterminatedQuoteIsAnError) {
+  const std::string path = TempPath("unterminated.csv");
+  WriteFile(path, "x,y\n\"1,2\n");
+  Result<Dataset> strict = ReadCsv(path);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+  CsvOptions skip;
+  skip.skip_bad_rows = true;
+  Result<Dataset> lenient = ReadCsv(path, skip);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->size(), 0u);
+}
+
+TEST_F(CsvTest, ColumnNameWithLineBreakIsRejectedOnWrite) {
+  // The line-based reader cannot parse a quoted field spanning lines, so
+  // writing such a header would produce a file ReadCsv rejects.
+  Result<Dataset> ds =
+      Dataset::FromRows({{1.0, 2.0}}, {"price\nUSD", "rating"});
+  ASSERT_TRUE(ds.ok());
+  const Status status = WriteCsv(TempPath("newline_name.csv"), *ds);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, QuotedHeaderRoundTrips) {
+  Result<Dataset> original = Dataset::FromRows(
+      {{1.0, 2.0}, {3.0, 4.0}}, {"price, usd", "rating \"stars\""});
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("quoted_roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(path, *original).ok());
+  Result<Dataset> loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->column_names(), original->column_names());
+  EXPECT_DOUBLE_EQ(loaded->at(1, 0), 3.0);
+}
+
 TEST_F(CsvTest, NanAndInfParseButSolverRejectsThem) {
   // ParseDouble accepts "nan"/"inf" (strtod semantics); AllFinite is the
   // guard that keeps them out of the solvers.

@@ -114,6 +114,22 @@ TEST(DatasetTest, AllFiniteDetectsNanAndInf) {
   EXPECT_TRUE(empty.AllFinite());
 }
 
+TEST(DatasetTest, CheckFinitePinpointsTheOffendingCell) {
+  Result<Dataset> ok = Dataset::FromRows({{1.0, 2.0}});
+  EXPECT_TRUE(ok->CheckFinite().ok());
+  Dataset empty;
+  EXPECT_TRUE(empty.CheckFinite().ok());
+  Result<Dataset> bad = Dataset::FromRows(
+      {{1.0, 2.0}, {3.0, std::nan("")}}, {"price", "rating"});
+  const Status status = bad->CheckFinite();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("row 1"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("rating"), std::string::npos)
+      << status.message();
+}
+
 TEST(DatasetTest, ProjectRejectsBadColumn) {
   Result<Dataset> ds = Dataset::FromRows({{1.0, 2.0}});
   EXPECT_FALSE(ds->Project({0, 5}).ok());

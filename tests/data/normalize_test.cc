@@ -1,5 +1,8 @@
 #include "data/normalize.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace rrr {
@@ -42,12 +45,57 @@ TEST(NormalizeTest, MixedDirections) {
   EXPECT_DOUBLE_EQ(norm->at(1, 1), 0.0);
 }
 
-TEST(NormalizeTest, ConstantColumnMapsToHalf) {
+TEST(NormalizeTest, ConstantColumnIsRejectedByDefault) {
+  // A zero-range column carries no ranking information; normalizing it
+  // silently used to hide schema bugs. The default now fails loudly and
+  // names the column.
   const Dataset ds = Make({{7.0, 1.0}, {7.0, 2.0}});
   Result<Dataset> norm = MinMaxNormalize(ds);
+  ASSERT_FALSE(norm.ok());
+  EXPECT_EQ(norm.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(norm.status().message().find("a0"), std::string::npos)
+      << "error must name the offending column: "
+      << norm.status().message();
+}
+
+TEST(NormalizeTest, ConstantColumnMapsToHalfUnderOptInPolicy) {
+  const Dataset ds = Make({{7.0, 1.0}, {7.0, 2.0}});
+  NormalizeOptions options;
+  options.constant_columns = ConstantColumnPolicy::kMapToHalf;
+  Result<Dataset> norm = MinMaxNormalize(ds, options);
   ASSERT_TRUE(norm.ok());
   EXPECT_DOUBLE_EQ(norm->at(0, 0), 0.5);
   EXPECT_DOUBLE_EQ(norm->at(1, 0), 0.5);
+}
+
+TEST(NormalizeTest, RejectsNonFiniteValues) {
+  // NaN/inf must never reach the (v - min) / range arithmetic, where they
+  // turn into NaN scores with undefined comparator ordering.
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    const Dataset ds = Make({{1.0, 2.0}, {3.0, bad}});
+    Result<Dataset> norm = MinMaxNormalize(ds);
+    ASSERT_FALSE(norm.ok()) << "value " << bad;
+    EXPECT_EQ(norm.status().code(), StatusCode::kInvalidArgument);
+    // The error pinpoints the cell (row 1, column a1).
+    EXPECT_NE(norm.status().message().find("row 1"), std::string::npos)
+        << norm.status().message();
+    EXPECT_NE(norm.status().message().find("a1"), std::string::npos)
+        << norm.status().message();
+  }
+}
+
+TEST(NormalizeTest, InfiniteColumnIsNotTreatedAsConstant) {
+  // An all-inf column has hi == lo == inf (range NaN); it must fail the
+  // finiteness check, not slip through the constant-column path as 0.5.
+  const Dataset ds =
+      Make({{std::numeric_limits<double>::infinity(), 1.0},
+            {std::numeric_limits<double>::infinity(), 2.0}});
+  NormalizeOptions permissive;
+  permissive.constant_columns = ConstantColumnPolicy::kMapToHalf;
+  Result<Dataset> norm = MinMaxNormalize(ds, permissive);
+  ASSERT_FALSE(norm.ok());
+  EXPECT_EQ(norm.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(NormalizeTest, OutputAlwaysInUnitInterval) {
