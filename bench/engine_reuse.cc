@@ -1,0 +1,153 @@
+// Amortized-vs-cold timings for the prepared-dataset engine (RrrEngine):
+// the payoff of prepare-once/query-many over the one-shot free functions.
+//
+// Phases per case:
+//   cold         first Solve on a fresh engine (prepare + full solve)
+//   warm_memo    identical repeat Solve (served from the (k, algorithm)
+//                result memo — the acceptance target is >= 10x at n=50k)
+//   warm_nocache repeat Solve with the result memo bypassed: the solver
+//                re-runs but reuses the shared artifacts (MDRC corner
+//                memo, 2D sweep), isolating their contribution
+//   dual_cold /  SolveDual on a fresh engine vs the same engine again
+//   dual_warm    (every probe then replays from the memo)
+//
+// The committed BENCH_engine_reuse.json is this driver's output; re-run
+// after engine or solver changes and diff.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "data/generators.h"
+#include "figure_util.h"
+
+namespace {
+
+struct Timed {
+  double seconds = 0.0;
+  size_t output_size = 0;
+};
+
+void Row(const std::string& case_name, const std::string& algorithm,
+         size_t n, size_t d, size_t k, const std::string& phase,
+         const Timed& timed, double cold_seconds) {
+  rrr::bench::PrintRow(
+      {case_name, algorithm, rrr::StrFormat("%zu", n),
+       rrr::StrFormat("%zu", d), rrr::StrFormat("%zu", k), phase,
+       rrr::StrFormat("%.6f", timed.seconds),
+       rrr::StrFormat("%zu", timed.output_size),
+       rrr::StrFormat("%.1f", timed.seconds > 0.0
+                                  ? cold_seconds / timed.seconds
+                                  : 0.0)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace rrr;
+  bench::PrintFigureHeader(
+      "engine_reuse", "Engine reuse",
+      "prepared-dataset engine: cold vs amortized queries (n=50k MDRC, "
+      "2D sweep reuse, dual-search replay)",
+      "case,algorithm,n,d,k,phase,time_sec,output_size,speedup_vs_cold");
+
+  // Case 1 — the acceptance case: MDRC at n = 50k, k = 1%.
+  {
+    const size_t n = 50000;
+    const size_t k = n / 100;
+    const data::Dataset ds = data::GenerateDotLike(n, 42).ProjectPrefix(3);
+
+    auto engine = *core::RrrEngine::Create(data::Dataset(ds));
+    Stopwatch timer;
+    Result<core::QueryResult> cold = engine->Solve(k);
+    const double cold_sec = timer.ElapsedSeconds();
+    RRR_CHECK_OK(cold.status());
+    Row("mdrc_50k", "MDRC", n, 3, k, "cold",
+        {cold_sec, cold->representative.size()}, cold_sec);
+
+    timer.Restart();
+    Result<core::QueryResult> warm = engine->Solve(k);
+    const double warm_sec = timer.ElapsedSeconds();
+    RRR_CHECK_OK(warm.status());
+    RRR_CHECK(warm->diagnostics.result_from_cache);
+    RRR_CHECK(warm->representative == cold->representative);
+    Row("mdrc_50k", "MDRC", n, 3, k, "warm_memo",
+        {warm_sec, warm->representative.size()}, cold_sec);
+
+    core::QueryOptions no_memo;
+    no_memo.use_cache = false;
+    timer.Restart();
+    Result<core::QueryResult> resolve = engine->Solve(k, no_memo);
+    const double resolve_sec = timer.ElapsedSeconds();
+    RRR_CHECK_OK(resolve.status());
+    RRR_CHECK(resolve->representative == cold->representative);
+    Row("mdrc_50k", "MDRC", n, 3, k, "warm_nocache",
+        {resolve_sec, resolve->representative.size()}, cold_sec);
+  }
+
+  // Case 2 — 2D: the shared sweep absorbs the per-query initial sort; the
+  // memo absorbs everything.
+  {
+    const size_t n = 4000;
+    const size_t k = 40;
+    const data::Dataset ds = data::GenerateDotLike(n, 42).ProjectPrefix(2);
+    auto engine = *core::RrrEngine::Create(data::Dataset(ds));
+    Stopwatch timer;
+    Result<core::QueryResult> cold = engine->Solve(k);
+    const double cold_sec = timer.ElapsedSeconds();
+    RRR_CHECK_OK(cold.status());
+    Row("rrr2d_4k", "2DRRR", n, 2, k, "cold",
+        {cold_sec, cold->representative.size()}, cold_sec);
+
+    timer.Restart();
+    Result<core::QueryResult> warm = engine->Solve(k);
+    const double warm_sec = timer.ElapsedSeconds();
+    RRR_CHECK_OK(warm.status());
+    RRR_CHECK(warm->diagnostics.result_from_cache);
+    Row("rrr2d_4k", "2DRRR", n, 2, k, "warm_memo",
+        {warm_sec, warm->representative.size()}, cold_sec);
+
+    core::QueryOptions no_memo;
+    no_memo.use_cache = false;
+    timer.Restart();
+    Result<core::QueryResult> resolve = engine->Solve(k, no_memo);
+    const double resolve_sec = timer.ElapsedSeconds();
+    RRR_CHECK_OK(resolve.status());
+    Row("rrr2d_4k", "2DRRR", n, 2, k, "warm_nocache",
+        {resolve_sec, resolve->representative.size()}, cold_sec);
+  }
+
+  // Case 3 — dual search: O(log n) probes share one prepared dataset; a
+  // repeated search replays every probe from the memo. The tight budget
+  // keeps the search's boundary k inside MDRC's sane regime (k a
+  // meaningful fraction of n); the node cap makes any probe that still
+  // strays into the tiny-k pathology exhaust quickly instead of burning
+  // the full 4M-node budget (the search then walks upward, by design).
+  {
+    const size_t n = 50000;
+    const size_t budget = 3;
+    const data::Dataset ds = data::GenerateDotLike(n, 42).ProjectPrefix(3);
+    core::EngineOptions options;
+    options.defaults.algorithm = core::Algorithm::kMdRc;
+    options.defaults.mdrc.max_nodes = 100000;
+    auto engine = *core::RrrEngine::Create(data::Dataset(ds), options);
+    Stopwatch timer;
+    Result<core::DualResult> cold = engine->SolveDual(budget);
+    const double cold_sec = timer.ElapsedSeconds();
+    RRR_CHECK_OK(cold.status());
+    Row("dual_50k", "MDRC", n, 3, budget, "dual_cold",
+        {cold_sec, cold->representative.size()}, cold_sec);
+
+    timer.Restart();
+    Result<core::DualResult> warm = engine->SolveDual(budget);
+    const double warm_sec = timer.ElapsedSeconds();
+    RRR_CHECK_OK(warm.status());
+    RRR_CHECK(warm->representative == cold->representative);
+    Row("dual_50k", "MDRC", n, 3, budget, "dual_warm",
+        {warm_sec, warm->representative.size()}, cold_sec);
+  }
+  return 0;
+}

@@ -1,23 +1,27 @@
 // Command-line RRR for your own data: load a numeric CSV, normalize with
 // per-column directions, and print a rank-regret representative.
 //
-//   csv_tool <file.csv> <k> [directions] [algorithm]
+//   csv_tool <file.csv> <k> [directions] [--algorithm=NAME]
+//            [--deadline=SECONDS]
 //
-//   directions: one char per column, 'h' = higher-better, 'l' =
-//               lower-better (default: all 'h')
-//   algorithm:  auto | 2drrr | mdrrr | mdrc   (default: auto)
+//   directions:  one char per column, 'h' = higher-better, 'l' =
+//                lower-better (default: all 'h')
+//   --algorithm: auto | 2drrr | mdrrr | mdrc | maxima   (default: auto;
+//                the bare positional form "csv_tool f.csv 50 llhh mdrc"
+//                still works)
+//   --deadline:  abort with deadline-exceeded after SECONDS of solving
 //
 // Example:
-//   ./build/examples/csv_tool flights.csv 50 llhh mdrc
+//   ./build/examples/csv_tool flights.csv 50 llhh --algorithm=mdrc
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "core/solver.h"
+#include "core/engine.h"
 #include "data/csv.h"
 #include "data/normalize.h"
-#include "eval/rank_regret.h"
 
 namespace {
 
@@ -26,17 +30,56 @@ int Fail(const rrr::Status& status) {
   return 1;
 }
 
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.csv> <k> [directions hl..] "
+               "[--algorithm=auto|2drrr|mdrrr|mdrc|maxima] "
+               "[--deadline=SECONDS]\n",
+               argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <file.csv> <k> [directions hl..] [algorithm]\n",
-                 argv[0]);
-    return 2;
+  std::vector<std::string> positional;
+  rrr::core::Algorithm algorithm = rrr::core::Algorithm::kAuto;
+  double deadline_seconds = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--algorithm=", 0) == 0) {
+      rrr::Result<rrr::core::Algorithm> parsed =
+          rrr::core::ParseAlgorithm(arg.substr(strlen("--algorithm=")));
+      if (!parsed.ok()) return Fail(parsed.status());
+      algorithm = *parsed;
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      const char* value = arg.c_str() + strlen("--deadline=");
+      char* end = nullptr;
+      deadline_seconds = std::strtod(value, &end);
+      if (end == value || *end != '\0' || deadline_seconds <= 0.0) {
+        std::fprintf(stderr,
+                     "error: --deadline needs a positive number of seconds, "
+                     "got '%s'\n",
+                     value);
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
   }
-  const std::string path = argv[1];
-  const size_t k = static_cast<size_t>(std::atoll(argv[2]));
+  if (positional.size() < 2 || positional.size() > 4) return Usage(argv[0]);
+  const std::string path = positional[0];
+  const size_t k = static_cast<size_t>(std::atoll(positional[1].c_str()));
+  if (positional.size() > 3) {
+    // Legacy positional algorithm (kept for script compatibility).
+    rrr::Result<rrr::core::Algorithm> parsed =
+        rrr::core::ParseAlgorithm(positional[3]);
+    if (!parsed.ok()) return Fail(parsed.status());
+    algorithm = *parsed;
+  }
 
   rrr::data::CsvOptions csv_opts;
   csv_opts.skip_bad_rows = true;
@@ -49,11 +92,11 @@ int main(int argc, char** argv) {
 
   std::vector<rrr::data::Direction> directions(
       raw->dims(), rrr::data::Direction::kHigherBetter);
-  if (argc > 3) {
-    const char* dirs = argv[3];
-    if (std::strlen(dirs) != raw->dims()) {
+  if (positional.size() > 2) {
+    const std::string& dirs = positional[2];
+    if (dirs.size() != raw->dims()) {
       std::fprintf(stderr, "error: %zu direction chars for %zu columns\n",
-                   std::strlen(dirs), raw->dims());
+                   dirs.size(), raw->dims());
       return 2;
     }
     for (size_t j = 0; j < raw->dims(); ++j) {
@@ -66,41 +109,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  rrr::core::RrrOptions options;
-  options.k = k;
-  if (argc > 4) {
-    const std::string algo = argv[4];
-    if (algo == "2drrr") {
-      options.algorithm = rrr::core::Algorithm::k2dRrr;
-    } else if (algo == "mdrrr") {
-      options.algorithm = rrr::core::Algorithm::kMdRrr;
-    } else if (algo == "mdrc") {
-      options.algorithm = rrr::core::Algorithm::kMdRc;
-    } else if (algo != "auto") {
-      std::fprintf(stderr, "error: unknown algorithm '%s'\n", algo.c_str());
-      return 2;
-    }
-  }
-
   rrr::Result<rrr::data::Dataset> normalized =
       rrr::data::MinMaxNormalize(*raw, directions);
   if (!normalized.ok()) return Fail(normalized.status());
 
-  rrr::Result<rrr::core::RrrResult> res =
-      rrr::core::FindRankRegretRepresentative(*normalized, options);
+  rrr::core::EngineOptions engine_opts;
+  engine_opts.defaults.algorithm = algorithm;
+  engine_opts.eval_num_functions = 2000;
+  rrr::Result<std::shared_ptr<rrr::core::RrrEngine>> engine =
+      rrr::core::RrrEngine::Create(std::move(*normalized), engine_opts);
+  if (!engine.ok()) return Fail(engine.status());
+
+  rrr::core::QueryOptions query;
+  if (deadline_seconds > 0.0) {
+    query.exec.deadline = rrr::Deadline::After(deadline_seconds);
+  }
+  rrr::Result<rrr::core::QueryResult> res = (*engine)->Solve(k, query);
   if (!res.ok()) return Fail(res.status());
 
-  std::fprintf(stderr, "# %zu rows x %zu cols, k=%zu, algorithm=%s, %.3fs\n",
-               raw->size(), raw->dims(), k,
-               rrr::core::AlgorithmName(res->algorithm_used).c_str(),
-               res->seconds);
-  rrr::eval::SampledRankRegretOptions eval_opts;
-  eval_opts.num_functions = 2000;
-  rrr::Result<int64_t> regret = rrr::eval::SampledRankRegret(
-      *normalized, res->representative, eval_opts);
-  if (regret.ok()) {
-    std::fprintf(stderr, "# estimated rank-regret: %lld\n",
-                 static_cast<long long>(*regret));
+  std::fprintf(stderr, "# %zu rows x %zu cols, k=%zu, %s\n", raw->size(),
+               raw->dims(), k, res->diagnostics.ToString().c_str());
+  rrr::Result<rrr::core::EvalReport> audit =
+      (*engine)->Evaluate(res->representative, k, query);
+  if (audit.ok()) {
+    std::fprintf(stderr, "# %s rank-regret: %lld (within k: %s)\n",
+                 audit->exact ? "exact" : "estimated",
+                 static_cast<long long>(audit->rank_regret),
+                 audit->within_k ? "yes" : "no");
   }
 
   // The chosen rows, original (raw) values, CSV to stdout.

@@ -13,9 +13,8 @@
 #include <cstdlib>
 
 #include "baseline/hd_rrms.h"
-#include "core/solver.h"
+#include "core/engine.h"
 #include "data/generators.h"
-#include "eval/rank_regret.h"
 #include "eval/regret_ratio.h"
 
 int main(int argc, char** argv) {
@@ -36,19 +35,29 @@ int main(int argc, char** argv) {
   std::printf("catalog: %zu diamonds, criteria: carat, depth, price\n",
               diamonds.size());
 
+  // One engine serves both acts: the dual search's probes and Act 2's
+  // fixed-k solve share the prepared dataset and the MDRC corner memo.
+  rrr::core::EngineOptions engine_opts;
+  engine_opts.defaults.algorithm = rrr::core::Algorithm::kMdRc;
+  engine_opts.eval_num_functions = 5000;
+  rrr::Result<std::shared_ptr<rrr::core::RrrEngine>> engine =
+      rrr::core::RrrEngine::Create(rrr::data::Dataset(diamonds), engine_opts);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
   // ---- Act 1: dual problem. ----
-  rrr::core::RrrOptions base;
-  base.algorithm = rrr::core::Algorithm::kMdRc;
-  rrr::Result<rrr::core::DualResult> dual =
-      rrr::core::SolveDualProblem(diamonds, budget, base);
+  rrr::Result<rrr::core::DualResult> dual = (*engine)->SolveDual(budget);
   if (!dual.ok()) {
     std::fprintf(stderr, "%s\n", dual.status().ToString().c_str());
     return 1;
   }
   std::printf(
       "page budget %zu -> %zu featured diamonds; every shopper finds one of "
-      "their personal top-%zu\n",
-      budget, dual->representative.size(), dual->k);
+      "their personal top-%zu (%zu probes, %.3f s total)\n",
+      budget, dual->representative.size(), dual->k, dual->probes.size(),
+      dual->seconds);
   std::printf("  %6s %7s %7s %7s\n", "id", "carat", "depth", "price");
   for (int32_t id : dual->representative) {
     std::printf("  %6d %7.3f %7.3f %7.3f\n", id, diamonds.at(id, 0),
@@ -57,11 +66,7 @@ int main(int argc, char** argv) {
 
   // ---- Act 2: the paper's comparison protocol at fixed k = 1% of n. ----
   const size_t k = std::max<size_t>(1, n / 100);
-  rrr::core::RrrOptions opts;
-  opts.k = k;
-  opts.algorithm = rrr::core::Algorithm::kMdRc;
-  rrr::Result<rrr::core::RrrResult> mdrc =
-      rrr::core::FindRankRegretRepresentative(diamonds, opts);
+  rrr::Result<rrr::core::QueryResult> mdrc = (*engine)->Solve(k);
   if (!mdrc.ok()) {
     std::fprintf(stderr, "%s\n", mdrc.status().ToString().c_str());
     return 1;
@@ -75,12 +80,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  rrr::eval::SampledRankRegretOptions rank_opts;
-  rank_opts.num_functions = 5000;
-  const int64_t ours_rank = *rrr::eval::SampledRankRegret(
-      diamonds, mdrc->representative, rank_opts);
-  const int64_t theirs_rank = *rrr::eval::SampledRankRegret(
-      diamonds, hd->representative, rank_opts);
+  // The engine's evaluator audits both representatives (5000 sampled
+  // rankings, set in engine_opts above).
+  const int64_t ours_rank =
+      (*engine)->Evaluate(mdrc->representative, k)->rank_regret;
+  const int64_t theirs_rank =
+      (*engine)->Evaluate(hd->representative, k)->rank_regret;
   const double ours_ratio =
       *rrr::eval::SampledRegretRatio(diamonds, mdrc->representative);
   const double theirs_ratio =

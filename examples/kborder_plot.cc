@@ -1,13 +1,17 @@
 // Exports the top-k border (Figure 3 of the paper) of a 2D dataset as
 // plot-ready CSV: for each angular facet, the owning tuple and the dual
-// line segment it contributes.
+// line segment it contributes. Border facets and the engine's rank-regret
+// representative come from one prepared dataset, so the overlay column
+// (`chosen`) marks exactly the tuples a plot should highlight.
 //
 //   ./build/examples/kborder_plot [n] [k] > border.csv
 //   gnuplot> plot 'border.csv' using 3:4 with lines
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_set>
 
+#include "core/engine.h"
 #include "core/kborder.h"
 #include "data/generators.h"
 
@@ -23,11 +27,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::fprintf(stderr, "# n=%zu k=%zu facets=%zu\n", n, k, border->size());
+  // The representative whose members own every facet of the k-border up to
+  // the 2k guarantee — highlighted in the CSV's `chosen` column.
+  rrr::Result<std::shared_ptr<rrr::core::RrrEngine>> engine =
+      rrr::core::RrrEngine::Create(rrr::data::Dataset(ds));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  rrr::Result<rrr::core::QueryResult> rep = (*engine)->Solve(k);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+  std::unordered_set<int32_t> chosen(rep->representative.begin(),
+                                     rep->representative.end());
+
+  std::fprintf(stderr, "# n=%zu k=%zu facets=%zu representative=%zu (%s)\n",
+               n, k, border->size(), rep->representative.size(),
+               rep->diagnostics.ToString().c_str());
   // In the dual space (Eq. 2) the ranking direction w(theta) meets the
   // owner's dual line at distance 1/score; emitting that point for both
   // facet endpoints traces the piecewise-linear k-border of Figure 3.
-  std::printf("item,theta,dual_x,dual_y\n");
+  std::printf("item,theta,dual_x,dual_y,chosen\n");
   for (const auto& seg : *border) {
     for (double theta : {seg.begin, seg.end}) {
       const double wx = std::cos(theta);
@@ -35,8 +57,8 @@ int main(int argc, char** argv) {
       const double* t = ds.row(static_cast<size_t>(seg.item));
       const double score = wx * t[0] + wy * t[1];
       if (score <= 0) continue;
-      std::printf("%d,%.6f,%.6f,%.6f\n", seg.item, theta, wx / score,
-                  wy / score);
+      std::printf("%d,%.6f,%.6f,%.6f,%d\n", seg.item, theta, wx / score,
+                  wy / score, chosen.count(seg.item) != 0 ? 1 : 0);
     }
   }
   return 0;

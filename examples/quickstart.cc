@@ -1,13 +1,13 @@
-// Quickstart: the paper's running example (Figure 1) end to end.
+// Quickstart: the paper's running example (Figure 1) end to end, on the
+// prepare-once / query-many engine API.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/solver.h"
+#include "core/engine.h"
 #include "data/dataset.h"
-#include "eval/rank_regret.h"
 
 int main() {
   // The 7-tuple example dataset of the paper (Figure 1). Attributes are
@@ -25,35 +25,51 @@ int main() {
     std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
     return 1;
   }
+  const size_t n = ds->size();
+
+  // Prepare once: validates the data and builds the shared artifacts every
+  // query reuses (the 2D sweep here). The engine is then safe to query
+  // from any thread, for any k.
+  rrr::Result<std::shared_ptr<rrr::core::RrrEngine>> engine =
+      rrr::core::RrrEngine::Create(std::move(*ds));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
 
   // Ask for a subset that contains a top-2 tuple for EVERY possible linear
   // preference over (x1, x2).
-  rrr::core::RrrOptions options;
-  options.k = 2;
-  rrr::Result<rrr::core::RrrResult> res =
-      rrr::core::FindRankRegretRepresentative(*ds, options);
+  rrr::Result<rrr::core::QueryResult> res = (*engine)->Solve(2);
   if (!res.ok()) {
     std::fprintf(stderr, "%s\n", res.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("algorithm: %s\n",
-              rrr::core::AlgorithmName(res->algorithm_used).c_str());
+  const rrr::data::Dataset& data = (*engine)->prepared().dataset();
+  std::printf("query: %s\n", res->diagnostics.ToString().c_str());
   std::printf("representative (%zu of %zu tuples):\n",
-              res->representative.size(), ds->size());
+              res->representative.size(), n);
   for (int32_t id : res->representative) {
-    std::printf("  t%d = (%.2f, %.2f)\n", id + 1, ds->at(id, 0),
-                ds->at(id, 1));
+    std::printf("  t%d = (%.2f, %.2f)\n", id + 1, data.at(id, 0),
+                data.at(id, 1));
   }
 
-  // Verify the promise with the exact 2D evaluator: no user, whatever their
-  // linear preference, sees their best representative item ranked worse
-  // than this.
-  rrr::Result<int64_t> regret =
-      rrr::eval::ExactRankRegret2D(*ds, res->representative);
-  if (regret.ok()) {
-    std::printf("exact rank-regret: %lld (requested k = %zu, bound 2k)\n",
-                static_cast<long long>(*regret), options.k);
+  // Verify the promise with the engine's exact 2D evaluator: no user,
+  // whatever their linear preference, sees their best representative item
+  // ranked worse than this.
+  rrr::Result<rrr::core::EvalReport> audit =
+      (*engine)->Evaluate(res->representative, 2);
+  if (audit.ok()) {
+    std::printf("exact rank-regret: %lld (requested k = 2, bound 2k)%s\n",
+                static_cast<long long>(audit->rank_regret),
+                audit->within_k ? " — within k" : "");
+  }
+
+  // Repeat queries are free: the engine memoizes per (k, algorithm).
+  rrr::Result<rrr::core::QueryResult> again = (*engine)->Solve(2);
+  if (again.ok()) {
+    std::printf("repeat query served from cache: %s\n",
+                again->diagnostics.result_from_cache ? "yes" : "no");
   }
   return 0;
 }

@@ -1,0 +1,48 @@
+#include "common/exec_context.h"
+
+#include <limits>
+
+namespace rrr {
+
+Deadline Deadline::After(double seconds) {
+  return At(std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds)));
+}
+
+Deadline Deadline::At(std::chrono::steady_clock::time_point when) {
+  Deadline d;
+  d.set_ = true;
+  d.when_ = when;
+  return d;
+}
+
+double Deadline::remaining_seconds() const {
+  if (!set_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(when_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+Status ExecContext::CheckPreempted() const {
+  if (cancel.cancelled()) {
+    return Status::Cancelled("operation cancelled by caller");
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("operation deadline expired");
+  }
+  return Status::OK();
+}
+
+Status PreemptionGate::Check() {
+  if (!status_.ok()) return status_;
+  if (ctx_->cancel.cancelled()) {
+    status_ = Status::Cancelled("operation cancelled by caller");
+    return status_;
+  }
+  if (count_++ % stride_ == 0 && ctx_->deadline.expired()) {
+    status_ = Status::DeadlineExceeded("operation deadline expired");
+  }
+  return status_;
+}
+
+}  // namespace rrr

@@ -1,0 +1,152 @@
+#ifndef RRR_COMMON_EXEC_CONTEXT_H_
+#define RRR_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+
+#include "common/status.h"
+
+namespace rrr {
+
+class CancellationSource;
+
+/// \brief Read-only view of a cancellation flag owned by a
+/// CancellationSource.
+///
+/// Tokens are cheap to copy and safe to read from any thread; a
+/// default-constructed token is never cancelled (the "no cancellation"
+/// case, so APIs can take an ExecContext by value without forcing callers
+/// to allocate a source).
+class CancellationToken {
+ public:
+  /// Null token: cancelled() is always false.
+  CancellationToken() = default;
+
+  /// True once the owning source has requested cancellation.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// \brief Owner of a cancellation flag: hand token() to long-running calls
+/// and RequestCancel() from any thread to make them return
+/// Status::Cancelled at their next preemption point.
+///
+/// Cancellation is one-way and sticky — there is no reset; create a new
+/// source per logical operation.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Flips the flag; every token observes it on its next check.
+  void RequestCancel() { flag_->store(true, std::memory_order_release); }
+
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief Optional wall-clock budget on an operation, measured against the
+/// monotonic clock. A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  /// Unset deadline: expired() is always false.
+  Deadline() = default;
+
+  /// Deadline `seconds` from now (negative or zero: already expired).
+  static Deadline After(double seconds);
+
+  /// Deadline at an absolute steady-clock time point.
+  static Deadline At(std::chrono::steady_clock::time_point when);
+
+  bool has_deadline() const { return set_; }
+
+  /// True once the monotonic clock has passed the deadline.
+  bool expired() const {
+    return set_ && std::chrono::steady_clock::now() >= when_;
+  }
+
+  /// Seconds until expiry; +infinity when unset, <= 0 when expired.
+  double remaining_seconds() const;
+
+ private:
+  bool set_ = false;
+  std::chrono::steady_clock::time_point when_{};
+};
+
+/// \brief Per-call execution context threaded through every long-running
+/// algorithm entry point: cancellation, deadline, and the worker-thread
+/// budget for the internal `common/parallel` loops.
+///
+/// Default-constructed ExecContext is fully permissive (never preempts,
+/// leaves each algorithm's own `threads` option in charge), so adding an
+/// `const ExecContext& ctx = {}` parameter is behavior-preserving for
+/// existing callers.
+struct ExecContext {
+  CancellationToken cancel;
+  Deadline deadline;
+  /// Worker-thread budget: 0 leaves the callee's own `threads` option in
+  /// charge; any other value overrides it (1 = serial, N = exactly N).
+  size_t threads = 0;
+
+  /// OK while neither the token nor the deadline has fired; otherwise
+  /// Cancelled (checked first) or DeadlineExceeded. Algorithms call this at
+  /// entry and at clean preemption points, returning the status with no
+  /// partial output.
+  Status CheckPreempted() const;
+
+  /// The thread count an algorithm should hand to ResolveThreads:
+  /// this context's budget when set, else the option's own value.
+  size_t ThreadsOver(size_t option_threads) const {
+    return threads != 0 ? threads : option_threads;
+  }
+};
+
+/// \brief Strided preemption checker for hot loops.
+///
+/// Check() consults the cancellation token on every call (one atomic load)
+/// but reads the clock only every `stride` calls, so it is cheap enough for
+/// per-event loops like the angular sweep. Once a check fails the gate is
+/// sticky: status() keeps returning the first failure.
+class PreemptionGate {
+ public:
+  explicit PreemptionGate(const ExecContext& ctx, size_t stride = 256)
+      : ctx_(&ctx), stride_(stride == 0 ? 1 : stride) {}
+
+  /// OK, Cancelled, or DeadlineExceeded (deadline checked every `stride`
+  /// calls).
+  Status Check();
+
+  /// Callback-loop form: true once preempted; the cause is in status().
+  bool Preempted() {
+    if (!status_.ok()) return true;
+    status_ = Check();
+    return !status_.ok();
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  const ExecContext* ctx_;
+  size_t stride_;
+  size_t count_ = 0;
+  Status status_;
+};
+
+}  // namespace rrr
+
+#endif  // RRR_COMMON_EXEC_CONTEXT_H_

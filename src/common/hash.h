@@ -1,0 +1,39 @@
+#ifndef RRR_COMMON_HASH_H_
+#define RRR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace rrr {
+
+/// 64-bit FNV-1a parameters, shared by every keyed cache in the library
+/// (corner memo, k-set sample cache, engine result memo) so the mixing
+/// logic lives in exactly one place.
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// Folds `len` raw bytes into a running FNV-1a state `h` (seed with
+/// kFnvOffsetBasis). Byte-hashing doubles is sound only when equal keys
+/// are bit-identical — true for the dyadic corner angles and for integer
+/// key fields, the only uses here.
+inline uint64_t FnvMixBytes(uint64_t h, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Folds one trivially-copyable value's object representation into `h`.
+template <typename T>
+uint64_t FnvMix(uint64_t h, const T& value) {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "FnvMix hashes raw object bytes");
+  return FnvMixBytes(h, &value, sizeof(T));
+}
+
+}  // namespace rrr
+
+#endif  // RRR_COMMON_HASH_H_

@@ -49,9 +49,17 @@ class Result {
     return std::get<T>(std::move(repr_));
   }
 
-  /// Returns the held value or `fallback` when this Result is an error.
-  T value_or(T fallback) const {
+  /// Returns a copy of the held value, or `fallback` when this Result is an
+  /// error. The fallback moves into the return value on the error path, so
+  /// passing a large temporary costs one move, not a copy.
+  T value_or(T fallback) const& {
     if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+  /// Rvalue overload: moves the held value out instead of deep-copying it
+  /// (`std::move(result).value_or({})` for large representatives).
+  T value_or(T fallback) && {
+    if (ok()) return std::get<T>(std::move(repr_));
     return fallback;
   }
 

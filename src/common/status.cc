@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kIoError:
       return "io-error";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -22,6 +22,12 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIoError = 8,
+  /// The caller's CancellationToken was triggered before or during the
+  /// operation; no partial output was produced.
+  kCancelled = 9,
+  /// The caller's Deadline expired before or during the operation; no
+  /// partial output was produced.
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Returns the canonical lower-case name of a status code
@@ -66,6 +72,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

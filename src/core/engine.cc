@@ -1,0 +1,288 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/evaluator.h"
+
+namespace rrr {
+namespace core {
+
+std::string Diagnostics::ToString() const {
+  std::string out = StrFormat("%s %.6fs cached=%s reuse=%s",
+                              AlgorithmName(algorithm_used).c_str(), seconds,
+                              result_from_cache ? "yes" : "no",
+                              reused_prepared_artifacts ? "yes" : "no");
+  if (mdrc.nodes > 0) {
+    out += StrFormat(
+        " mdrc{nodes=%zu leaves=%zu evals=%zu hits=%zu depth=%zu}",
+        mdrc.nodes, mdrc.leaves, mdrc.corner_evals, mdrc.cache_hits,
+        mdrc.max_depth);
+  }
+  if (sampler_samples_drawn > 0 || sampler_ksets > 0) {
+    out += StrFormat(" sampler{draws=%zu ksets=%zu cached=%s}",
+                     sampler_samples_drawn, sampler_ksets,
+                     sampler_from_cache ? "yes" : "no");
+  }
+  if (eval_functions_sampled > 0) {
+    out += StrFormat(" eval{functions=%zu}", eval_functions_sampled);
+  }
+  return out;
+}
+
+size_t RrrEngine::ResultKeyHash::operator()(const ResultKey& key) const {
+  uint64_t h = FnvMix(kFnvOffsetBasis, key.k);
+  h = FnvMix(h, static_cast<uint64_t>(key.algorithm));
+  return static_cast<size_t>(h);
+}
+
+RrrEngine::RrrEngine(std::shared_ptr<const PreparedDataset> prepared,
+                     EngineOptions options)
+    : prepared_(std::move(prepared)),
+      options_(std::move(options)),
+      result_cache_(options_.max_result_cache_entries) {}
+
+Result<std::shared_ptr<RrrEngine>> RrrEngine::Create(data::Dataset dataset,
+                                                     EngineOptions options) {
+  std::shared_ptr<const PreparedDataset> prepared;
+  RRR_ASSIGN_OR_RETURN(
+      prepared, PreparedDataset::Create(std::move(dataset), options.prepared));
+  return Create(std::move(prepared), std::move(options));
+}
+
+Result<std::shared_ptr<RrrEngine>> RrrEngine::Create(
+    std::shared_ptr<const PreparedDataset> prepared, EngineOptions options) {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("null PreparedDataset");
+  }
+  // Not make_shared: the constructor is private.
+  return std::shared_ptr<RrrEngine>(
+      new RrrEngine(std::move(prepared), std::move(options)));
+}
+
+Result<Algorithm> RrrEngine::ResolveAlgorithm(size_t k,
+                                              const QueryOptions& query) const {
+  Algorithm algorithm = query.algorithm != Algorithm::kAuto
+                            ? query.algorithm
+                            : options_.defaults.algorithm;
+  if (algorithm == Algorithm::kAuto) {
+    if (prepared_->dims() == 2) {
+      algorithm = Algorithm::k2dRrr;
+    } else if (k == 1 && prepared_->dims() > 2) {
+      algorithm = Algorithm::kConvexMaxima;
+    } else {
+      algorithm = Algorithm::kMdRc;
+    }
+  }
+  if (algorithm == Algorithm::k2dRrr && prepared_->dims() != 2) {
+    return Status::InvalidArgument("2DRRR requires a 2D dataset");
+  }
+  if (algorithm == Algorithm::kConvexMaxima && k != 1) {
+    return Status::InvalidArgument(
+        "convex maxima solve is exact only for k == 1");
+  }
+  return algorithm;
+}
+
+Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
+                                            const ExecContext& ctx) const {
+  const RrrOptions& defaults = options_.defaults;
+  const data::Dataset& dataset = prepared_->dataset();
+
+  QueryResult result;
+  result.diagnostics.algorithm_used = algorithm;
+  Stopwatch timer;
+  switch (algorithm) {
+    case Algorithm::k2dRrr: {
+      // The prepared sweep replaces the per-call O(n log n) initial sort.
+      RRR_ASSIGN_OR_RETURN(
+          result.representative,
+          Solve2dRrr(dataset, k, defaults.rrr2d, ctx, prepared_->sweep()));
+      result.diagnostics.reused_prepared_artifacts =
+          prepared_->sweep() != nullptr;
+      break;
+    }
+    case Algorithm::kMdRrr: {
+      KSetSamplerOptions sampler = defaults.sampler;
+      if (defaults.threads != 0) sampler.threads = defaults.threads;
+      bool sample_hit = false;
+      std::shared_ptr<const KSetSampleResult> sample;
+      RRR_ASSIGN_OR_RETURN(
+          sample, prepared_->SharedKSets(k, sampler, ctx, &sample_hit));
+      RRR_ASSIGN_OR_RETURN(
+          result.representative,
+          SolveMdrrr(dataset, sample->ksets, defaults.mdrrr, ctx));
+      result.diagnostics.sampler_samples_drawn = sample->samples_drawn;
+      result.diagnostics.sampler_ksets = sample->ksets.size();
+      result.diagnostics.sampler_from_cache = sample_hit;
+      result.diagnostics.reused_prepared_artifacts = sample_hit;
+      break;
+    }
+    case Algorithm::kMdRc: {
+      MdrcOptions mdrc = defaults.mdrc;
+      if (defaults.threads != 0) mdrc.threads = defaults.threads;
+      // Cross-query warmth, not intra-solve sibling hits: sibling cells
+      // share corners within any single solve, so stats.cache_hits > 0
+      // even on a cold engine. Corners stored before this query started
+      // are the actual prepared-artifact signal.
+      const bool cache_was_warm = prepared_->corner_cache()->entries() > 0;
+      MdrcStats stats;
+      RRR_ASSIGN_OR_RETURN(
+          result.representative,
+          SolveMdrc(dataset, k, mdrc, &stats, ctx, prepared_->corner_cache()));
+      result.diagnostics.mdrc = stats;
+      result.diagnostics.reused_prepared_artifacts = cache_was_warm;
+      break;
+    }
+    case Algorithm::kConvexMaxima: {
+      const size_t threads =
+          ResolveThreads(ctx.ThreadsOver(defaults.threads));
+      bool maxima_hit = false;
+      std::shared_ptr<const std::vector<int32_t>> maxima;
+      RRR_ASSIGN_OR_RETURN(
+          maxima, prepared_->SharedConvexMaxima(threads, ctx, &maxima_hit));
+      result.representative = *maxima;
+      result.diagnostics.reused_prepared_artifacts = maxima_hit;
+      break;
+    }
+    case Algorithm::kAuto:
+      return Status::Internal("kAuto must be resolved before dispatch");
+  }
+  result.diagnostics.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<QueryResult> RrrEngine::Solve(size_t k,
+                                     const QueryOptions& query) const {
+  RRR_RETURN_IF_ERROR(query.exec.CheckPreempted());
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  Algorithm algorithm;
+  RRR_ASSIGN_OR_RETURN(algorithm, ResolveAlgorithm(k, query));
+
+  if (!options_.memoize_results || !query.use_cache) {
+    return RunAlgorithm(k, algorithm, query.exec);
+  }
+
+  Stopwatch timer;
+  bool memo_hit = false;
+  std::shared_ptr<const QueryResult> cached;
+  RRR_ASSIGN_OR_RETURN(
+      cached, result_cache_.GetOrCompute(
+                  ResultKey{k, algorithm}, query.exec, &memo_hit,
+                  [&] { return RunAlgorithm(k, algorithm, query.exec); }));
+  QueryResult result = *cached;  // cached entries are immutable; copy out
+  if (memo_hit) {
+    // The counters describe the original computing run; re-stamp the
+    // query-local facts.
+    result.diagnostics.result_from_cache = true;
+    result.diagnostics.reused_prepared_artifacts = true;
+    result.diagnostics.seconds = timer.ElapsedSeconds();
+  }
+  return result;
+}
+
+Result<DualResult> RrrEngine::SolveDual(size_t max_size,
+                                        const QueryOptions& query) const {
+  RRR_RETURN_IF_ERROR(query.exec.CheckPreempted());
+  if (max_size == 0) return Status::InvalidArgument("max_size must be >= 1");
+
+  // Binary search the smallest feasible k in [1, n] (Section 2's reduction:
+  // log n calls to the primal solver). Every probe goes through Solve, so
+  // probes share the prepared artifacts and land in the result memo.
+  size_t lo = 1;
+  size_t hi = prepared_->size();
+  DualResult best;
+  bool found = false;
+  size_t exhausted_probes = 0;
+  Stopwatch total_timer;
+  while (lo <= hi) {
+    RRR_RETURN_IF_ERROR(query.exec.CheckPreempted());
+    const size_t mid = lo + (hi - lo) / 2;
+    Result<QueryResult> probe = Solve(mid, query);
+    DualProbe record;
+    record.k = mid;
+    if (!probe.ok() &&
+        probe.status().code() == StatusCode::kResourceExhausted) {
+      // The solver could not finish at this k (e.g. MDRC's node budget for
+      // tiny k in high dimension): treat as infeasible and search upward.
+      record.status = StatusCode::kResourceExhausted;
+      best.probes.push_back(record);
+      ++exhausted_probes;
+      lo = mid + 1;
+      continue;
+    }
+    if (!probe.ok()) return probe.status();
+    QueryResult res = std::move(probe).value();
+    record.algorithm_used = res.diagnostics.algorithm_used;
+    record.seconds = res.diagnostics.seconds;
+    record.representative_size = res.representative.size();
+    record.from_cache = res.diagnostics.result_from_cache;
+    record.feasible = res.representative.size() <= max_size;
+    best.probes.push_back(record);
+    if (record.feasible) {
+      best.k = mid;
+      best.representative = std::move(res.representative);
+      best.algorithm_used = res.diagnostics.algorithm_used;
+      found = true;
+      if (mid == 1) break;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  best.seconds = total_timer.ElapsedSeconds();
+  if (!found) {
+    if (!best.probes.empty() && exhausted_probes == best.probes.size()) {
+      // Every probe died on the solver's own resource budget, so "no k met
+      // the size budget" would misattribute the failure: the search never
+      // saw a representative at all. Surface the real cause so callers can
+      // raise the algorithm budget instead of the size budget.
+      return Status::ResourceExhausted(
+          "every probe of the dual binary search exhausted the solver's "
+          "budget before producing a representative (raise the algorithm's "
+          "resource limits, e.g. MdrcOptions::max_nodes)");
+    }
+    return Status::NotFound(
+        "no k in [1, n] met the size budget with this algorithm");
+  }
+  return best;
+}
+
+Result<EvalReport> RrrEngine::Evaluate(
+    const std::vector<int32_t>& representative, size_t k,
+    const QueryOptions& query) const {
+  RRR_RETURN_IF_ERROR(query.exec.CheckPreempted());
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  EvalReport report;
+  Stopwatch timer;
+  if (prepared_->dims() == 2) {
+    RRR_ASSIGN_OR_RETURN(
+        report.rank_regret,
+        SweepExactRankRegret2D(prepared_->dataset(), representative,
+                               query.exec, prepared_->sweep()));
+    report.exact = true;
+    report.diagnostics.reused_prepared_artifacts = true;
+  } else {
+    SampledRegretOptions sampled;
+    sampled.num_functions = options_.eval_num_functions;
+    sampled.seed = options_.eval_seed;
+    sampled.threads = options_.defaults.threads;
+    RRR_ASSIGN_OR_RETURN(
+        report.rank_regret,
+        SampledRankRegretEstimate(prepared_->dataset(), representative,
+                                  sampled, query.exec));
+    report.exact = false;
+    report.diagnostics.eval_functions_sampled = sampled.num_functions;
+  }
+  report.within_k = report.rank_regret <= static_cast<int64_t>(k);
+  report.diagnostics.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,205 @@
+#ifndef RRR_CORE_ENGINE_H_
+#define RRR_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/result.h"
+#include "core/prepared_dataset.h"
+#include "core/solver.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+/// \brief Unified observability block returned by every engine query,
+/// replacing the scattered per-algorithm counters (MdrcStats out-param,
+/// sampler counts, ad-hoc timing fields).
+///
+/// Counters for machinery a query did not touch stay zero: a 2DRRR query
+/// reports empty mdrc/sampler sections, an MDRC query reports no sampler
+/// draws, and so on.
+struct Diagnostics {
+  /// The algorithm that actually ran (kAuto resolved).
+  Algorithm algorithm_used = Algorithm::kAuto;
+  /// Wall-clock seconds of this query (memo lookup time on cache hits).
+  double seconds = 0.0;
+  /// True when the representative came from the engine's per-(k,
+  /// algorithm) result memo; the remaining counters then describe the
+  /// original computing run.
+  bool result_from_cache = false;
+  /// True when a prepared-dataset shared artifact satisfied part of the
+  /// work (K-SETr sample reused, warm MDRC corner hits, memoized maxima).
+  bool reused_prepared_artifacts = false;
+  /// MDRC partition counters (all zero unless MDRC ran). With the engine's
+  /// shared corner cache, cache_hits includes corners computed by earlier
+  /// queries — the cross-query reuse signal.
+  MdrcStats mdrc;
+  /// K-SETr counters (zero unless the sampler ran).
+  size_t sampler_samples_drawn = 0;
+  size_t sampler_ksets = 0;
+  /// True when the sample came from the prepared dataset's (k, seed) memo.
+  bool sampler_from_cache = false;
+  /// Ranking functions drawn by Evaluate's sampled estimator (0 for the
+  /// exact 2D path and for Solve/SolveDual queries).
+  size_t eval_functions_sampled = 0;
+
+  /// One-line human-readable rendering, e.g.
+  /// "MDRC 0.123s cached=no mdrc{nodes=93 leaves=47 ...}".
+  std::string ToString() const;
+};
+
+/// Output of RrrEngine::Solve.
+struct QueryResult {
+  /// Ids of the representative tuples, sorted.
+  std::vector<int32_t> representative;
+  Diagnostics diagnostics;
+};
+
+/// Output of RrrEngine::Evaluate.
+struct EvalReport {
+  /// Measured rank-regret of the representative: exact for d == 2 (one
+  /// angular sweep), a Monte-Carlo lower bound otherwise.
+  int64_t rank_regret = 0;
+  /// True when rank_regret is exact (the 2D sweep), false for the sampled
+  /// estimate (the true max can only be larger).
+  bool exact = false;
+  /// rank_regret <= k: the representative meets the rank promise on every
+  /// function checked.
+  bool within_k = false;
+  Diagnostics diagnostics;
+};
+
+/// Per-query options for RrrEngine calls.
+struct QueryOptions {
+  /// Algorithm override for this query; kAuto (the default) defers to the
+  /// engine's configured default, which itself resolves by dimension/k.
+  Algorithm algorithm = Algorithm::kAuto;
+  /// Cancellation token, deadline, and worker-thread budget for this
+  /// query. `exec.threads` (non-zero) overrides every thread setting the
+  /// engine was configured with.
+  ExecContext exec;
+  /// Consult and populate the engine's per-(k, algorithm) result memo.
+  /// Off forces a full recompute (still reusing the prepared artifacts).
+  bool use_cache = true;
+};
+
+/// Engine-wide configuration.
+struct EngineOptions {
+  /// Per-algorithm tuning and the default algorithm selector for every
+  /// query (the `k` field is ignored — k is a per-query argument; the
+  /// `threads` field is the engine-wide default budget, overridable per
+  /// query via QueryOptions::exec.threads).
+  RrrOptions defaults;
+  /// Memoize Solve results per (k, resolved algorithm). Sound because
+  /// every solver is deterministic given its options, which are fixed at
+  /// engine construction.
+  bool memoize_results = true;
+  /// Cap on memoized results; past it, queries compute without caching.
+  size_t max_result_cache_entries = 1024;
+  /// Evaluate's sampled-estimator protocol for d > 2 data.
+  size_t eval_num_functions = 10000;
+  uint64_t eval_seed = 23;
+  /// Shared-artifact caps for the underlying PreparedDataset.
+  PreparedDataset::Options prepared;
+};
+
+/// \brief Prepare-once / query-many facade over the paper's algorithms.
+///
+/// Build an engine per dataset, then issue queries from any thread:
+///
+///   auto engine = *RrrEngine::Create(std::move(dataset));
+///   auto r1 = engine->Solve(10);              // cold: runs the solver
+///   auto r2 = engine->Solve(10);              // memo hit: bit-identical
+///   auto d  = engine->SolveDual(25);          // probes share artifacts
+///   auto ok = engine->Evaluate(r1->representative, 10);
+///
+/// Guarantees:
+///  - *Concurrency*: Solve/SolveDual/Evaluate are const and safe to call
+///    from many threads; shared artifacts are compute-once (a thread
+///    requesting an in-flight artifact waits instead of duplicating work).
+///  - *Determinism*: results are identical across repeat calls, thread
+///    counts, and cache states (the memo can only return what the solver
+///    would recompute).
+///  - *Preemption*: a query whose QueryOptions::exec cancels or expires
+///    returns Status Cancelled/DeadlineExceeded with no partial output and
+///    without poisoning any shared cache.
+///
+/// The legacy free functions (FindRankRegretRepresentative,
+/// SolveDualProblem) are thin wrappers constructing a temporary engine.
+class RrrEngine {
+ public:
+  /// Validates and prepares `dataset` (see PreparedDataset::Create).
+  static Result<std::shared_ptr<RrrEngine>> Create(
+      data::Dataset dataset, EngineOptions options = {});
+
+  /// Wraps an existing prepared dataset (shareable across engines with
+  /// different option sets).
+  static Result<std::shared_ptr<RrrEngine>> Create(
+      std::shared_ptr<const PreparedDataset> prepared,
+      EngineOptions options = {});
+
+  const PreparedDataset& prepared() const { return *prepared_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// \brief Rank-regret representative for rank budget `k`.
+  ///
+  /// Fails with InvalidArgument for k == 0 or an algorithm/dimension
+  /// mismatch; propagates solver statuses (ResourceExhausted, Cancelled,
+  /// DeadlineExceeded) otherwise.
+  Result<QueryResult> Solve(size_t k, const QueryOptions& query = {}) const;
+
+  /// \brief Dual problem: smallest k whose representative fits `max_size`,
+  /// by binary search over memoizing Solve probes (Section 2's reduction).
+  ///
+  /// Error contract matches SolveDualProblem (InvalidArgument, NotFound,
+  /// all-probes ResourceExhausted), plus Cancelled/DeadlineExceeded from
+  /// the query's ExecContext.
+  Result<DualResult> SolveDual(size_t max_size,
+                               const QueryOptions& query = {}) const;
+
+  /// \brief Audits a representative: exact 2D rank-regret (shared sweep)
+  /// or the sampled lower bound for d > 2, with within-k verdict.
+  ///
+  /// Fails with InvalidArgument for k == 0 or an empty representative,
+  /// OutOfRange for ids outside the dataset.
+  Result<EvalReport> Evaluate(const std::vector<int32_t>& representative,
+                              size_t k, const QueryOptions& query = {}) const;
+
+ private:
+  struct ResultKey {
+    size_t k;
+    Algorithm algorithm;
+    bool operator==(const ResultKey& other) const {
+      return k == other.k && algorithm == other.algorithm;
+    }
+  };
+  struct ResultKeyHash {
+    size_t operator()(const ResultKey& key) const;
+  };
+
+  RrrEngine(std::shared_ptr<const PreparedDataset> prepared,
+            EngineOptions options);
+
+  /// Applies the query override, the engine default, and the kAuto
+  /// dimension/k rules; validates algorithm/dimension compatibility.
+  Result<Algorithm> ResolveAlgorithm(size_t k,
+                                     const QueryOptions& query) const;
+
+  /// Dispatches one uncached solve (shared artifacts still apply).
+  Result<QueryResult> RunAlgorithm(size_t k, Algorithm algorithm,
+                                   const ExecContext& ctx) const;
+
+  std::shared_ptr<const PreparedDataset> prepared_;
+  EngineOptions options_;
+  mutable internal::KeyedLazyCache<ResultKey, QueryResult, ResultKeyHash>
+      result_cache_;
+};
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_ENGINE_H_

@@ -1,0 +1,53 @@
+#ifndef RRR_CORE_EVALUATOR_H_
+#define RRR_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+class AngularSweep;
+
+/// \brief Exact rank-regret of `subset` over all 2D linear ranking
+/// functions: max over theta in [0, pi/2] of the best subset rank
+/// (Definition 2 evaluated exactly). One angular sweep, O(E log n).
+///
+/// This is the implementation behind eval::ExactRankRegret2D; it lives in
+/// core so the engine facade (also core) can audit representatives without
+/// a core -> eval dependency cycle. `sweep` optionally reuses a prebuilt
+/// AngularSweep over the same dataset (PreparedDataset shares one);
+/// `ctx` preempts the sweep with Cancelled/DeadlineExceeded.
+Result<int64_t> SweepExactRankRegret2D(const data::Dataset& dataset,
+                                       const std::vector<int32_t>& subset,
+                                       const ExecContext& ctx = {},
+                                       const AngularSweep* sweep = nullptr);
+
+/// Options for the sampled estimator (mirrors
+/// eval::SampledRankRegretOptions, which delegates here).
+struct SampledRegretOptions {
+  /// Ranking functions drawn uniformly from the first orthant of the unit
+  /// sphere (the paper's Section 6.1 uses 10,000).
+  size_t num_functions = 10000;
+  uint64_t seed = 23;
+  /// Worker threads for the per-function rank scans: 0 = hardware
+  /// concurrency, 1 = serial. The estimate is a max over draws from one
+  /// seeded Rng, so the result is identical for every thread count.
+  size_t threads = 0;
+};
+
+/// \brief Monte-Carlo lower bound on the rank-regret of `subset`: the max
+/// over sampled functions of the subset's best rank (the paper's
+/// measurement protocol for d > 2). `ctx` preempts between scan batches.
+Result<int64_t> SampledRankRegretEstimate(
+    const data::Dataset& dataset, const std::vector<int32_t>& subset,
+    const SampledRegretOptions& options = {}, const ExecContext& ctx = {});
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_EVALUATOR_H_

@@ -1,5 +1,7 @@
 #include "core/find_ranges.h"
 
+#include <memory>
+
 #include "core/sweep.h"
 #include "geometry/angles.h"
 
@@ -7,7 +9,9 @@ namespace rrr {
 namespace core {
 
 Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
-                                          size_t k) {
+                                          size_t k, const ExecContext& ctx,
+                                          const AngularSweep* sweep) {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (dataset.dims() != 2) {
     return Status::InvalidArgument("FindRanges requires a 2D dataset");
   }
@@ -16,8 +20,12 @@ Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
   std::vector<ItemRange> ranges(n);
   if (n == 0) return ranges;
 
-  AngularSweep sweep(dataset);
-  const auto& order = sweep.InitialOrder();
+  std::unique_ptr<AngularSweep> own_sweep;
+  if (sweep == nullptr) {
+    own_sweep = std::make_unique<AngularSweep>(dataset);
+    sweep = own_sweep.get();
+  }
+  const auto& order = sweep->InitialOrder();
   const size_t kk = std::min(k, n);
 
   // Items in the top-k at theta = 0 start their range there.
@@ -29,8 +37,10 @@ Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
     in_topk_now[id] = 1;
   }
 
+  PreemptionGate gate(ctx, 1024);
   if (kk < n) {
-    sweep.Run([&](const SweepEvent& ev) {
+    sweep->Run([&](const SweepEvent& ev) {
+      if (gate.Preempted()) return false;
       if (ev.upper_position == kk) {
         // ev.item_up enters the top-k, ev.item_down leaves it.
         const auto up = static_cast<size_t>(ev.item_up);
@@ -53,6 +63,7 @@ Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
       return true;
     });
   }
+  RRR_RETURN_IF_ERROR(gate.status());
 
   // Items still in the top-k at theta = pi/2 extend to the end.
   for (size_t id = 0; id < n; ++id) {

@@ -3,11 +3,14 @@
 
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "data/dataset.h"
 
 namespace rrr {
 namespace core {
+
+class AngularSweep;
 
 /// Result of Algorithm 1 for one item: the convex closure of the sweep
 /// angles at which the item is in the top-k.
@@ -30,9 +33,17 @@ struct ItemRange {
 /// gives 2DRRR its approximation factor. O(E log n) where E is the number of
 /// rank exchanges (at most n(n-1)/2).
 ///
-/// Fails with InvalidArgument unless dims == 2 and k >= 1.
+/// Fails with InvalidArgument unless dims == 2 and k >= 1; returns
+/// Cancelled/DeadlineExceeded (with no partial output) when `ctx` preempts
+/// the sweep, whose event loop is the preemption point.
+///
+/// `sweep` optionally supplies a prebuilt AngularSweep over the same
+/// dataset (PreparedDataset shares one across queries, saving the
+/// O(n log n) initial sort per call); when null a fresh sweep is built.
 Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
-                                          size_t k);
+                                          size_t k,
+                                          const ExecContext& ctx = {},
+                                          const AngularSweep* sweep = nullptr);
 
 }  // namespace core
 }  // namespace rrr

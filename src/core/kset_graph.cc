@@ -12,7 +12,9 @@ namespace core {
 
 Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
                                            size_t k,
-                                           const KSetGraphOptions& options) {
+                                           const KSetGraphOptions& options,
+                                           const ExecContext& ctx) {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   const size_t n = dataset.size();
   const size_t d = dataset.dims();
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
@@ -59,6 +61,7 @@ Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
   found.Insert(first);
   std::deque<KSet> queue;
   queue.push_back(first);
+  PreemptionGate gate(ctx, 64);
 
   while (!queue.empty()) {
     const KSet current = queue.front();
@@ -69,6 +72,7 @@ Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
     for (size_t swap_out = 0; swap_out < current.ids.size(); ++swap_out) {
       for (size_t cand = 0; cand < n; ++cand) {
         if (inside[cand]) continue;
+        RRR_RETURN_IF_ERROR(gate.Check());
         KSet next = current;
         next.ids[swap_out] = static_cast<int32_t>(cand);
         next.Normalize();

@@ -1,6 +1,7 @@
 #ifndef RRR_CORE_KSET_GRAPH_H_
 #define RRR_CORE_KSET_GRAPH_H_
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "core/kset.h"
 #include "data/dataset.h"
@@ -29,9 +30,11 @@ struct KSetGraphOptions {
 ///
 /// Fails with InvalidArgument for k == 0 or k >= n (no hyperplane can leave
 /// a proper complement), or ResourceExhausted past options.max_ksets.
+/// Returns Cancelled/DeadlineExceeded (no partial collection) when `ctx`
+/// preempts the BFS, which is checked before each candidate LP solve.
 Result<KSetCollection> EnumerateKSetsGraph(
     const data::Dataset& dataset, size_t k,
-    const KSetGraphOptions& options = {});
+    const KSetGraphOptions& options = {}, const ExecContext& ctx = {});
 
 }  // namespace core
 }  // namespace rrr

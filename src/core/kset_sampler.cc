@@ -14,7 +14,9 @@ namespace rrr {
 namespace core {
 
 Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
-                                     const KSetSamplerOptions& options) {
+                                     const KSetSamplerOptions& options,
+                                     const ExecContext& ctx) {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   RRR_RETURN_IF_ERROR(dataset.CheckFinite());
@@ -58,12 +60,14 @@ Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
   Rng rng(options.seed);
   KSetSampleResult out;
   size_t misses = 0;
-  const size_t threads = ResolveThreads(options.threads);
+  const size_t threads = ResolveThreads(ctx.ThreadsOver(options.threads));
+  PreemptionGate gate(ctx, 64);
 
   if (threads <= 1) {
     // Serial path: evaluate each draw before deciding whether to stop.
     while (misses < options.termination_count &&
            out.samples_drawn < options.max_samples) {
+      RRR_RETURN_IF_ERROR(gate.Check());
       ++out.samples_drawn;
       topk::LinearFunction f(
           rng.UnitWeightVector(static_cast<int>(dataset.dims())));
@@ -90,6 +94,7 @@ Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
   std::vector<std::vector<int32_t>> results;
   while (misses < options.termination_count &&
          out.samples_drawn < options.max_samples) {
+    RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
     const size_t batch =
         std::min(batch_size, options.max_samples - out.samples_drawn);
     funcs.clear();

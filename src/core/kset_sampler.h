@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "core/kset.h"
 #include "data/dataset.h"
@@ -58,9 +59,13 @@ struct KSetSampleResult {
 /// the skyband prefilter and Threshold Algorithm options trade one-off
 /// indexing for cheaper per-sample queries (identical output either way).
 ///
-/// Fails with InvalidArgument for k == 0 or an empty dataset.
+/// Fails with InvalidArgument for k == 0 or an empty dataset; returns
+/// Cancelled/DeadlineExceeded (no partial collection) when `ctx` preempts
+/// the draw loop, which is checked between samples (serial) or between
+/// batches (parallel).
 Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
-                                     const KSetSamplerOptions& options = {});
+                                     const KSetSamplerOptions& options = {},
+                                     const ExecContext& ctx = {});
 
 }  // namespace core
 }  // namespace rrr

@@ -1,15 +1,11 @@
 #include "core/mdrc.h"
 
 #include <algorithm>
-#include <atomic>
-#include <cstring>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "geometry/angles.h"
@@ -31,95 +27,10 @@ struct Node {
   std::string path;
 };
 
-/// FNV-1a over the raw bytes of the corner coordinates. Corner coordinates
-/// are dyadic fractions of pi/2 propagated top-down, so equal corners are
-/// bit-identical doubles and byte hashing is sound.
-struct CornerHash {
-  size_t operator()(const geometry::Vec& v) const {
-    uint64_t h = 1469598103934665603ull;
-    for (double x : v) {
-      uint64_t bits;
-      std::memcpy(&bits, &x, sizeof(bits));
-      for (int b = 0; b < 8; ++b) {
-        h ^= (bits >> (8 * b)) & 0xffu;
-        h *= 1099511628211ull;
-      }
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-/// Concurrent memoizing top-k evaluator keyed by the exact corner angle
-/// vector, sharded to keep lock contention off the hot path. Entries are
-/// compute-once (std::call_once): sibling cells share most corners, so a
-/// thread that requests an in-flight corner waits for the computing thread
-/// instead of duplicating an O(n log k) top-k scan. Results are returned by
-/// value so no reference ever outlives a shard mutation. The per-shard
-/// entry cap bounds memory on explosive instances: past it, corners are
-/// recomputed instead of stored.
-class ShardedCornerCache {
- public:
-  ShardedCornerCache(const data::Dataset& dataset, size_t k,
-                     size_t max_entries)
-      : dataset_(dataset),
-        k_(k),
-        per_shard_cap_(std::max<size_t>(1, max_entries / kShards)) {}
-
-  std::vector<int32_t> TopKAt(const geometry::Vec& angles) {
-    Shard& shard = shards_[CornerHash{}(angles) % kShards];
-    std::shared_ptr<Entry> entry;
-    bool existed = false;
-    {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      auto it = shard.map.find(angles);
-      if (it != shard.map.end()) {
-        entry = it->second;
-        existed = true;
-      } else if (shard.map.size() < per_shard_cap_) {
-        entry = std::make_shared<Entry>();
-        shard.map.emplace(angles, entry);
-      }
-    }
-    if (entry == nullptr) {  // shard at capacity: evaluate without caching
-      corner_evals.fetch_add(1, std::memory_order_relaxed);
-      return Evaluate(angles);
-    }
-    if (existed) cache_hits.fetch_add(1, std::memory_order_relaxed);
-    std::call_once(entry->once, [&] {
-      corner_evals.fetch_add(1, std::memory_order_relaxed);
-      entry->topk = Evaluate(angles);
-    });
-    return entry->topk;
-  }
-
-  std::atomic<size_t> corner_evals{0};
-  std::atomic<size_t> cache_hits{0};
-
- private:
-  static constexpr size_t kShards = 32;
-  struct Entry {
-    std::once_flag once;
-    std::vector<int32_t> topk;
-  };
-  struct Shard {
-    std::mutex mu;
-    std::unordered_map<geometry::Vec, std::shared_ptr<Entry>, CornerHash> map;
-  };
-
-  std::vector<int32_t> Evaluate(const geometry::Vec& angles) const {
-    return topk::TopKSet(dataset_, topk::LinearFunction::FromAngles(angles),
-                         k_);
-  }
-
-  const data::Dataset& dataset_;
-  size_t k_;
-  size_t per_shard_cap_;
-  Shard shards_[kShards];
-};
-
 /// Intersection of the (sorted) top-k sets of all 2^dims corners of `box`.
-std::vector<int32_t> CornerIntersection(const Node& node,
-                                        ShardedCornerCache* cache) {
+std::vector<int32_t> CornerIntersection(const Node& node, size_t k,
+                                        CornerTopKCache* cache,
+                                        CornerTopKCache::Counters* counters) {
   const size_t dims = node.box.size();
   const size_t corners = size_t{1} << dims;
   std::vector<int32_t> common;
@@ -128,7 +39,8 @@ std::vector<int32_t> CornerIntersection(const Node& node,
     for (size_t j = 0; j < dims; ++j) {
       angles[j] = (mask >> j & 1) ? node.box[j].second : node.box[j].first;
     }
-    const std::vector<int32_t> corner_topk = cache->TopKAt(angles);
+    const std::vector<int32_t> corner_topk =
+        cache->TopKAt(k, angles, counters);
     if (mask == 0) {
       common = corner_topk;
     } else {
@@ -162,9 +74,76 @@ struct NodeOutcome {
 
 }  // namespace
 
+// FNV-1a over k plus the raw bytes of the corner coordinates. Corner
+// coordinates are dyadic fractions of pi/2 propagated top-down, so equal
+// corners are bit-identical doubles and byte hashing is sound.
+size_t CornerTopKCache::KeyHash::operator()(const Key& key) const {
+  uint64_t h = FnvMix(kFnvOffsetBasis, key.k);
+  for (double x : key.angles) h = FnvMix(h, x);
+  return static_cast<size_t>(h);
+}
+
+CornerTopKCache::CornerTopKCache(const data::Dataset& dataset,
+                                 size_t max_entries)
+    : dataset_(dataset),
+      per_shard_cap_(std::max<size_t>(1, max_entries / kShards)) {}
+
+std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
+                                             const geometry::Vec& angles,
+                                             Counters* counters) {
+  Key key{k, angles};
+  Shard& shard = shards_[KeyHash{}(key) % kShards];
+  std::shared_ptr<Entry> entry;
+  bool existed = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      entry = it->second;
+      existed = true;
+    } else if (shard.map.size() < per_shard_cap_) {
+      entry = std::make_shared<Entry>();
+      shard.map.emplace(std::move(key), entry);
+    }
+  }
+  if (entry == nullptr) {  // shard at capacity: evaluate without caching
+    if (counters != nullptr) {
+      counters->evals.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Evaluate(k, angles);
+  }
+  if (existed && counters != nullptr) {
+    counters->hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::call_once(entry->once, [&] {
+    if (counters != nullptr) {
+      counters->evals.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry->topk = Evaluate(k, angles);
+  });
+  return entry->topk;
+}
+
+size_t CornerTopKCache::entries() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::vector<int32_t> CornerTopKCache::Evaluate(
+    size_t k, const geometry::Vec& angles) const {
+  return topk::TopKSet(dataset_, topk::LinearFunction::FromAngles(angles), k);
+}
+
 Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
                                        const MdrcOptions& options,
-                                       MdrcStats* stats) {
+                                       MdrcStats* stats,
+                                       const ExecContext& ctx,
+                                       CornerTopKCache* corner_cache) {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   RRR_RETURN_IF_ERROR(dataset.CheckFinite());
@@ -179,16 +158,26 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
   }
   const size_t angle_dims = d - 1;
   const size_t max_level = options.max_splits_per_dim * angle_dims;
-  const size_t threads = ResolveThreads(options.threads);
+  const size_t threads = ResolveThreads(ctx.ThreadsOver(options.threads));
+  const size_t kk = std::min(k, dataset.size());
 
-  ShardedCornerCache cache(dataset, std::min(k, dataset.size()),
-                           options.max_cache_entries);
+  std::unique_ptr<CornerTopKCache> own_cache;
+  if (corner_cache == nullptr) {
+    own_cache = std::make_unique<CornerTopKCache>(dataset,
+                                                  options.max_cache_entries);
+    corner_cache = own_cache.get();
+  } else {
+    RRR_CHECK(corner_cache->dataset() == &dataset)
+        << "shared CornerTopKCache built over a different dataset";
+  }
+  CornerTopKCache::Counters counters;
 
   std::atomic<size_t> nodes{0};
   std::atomic<size_t> leaves{0};
   std::atomic<size_t> depth_cap_leaves{0};
   std::atomic<size_t> max_depth{0};
   std::atomic<bool> exhausted{false};
+  std::atomic<bool> preempted{false};
 
   // Level-synchronous expansion: every node of one depth is independent, so
   // each round is a parallel map over the frontier. The tree (and therefore
@@ -200,10 +189,20 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
   root.box.assign(angle_dims, {0.0, geometry::kHalfPi});
   frontier.push_back(std::move(root));
 
-  while (!frontier.empty() && !exhausted.load(std::memory_order_relaxed)) {
+  while (!frontier.empty() && !exhausted.load(std::memory_order_relaxed) &&
+         !preempted.load(std::memory_order_relaxed)) {
     std::vector<NodeOutcome> outcomes(frontier.size());
     ParallelFor(threads, frontier.size(), [&](size_t i) {
-      if (exhausted.load(std::memory_order_relaxed)) return;
+      if (exhausted.load(std::memory_order_relaxed) ||
+          preempted.load(std::memory_order_relaxed)) {
+        return;
+      }
+      // Per-node preemption point: each node costs up to 2^(d-1) top-k
+      // scans, so one cancel-flag load and clock read per node is noise.
+      if (!ctx.CheckPreempted().ok()) {
+        preempted.store(true, std::memory_order_relaxed);
+        return;
+      }
       if (nodes.fetch_add(1, std::memory_order_relaxed) + 1 >
           options.max_nodes) {
         exhausted.store(true, std::memory_order_relaxed);
@@ -217,7 +216,8 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
       }
 
       NodeOutcome& out = outcomes[i];
-      std::vector<int32_t> common = CornerIntersection(node, &cache);
+      std::vector<int32_t> common =
+          CornerIntersection(node, kk, corner_cache, &counters);
       if (!common.empty()) {
         leaves.fetch_add(1, std::memory_order_relaxed);
         out.kind = NodeOutcome::kCommonLeaf;
@@ -232,12 +232,15 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
         geometry::Vec corner(angle_dims);
         for (size_t j = 0; j < angle_dims; ++j) corner[j] = node.box[j].first;
         out.kind = NodeOutcome::kDepthCapLeaf;
-        out.fallback_item = cache.TopKAt(corner).front();
+        out.fallback_item = corner_cache->TopKAt(kk, corner, &counters).front();
         return;
       }
       out.kind = NodeOutcome::kInternal;
     });
-    if (exhausted.load(std::memory_order_relaxed)) break;
+    if (exhausted.load(std::memory_order_relaxed) ||
+        preempted.load(std::memory_order_relaxed)) {
+      break;
+    }
 
     std::vector<Node> next;
     next.reserve(2 * frontier.size());
@@ -280,8 +283,15 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
   stats->leaves = leaves.load();
   stats->depth_cap_leaves = depth_cap_leaves.load();
   stats->max_depth = max_depth.load();
-  stats->corner_evals = cache.corner_evals.load();
-  stats->cache_hits = cache.cache_hits.load();
+  stats->corner_evals = counters.evals.load();
+  stats->cache_hits = counters.hits.load();
+  if (preempted.load()) {
+    // Surface the precise cause (Cancelled vs DeadlineExceeded), with no
+    // partial representative.
+    Status cause = ctx.CheckPreempted();
+    if (cause.ok()) cause = Status::Cancelled("MDRC expansion preempted");
+    return cause;
+  }
   if (exhausted.load()) {
     return Status::ResourceExhausted(
         "MDRC node budget exceeded; k is likely too small relative to n "

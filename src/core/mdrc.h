@@ -1,11 +1,17 @@
 #ifndef RRR_CORE_MDRC_H_
 #define RRR_CORE_MDRC_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "data/dataset.h"
+#include "geometry/vec.h"
 
 namespace rrr {
 namespace core {
@@ -31,10 +37,11 @@ struct MdrcOptions {
   /// ResourceExhausted rather than consuming unbounded time and memory.
   size_t max_nodes = size_t{1} << 22;
 
-  /// Cap on memoized corner top-k results. Past the cap new corners are
-  /// evaluated without being cached (pure-CPU fallback), which bounds the
-  /// solver's memory at roughly max_cache_entries * (k + d) * 8 bytes even
-  /// on explosive instances.
+  /// Cap on memoized corner top-k results (only used when SolveMdrc builds
+  /// its own private cache; a shared CornerTopKCache carries its own cap).
+  /// Past the cap new corners are evaluated without being cached (pure-CPU
+  /// fallback), which bounds the solver's memory at roughly
+  /// max_cache_entries * (k + d) * 8 bytes even on explosive instances.
   size_t max_cache_entries = size_t{1} << 21;
 
   /// When a leaf's corner intersection contains an already-chosen tuple,
@@ -54,11 +61,14 @@ struct MdrcOptions {
 
 /// Observability counters for a SolveMdrc run.
 ///
-/// All counters are exact at threads = 1. Under parallel expansion the
-/// structural counters (nodes, leaves, depth_cap_leaves, max_depth) stay
-/// exact; corner_evals/cache_hits match the serial counts too (cache
-/// entries are compute-once), except when the cache cap forces uncached
-/// re-evaluations, whose hit/miss split can then differ slightly.
+/// All counters are exact at threads = 1 with a private cache. Under
+/// parallel expansion the structural counters (nodes, leaves,
+/// depth_cap_leaves, max_depth) stay exact; corner_evals/cache_hits match
+/// the serial counts too (cache entries are compute-once), except when the
+/// cache cap forces uncached re-evaluations, whose hit/miss split can then
+/// differ slightly. With a shared CornerTopKCache (engine queries), corners
+/// computed by *earlier* solves count as hits here — the split reflects the
+/// shared cache's warmth, which is the reuse signal callers want.
 struct MdrcStats {
   /// Recursion-tree nodes visited.
   size_t nodes = 0;
@@ -74,6 +84,75 @@ struct MdrcStats {
   size_t max_depth = 0;
 };
 
+/// \brief Concurrent memo of corner top-k evaluations keyed by
+/// (k, exact corner angle vector), shareable across SolveMdrc calls.
+///
+/// Corner coordinates are dyadic fractions of pi/2 propagated top-down, so
+/// equal corners are bit-identical doubles and exact-key hashing is sound —
+/// and the same corners recur across queries at the same k (sibling cells
+/// share corners; repeated solves share everything). PreparedDataset owns
+/// one instance so every engine query against a dataset reuses all prior
+/// corner work; SolveMdrc builds a private one when the caller passes none.
+///
+/// Entries are compute-once (std::call_once) and sharded to keep lock
+/// contention off the hot path: a thread requesting an in-flight corner
+/// waits for the computing thread instead of duplicating an O(n log k)
+/// top-k scan. Results are returned by value so no reference outlives a
+/// shard mutation. The per-shard entry cap bounds memory on explosive
+/// instances: past it, corners are recomputed instead of stored.
+class CornerTopKCache {
+ public:
+  /// Per-call hit/miss counters (per solve, not per cache — a shared cache
+  /// serves many solves, each wanting its own Diagnostics).
+  struct Counters {
+    std::atomic<size_t> evals{0};
+    std::atomic<size_t> hits{0};
+  };
+
+  /// `dataset` must outlive the cache; `max_entries` caps stored corners
+  /// across all k (same meaning as MdrcOptions::max_cache_entries).
+  CornerTopKCache(const data::Dataset& dataset, size_t max_entries);
+
+  /// The (sorted-set) top-k of the corner function at `angles`, memoized
+  /// under key (k, angles). Thread-safe; `counters` (may be null) receives
+  /// this call's hit/miss attribution.
+  std::vector<int32_t> TopKAt(size_t k, const geometry::Vec& angles,
+                              Counters* counters);
+
+  /// Dataset this cache evaluates against (identity-checked by SolveMdrc).
+  const data::Dataset* dataset() const { return &dataset_; }
+
+  /// Corners currently memoized (across every k).
+  size_t entries() const;
+
+ private:
+  static constexpr size_t kShards = 32;
+  struct Entry {
+    std::once_flag once;
+    std::vector<int32_t> topk;
+  };
+  struct Key {
+    size_t k;
+    geometry::Vec angles;
+    bool operator==(const Key& other) const {
+      return k == other.k && angles == other.angles;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> map;
+  };
+
+  std::vector<int32_t> Evaluate(size_t k, const geometry::Vec& angles) const;
+
+  const data::Dataset& dataset_;
+  size_t per_shard_cap_;
+  Shard shards_[kShards];
+};
+
 /// \brief Algorithm 5 (MDRC): function-space partitioning.
 ///
 /// Recursively bisects the angle hyper-rectangle [0, pi/2]^(d-1) in
@@ -85,7 +164,8 @@ struct MdrcStats {
 ///
 /// Corner top-k computations are memoized across sibling nodes (corners are
 /// shared), which is what makes the algorithm near-constant in n in
-/// practice. Measured rank-regret is typically <= k (Section 6).
+/// practice; pass `corner_cache` to extend that memoization across solves
+/// (the engine does). Measured rank-regret is typically <= k (Section 6).
 ///
 /// Cost is O(nodes * 2^(d-1) * n log n) worst case — each uncached corner
 /// evaluation is a top-k scan — but cache hits dominate on real data and
@@ -93,10 +173,14 @@ struct MdrcStats {
 /// reports near-constant scaling in n).
 ///
 /// Fails with InvalidArgument for k == 0 or an empty dataset, and with
-/// ResourceExhausted when the recursion exceeds options.max_nodes.
+/// ResourceExhausted when the recursion exceeds options.max_nodes. Returns
+/// Cancelled/DeadlineExceeded (no partial representative) when `ctx`
+/// preempts the expansion, which is checked per node.
 Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
                                        const MdrcOptions& options = {},
-                                       MdrcStats* stats = nullptr);
+                                       MdrcStats* stats = nullptr,
+                                       const ExecContext& ctx = {},
+                                       CornerTopKCache* corner_cache = nullptr);
 
 }  // namespace core
 }  // namespace rrr

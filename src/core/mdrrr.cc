@@ -8,7 +8,9 @@ namespace core {
 
 Result<std::vector<int32_t>> SolveMdrrr(const data::Dataset& dataset,
                                         const KSetCollection& ksets,
-                                        const MdrrrOptions& options) {
+                                        const MdrrrOptions& options,
+                                        const ExecContext& ctx) {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   if (ksets.empty()) {
     return Status::InvalidArgument("MDRRR needs a non-empty k-set collection");
@@ -27,10 +29,10 @@ Result<std::vector<int32_t>> SolveMdrrr(const data::Dataset& dataset,
 
 Result<std::vector<int32_t>> SolveMdrrrSampled(
     const data::Dataset& dataset, size_t k, const MdrrrOptions& options,
-    const KSetSamplerOptions& sampler_options) {
+    const KSetSamplerOptions& sampler_options, const ExecContext& ctx) {
   KSetSampleResult sample;
-  RRR_ASSIGN_OR_RETURN(sample, SampleKSets(dataset, k, sampler_options));
-  return SolveMdrrr(dataset, sample.ksets, options);
+  RRR_ASSIGN_OR_RETURN(sample, SampleKSets(dataset, k, sampler_options, ctx));
+  return SolveMdrrr(dataset, sample.ksets, options, ctx);
 }
 
 }  // namespace core

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "core/kset.h"
 #include "core/kset_sampler.h"
@@ -46,19 +47,25 @@ struct MdrrrOptions {
 /// the input here — enumeration/sampling cost is paid by the caller.
 ///
 /// Fails with InvalidArgument when the dataset or k-set collection is
-/// empty; propagates any Status from the hitting-set engine.
+/// empty; propagates any Status from the hitting-set engine. Returns
+/// Cancelled/DeadlineExceeded when `ctx` has already fired at entry (the
+/// hitting-set engines themselves run to completion once started — their
+/// cost is polynomial in the collection, which the caller controls).
 Result<std::vector<int32_t>> SolveMdrrr(const data::Dataset& dataset,
                                         const KSetCollection& ksets,
-                                        const MdrrrOptions& options = {});
+                                        const MdrrrOptions& options = {},
+                                        const ExecContext& ctx = {});
 
 /// \brief Full MDRRR pipeline as evaluated in Section 6: K-SETr sampling
 /// (Algorithm 4) followed by the hitting set (Algorithm 3).
 ///
 /// Fails with InvalidArgument for k == 0 or an empty dataset; propagates
-/// sampler and hitting-set errors otherwise.
+/// sampler and hitting-set errors (including the sampler's
+/// Cancelled/DeadlineExceeded preemption statuses) otherwise.
 Result<std::vector<int32_t>> SolveMdrrrSampled(
     const data::Dataset& dataset, size_t k, const MdrrrOptions& options = {},
-    const KSetSamplerOptions& sampler_options = {});
+    const KSetSamplerOptions& sampler_options = {},
+    const ExecContext& ctx = {});
 
 }  // namespace core
 }  // namespace rrr

@@ -1,0 +1,94 @@
+#include "core/prepared_dataset.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "geometry/convex_hull.h"
+#include "geometry/dominance.h"
+
+namespace rrr {
+namespace core {
+
+size_t PreparedDataset::KSetKeyHash::operator()(const KSetKey& key) const {
+  uint64_t h = FnvMix(kFnvOffsetBasis, key.k);
+  h = FnvMix(h, key.seed);
+  h = FnvMix(h, key.termination_count);
+  h = FnvMix(h, key.max_samples);
+  return static_cast<size_t>(h);
+}
+
+PreparedDataset::PreparedDataset(data::Dataset dataset, const Options& options)
+    : data_(std::move(dataset)),
+      kset_cache_(options.max_kset_cache_entries) {
+  if (data_.dims() == 2) {
+    sweep_ = std::make_unique<AngularSweep>(data_);
+  }
+  corner_cache_ = std::make_unique<CornerTopKCache>(
+      data_, options.max_corner_cache_entries);
+}
+
+Result<std::shared_ptr<const PreparedDataset>> PreparedDataset::Create(
+    data::Dataset dataset, const Options& options) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  RRR_RETURN_IF_ERROR(dataset.CheckFinite());
+  // Not make_shared: the constructor is private, and the sweep must be
+  // built against the dataset's final resting address.
+  return std::shared_ptr<const PreparedDataset>(
+      new PreparedDataset(std::move(dataset), options));
+}
+
+Result<std::shared_ptr<const std::vector<int32_t>>>
+PreparedDataset::SharedSkyline(const ExecContext& ctx, bool* cache_hit) const {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+  return skyline_.GetOrCompute(
+      ctx, cache_hit, [this]() -> Result<std::vector<int32_t>> {
+        return geometry::Skyline(data_.flat(), data_.size(), data_.dims());
+      });
+}
+
+Result<std::shared_ptr<const std::vector<int32_t>>>
+PreparedDataset::SharedConvexMaxima(size_t threads, const ExecContext& ctx,
+                                    bool* cache_hit) const {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+  return convex_maxima_.GetOrCompute(
+      ctx, cache_hit, [this, threads, &ctx]() -> Result<std::vector<int32_t>> {
+        // Prefilter to the skyline: maxima are always Pareto-optimal, and
+        // separation from the skyline implies separation from everything
+        // it dominates.
+        std::shared_ptr<const std::vector<int32_t>> sky;
+        RRR_ASSIGN_OR_RETURN(sky, SharedSkyline(ctx));
+        if (sky->size() <= 1) return *sky;
+        std::vector<double> cells;
+        cells.reserve(sky->size() * data_.dims());
+        for (int32_t id : *sky) {
+          const double* r = data_.row(static_cast<size_t>(id));
+          cells.insert(cells.end(), r, r + data_.dims());
+        }
+        Result<data::Dataset> compact = data::Dataset::FromFlat(
+            std::move(cells), sky->size(), data_.dims());
+        RRR_CHECK(compact.ok()) << compact.status().ToString();
+        std::vector<int32_t> maxima;
+        RRR_ASSIGN_OR_RETURN(
+            maxima, geometry::ConvexMaxima(compact->flat(), compact->size(),
+                                           compact->dims(), threads));
+        for (int32_t& id : maxima) id = (*sky)[static_cast<size_t>(id)];
+        std::sort(maxima.begin(), maxima.end());
+        return maxima;
+      });
+}
+
+Result<std::shared_ptr<const KSetSampleResult>> PreparedDataset::SharedKSets(
+    size_t k, const KSetSamplerOptions& options, const ExecContext& ctx,
+    bool* cache_hit) const {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+  const KSetKey key{k, options.seed, options.termination_count,
+                    options.max_samples};
+  return kset_cache_.GetOrCompute(
+      key, ctx, cache_hit, [this, k, &options, &ctx]() {
+        return SampleKSets(data_, k, options, ctx);
+      });
+}
+
+}  // namespace core
+}  // namespace rrr

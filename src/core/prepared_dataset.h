@@ -1,0 +1,224 @@
+#ifndef RRR_CORE_PREPARED_DATASET_H_
+#define RRR_CORE_PREPARED_DATASET_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/result.h"
+#include "core/kset_sampler.h"
+#include "core/mdrc.h"
+#include "core/sweep.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace core {
+
+namespace internal {
+
+/// \brief One compute-once slot with in-flight waiting and failure retry.
+///
+/// Concurrent GetOrCompute callers block (in 10 ms polls, honoring their
+/// own ExecContext) while one thread computes; a failed compute clears the
+/// slot so a later call retries. That retry matters for preemption: a
+/// Cancelled/DeadlineExceeded compute is the *caller's* failure, and must
+/// not poison the cache for callers with laxer budgets.
+template <typename V>
+class LazyCell {
+ public:
+  /// `compute` is a callable returning Result<V>, invoked at most once
+  /// concurrently. On success every caller shares one immutable value;
+  /// `cache_hit` (may be null) reports whether this call found it ready.
+  template <typename Fn>
+  Result<std::shared_ptr<const V>> GetOrCompute(const ExecContext& ctx,
+                                                bool* cache_hit,
+                                                Fn&& compute) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (state_ == State::kReady) {
+        if (cache_hit != nullptr) *cache_hit = true;
+        return value_;
+      }
+      if (state_ == State::kIdle) break;
+      // Someone else is computing: wait for them, but keep honoring our
+      // own cancellation/deadline (they may be laxer than ours).
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+    }
+    state_ = State::kComputing;
+    lock.unlock();
+    Result<V> computed = compute();
+    lock.lock();
+    if (!computed.ok()) {
+      state_ = State::kIdle;  // let a later (or concurrent) caller retry
+      cv_.notify_all();
+      return computed.status();
+    }
+    value_ = std::make_shared<const V>(std::move(computed).value());
+    state_ = State::kReady;
+    cv_.notify_all();
+    if (cache_hit != nullptr) *cache_hit = false;
+    return value_;
+  }
+
+ private:
+  enum class State { kIdle, kComputing, kReady };
+  std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kIdle;
+  std::shared_ptr<const V> value_;
+};
+
+/// \brief Keyed collection of LazyCells with an entry cap: past the cap,
+/// new keys compute without being cached (bounded memory, never wrong).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class KeyedLazyCache {
+ public:
+  explicit KeyedLazyCache(size_t max_entries) : max_entries_(max_entries) {}
+
+  template <typename Fn>
+  Result<std::shared_ptr<const V>> GetOrCompute(const K& key,
+                                                const ExecContext& ctx,
+                                                bool* cache_hit,
+                                                Fn&& compute) {
+    std::shared_ptr<LazyCell<V>> cell;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        cell = it->second;
+      } else if (map_.size() < max_entries_) {
+        cell = std::make_shared<LazyCell<V>>();
+        map_.emplace(key, cell);
+      }
+    }
+    if (cell == nullptr) {  // cache at capacity: compute uncached
+      Result<V> computed = compute();
+      if (!computed.ok()) return computed.status();
+      if (cache_hit != nullptr) *cache_hit = false;
+      return std::make_shared<const V>(std::move(computed).value());
+    }
+    return cell->GetOrCompute(ctx, cache_hit, std::forward<Fn>(compute));
+  }
+
+  size_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_entries_;
+  std::unordered_map<K, std::shared_ptr<LazyCell<V>>, Hash> map_;
+};
+
+}  // namespace internal
+
+/// \brief Immutable prepared form of a dataset: validated once, owning the
+/// expensive artifacts that are pure functions of the data so every query
+/// against it — any k, any algorithm, any thread — shares them.
+///
+/// Owned artifacts:
+///  - the validated (non-empty, all-finite) dataset itself;
+///  - for d == 2, the AngularSweep (initial ranked order) behind FindRanges
+///    and the exact evaluator, built once instead of per call;
+///  - lazily-materialized shared caches: the skyline prefilter, the
+///    convex-maxima LP results (the exact k = 1 representative), K-SETr
+///    samples keyed by (k, sampler options), and the MDRC corner-top-k
+///    memo keyed by (k, corner angles).
+///
+/// All methods are safe to call concurrently; laziness is internal
+/// (compute-once slots with in-flight waiting). A preempted lazy compute
+/// (Cancelled/DeadlineExceeded) is not cached — the next caller retries.
+///
+/// Construction is via Create (shared_ptr, so RrrEngine instances and
+/// long-lived callers can share one prepared dataset); the object is
+/// immutable from the caller's perspective thereafter.
+class PreparedDataset {
+ public:
+  struct Options {
+    /// Cap on the shared MDRC corner-top-k memo, counted in stored corners
+    /// across every k (same meaning as MdrcOptions::max_cache_entries).
+    size_t max_corner_cache_entries = size_t{1} << 21;
+    /// Cap on distinct (k, sampler-options) K-SETr samples kept alive.
+    size_t max_kset_cache_entries = 64;
+  };
+
+  /// Validates `dataset` (non-empty, every cell finite — InvalidArgument
+  /// otherwise) and takes ownership. For d == 2 also builds the shared
+  /// angular sweep (O(n log n)). Data is assumed already normalized
+  /// higher-is-better, as every solver requires.
+  static Result<std::shared_ptr<const PreparedDataset>> Create(
+      data::Dataset dataset, const Options& options);
+  static Result<std::shared_ptr<const PreparedDataset>> Create(
+      data::Dataset dataset) {
+    return Create(std::move(dataset), Options());
+  }
+
+  const data::Dataset& dataset() const { return data_; }
+  size_t size() const { return data_.size(); }
+  size_t dims() const { return data_.dims(); }
+
+  /// Shared sweep artifacts; non-null iff dims() == 2.
+  const AngularSweep* sweep() const { return sweep_.get(); }
+
+  /// Skyline ids (lazy, memoized; the prefilter for the convex-maxima
+  /// solve and a useful standalone summary).
+  Result<std::shared_ptr<const std::vector<int32_t>>> SharedSkyline(
+      const ExecContext& ctx = {}, bool* cache_hit = nullptr) const;
+
+  /// Exact order-1 representative (skyline prefilter + per-candidate
+  /// separation LPs), lazy and memoized — the convex-maxima LP results
+  /// cache. `threads` fans the LPs out on the *first* call.
+  Result<std::shared_ptr<const std::vector<int32_t>>> SharedConvexMaxima(
+      size_t threads, const ExecContext& ctx = {},
+      bool* cache_hit = nullptr) const;
+
+  /// K-SETr sample for (k, options), computed once and shared across
+  /// queries (keyed by k plus every option that affects the sampled
+  /// collection: seed, termination_count, max_samples — `threads` and the
+  /// query-strategy flags don't, by the sampler's invariance contracts).
+  Result<std::shared_ptr<const KSetSampleResult>> SharedKSets(
+      size_t k, const KSetSamplerOptions& options, const ExecContext& ctx = {},
+      bool* cache_hit = nullptr) const;
+
+  /// Shared MDRC corner-top-k memo (pass to SolveMdrc).
+  CornerTopKCache* corner_cache() const { return corner_cache_.get(); }
+
+ private:
+  struct KSetKey {
+    size_t k;
+    uint64_t seed;
+    size_t termination_count;
+    size_t max_samples;
+    bool operator==(const KSetKey& other) const {
+      return k == other.k && seed == other.seed &&
+             termination_count == other.termination_count &&
+             max_samples == other.max_samples;
+    }
+  };
+  struct KSetKeyHash {
+    size_t operator()(const KSetKey& key) const;
+  };
+
+  PreparedDataset(data::Dataset dataset, const Options& options);
+
+  data::Dataset data_;
+  std::unique_ptr<AngularSweep> sweep_;  // d == 2 only
+  std::unique_ptr<CornerTopKCache> corner_cache_;
+  mutable internal::LazyCell<std::vector<int32_t>> skyline_;
+  mutable internal::LazyCell<std::vector<int32_t>> convex_maxima_;
+  mutable internal::KeyedLazyCache<KSetKey, KSetSampleResult, KSetKeyHash>
+      kset_cache_;
+};
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // RRR_CORE_PREPARED_DATASET_H_

@@ -12,13 +12,17 @@ namespace core {
 
 Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
                                         size_t k,
-                                        const Rrr2dOptions& options) {
+                                        const Rrr2dOptions& options,
+                                        const ExecContext& ctx,
+                                        const AngularSweep* sweep) {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   // NaN coordinates make the sweep comparators' ordering undefined (the
   // event heap can cycle); fail loudly instead.
   RRR_RETURN_IF_ERROR(dataset.CheckFinite());
   std::vector<ItemRange> ranges;
-  RRR_ASSIGN_OR_RETURN(ranges, FindRanges(dataset, k));
+  RRR_ASSIGN_OR_RETURN(ranges, FindRanges(dataset, k, ctx, sweep));
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
 
   std::vector<hitting::Interval> intervals;
   intervals.reserve(ranges.size());

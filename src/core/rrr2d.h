@@ -4,12 +4,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "data/dataset.h"
 #include "hitting/interval_cover.h"
 
 namespace rrr {
 namespace core {
+
+class AngularSweep;
 
 /// Tuning for Solve2dRrr.
 struct Rrr2dOptions {
@@ -29,9 +32,14 @@ struct Rrr2dOptions {
 ///
 /// Fails with InvalidArgument unless dims == 2, k >= 1, and the dataset is
 /// non-empty; propagates any Status from FindRanges or the interval cover.
+/// Returns Cancelled/DeadlineExceeded (no partial output) when `ctx`
+/// preempts the underlying sweep. `sweep` optionally reuses a prebuilt
+/// AngularSweep over the same dataset (see FindRanges).
 Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
                                         size_t k,
-                                        const Rrr2dOptions& options = {});
+                                        const Rrr2dOptions& options = {},
+                                        const ExecContext& ctx = {},
+                                        const AngularSweep* sweep = nullptr);
 
 }  // namespace core
 }  // namespace rrr

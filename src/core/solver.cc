@@ -1,46 +1,13 @@
 #include "core/solver.h"
 
-#include <algorithm>
+#include <cctype>
+#include <string>
+#include <utility>
 
-#include "common/parallel.h"
-#include "common/timer.h"
-#include "geometry/convex_hull.h"
-#include "geometry/dominance.h"
+#include "core/engine.h"
 
 namespace rrr {
 namespace core {
-
-namespace {
-
-/// Exact k = 1 representative: the tuples that are the unique top-1 of some
-/// non-negative linear function. Prefilters to the skyline (maxima are
-/// always Pareto-optimal, and separation from the skyline implies
-/// separation from everything it dominates), then runs the per-candidate
-/// separation LP (fanned out over `threads`).
-Result<std::vector<int32_t>> SolveConvexMaxima(const data::Dataset& dataset,
-                                               size_t threads) {
-  const std::vector<int32_t> sky = geometry::Skyline(
-      dataset.flat(), dataset.size(), dataset.dims());
-  if (sky.size() <= 1) return sky;
-  std::vector<double> cells;
-  cells.reserve(sky.size() * dataset.dims());
-  for (int32_t id : sky) {
-    const double* r = dataset.row(static_cast<size_t>(id));
-    cells.insert(cells.end(), r, r + dataset.dims());
-  }
-  Result<data::Dataset> compact = data::Dataset::FromFlat(
-      std::move(cells), sky.size(), dataset.dims());
-  RRR_CHECK(compact.ok()) << compact.status().ToString();
-  std::vector<int32_t> maxima;
-  RRR_ASSIGN_OR_RETURN(
-      maxima, geometry::ConvexMaxima(compact->flat(), compact->size(),
-                                     compact->dims(), threads));
-  for (int32_t& id : maxima) id = sky[static_cast<size_t>(id)];
-  std::sort(maxima.begin(), maxima.end());
-  return maxima;
-}
-
-}  // namespace
 
 std::string AlgorithmName(Algorithm algorithm) {
   switch (algorithm) {
@@ -58,130 +25,64 @@ std::string AlgorithmName(Algorithm algorithm) {
   return "UNKNOWN";
 }
 
+Result<Algorithm> ParseAlgorithm(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "auto") return Algorithm::kAuto;
+  if (lower == "2drrr") return Algorithm::k2dRrr;
+  if (lower == "mdrrr") return Algorithm::kMdRrr;
+  if (lower == "mdrc") return Algorithm::kMdRc;
+  if (lower == "maxima") return Algorithm::kConvexMaxima;
+  return Status::InvalidArgument(
+      "unknown algorithm '" + std::string(name) +
+      "' (expected one of: auto, 2drrr, mdrrr, mdrc, maxima)");
+}
+
 Result<RrrResult> FindRankRegretRepresentative(const data::Dataset& dataset,
-                                               const RrrOptions& options) {
-  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
-  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
-  RRR_RETURN_IF_ERROR(dataset.CheckFinite());
-
-  Algorithm algorithm = options.algorithm;
-  if (algorithm == Algorithm::kAuto) {
-    if (dataset.dims() == 2) {
-      algorithm = Algorithm::k2dRrr;
-    } else if (options.k == 1 && dataset.dims() > 2) {
-      algorithm = Algorithm::kConvexMaxima;
-    } else {
-      algorithm = Algorithm::kMdRc;
-    }
-  }
-  if (algorithm == Algorithm::k2dRrr && dataset.dims() != 2) {
-    return Status::InvalidArgument("2DRRR requires a 2D dataset");
-  }
-  if (algorithm == Algorithm::kConvexMaxima && options.k != 1) {
-    return Status::InvalidArgument(
-        "convex maxima solve is exact only for k == 1");
-  }
-
-  // A facade-level thread count overrides the per-algorithm sub-options so
-  // one knob controls the whole solve.
-  KSetSamplerOptions sampler_options = options.sampler;
-  MdrcOptions mdrc_options = options.mdrc;
-  if (options.threads != 0) {
-    sampler_options.threads = options.threads;
-    mdrc_options.threads = options.threads;
-  }
-
-  RrrResult result;
-  result.algorithm_used = algorithm;
-  Stopwatch timer;
-  switch (algorithm) {
-    case Algorithm::k2dRrr: {
-      RRR_ASSIGN_OR_RETURN(
-          result.representative,
-          Solve2dRrr(dataset, options.k, options.rrr2d));
-      break;
-    }
-    case Algorithm::kMdRrr: {
-      RRR_ASSIGN_OR_RETURN(
-          result.representative,
-          SolveMdrrrSampled(dataset, options.k, options.mdrrr,
-                            sampler_options));
-      break;
-    }
-    case Algorithm::kMdRc: {
-      RRR_ASSIGN_OR_RETURN(result.representative,
-                           SolveMdrc(dataset, options.k, mdrc_options));
-      break;
-    }
-    case Algorithm::kConvexMaxima: {
-      RRR_ASSIGN_OR_RETURN(
-          result.representative,
-          SolveConvexMaxima(dataset, ResolveThreads(options.threads)));
-      break;
-    }
-    case Algorithm::kAuto:
-      return Status::Internal("kAuto must be resolved before dispatch");
-  }
-  result.seconds = timer.ElapsedSeconds();
-  return result;
+                                               const RrrOptions& options,
+                                               const ExecContext& ctx) {
+  // Thin wrapper over a temporary engine: prepare (validates and copies
+  // the dataset), run one query, discard. Multi-query callers should hold
+  // an RrrEngine to amortize the preparation and share the caches.
+  EngineOptions engine_options;
+  engine_options.defaults = options;
+  engine_options.memoize_results = false;  // single query, nothing to reuse
+  std::shared_ptr<RrrEngine> engine;
+  RRR_ASSIGN_OR_RETURN(
+      engine, RrrEngine::Create(data::Dataset(dataset),
+                                std::move(engine_options)));
+  QueryOptions query;
+  query.exec = ctx;
+  QueryResult result;
+  RRR_ASSIGN_OR_RETURN(result, engine->Solve(options.k, query));
+  RrrResult out;
+  out.representative = std::move(result.representative);
+  out.algorithm_used = result.diagnostics.algorithm_used;
+  out.seconds = result.diagnostics.seconds;
+  return out;
 }
 
 Result<DualResult> SolveDualProblem(const data::Dataset& dataset,
                                     size_t max_size,
-                                    const RrrOptions& base_options) {
+                                    const RrrOptions& base_options,
+                                    const ExecContext& ctx) {
   if (max_size == 0) return Status::InvalidArgument("max_size must be >= 1");
-  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
-
-  // Binary search the smallest feasible k in [1, n] (Section 2's reduction:
-  // log n calls to the primal solver).
-  size_t lo = 1;
-  size_t hi = dataset.size();
-  DualResult best;
-  bool found = false;
-  size_t probes = 0;
-  size_t exhausted_probes = 0;
-  while (lo <= hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    RrrOptions options = base_options;
-    options.k = mid;
-    Result<RrrResult> probe = FindRankRegretRepresentative(dataset, options);
-    ++probes;
-    if (!probe.ok() &&
-        probe.status().code() == StatusCode::kResourceExhausted) {
-      // The solver could not finish at this k (e.g. MDRC's node budget for
-      // tiny k in high dimension): treat as infeasible and search upward.
-      ++exhausted_probes;
-      lo = mid + 1;
-      continue;
-    }
-    if (!probe.ok()) return probe.status();
-    RrrResult res = std::move(probe).value();
-    if (res.representative.size() <= max_size) {
-      best.k = mid;
-      best.representative = std::move(res.representative);
-      best.algorithm_used = res.algorithm_used;
-      found = true;
-      if (mid == 1) break;
-      hi = mid - 1;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  if (!found) {
-    if (exhausted_probes == probes) {
-      // Every probe died on the solver's own resource budget, so "no k met
-      // the size budget" would misattribute the failure: the search never
-      // saw a representative at all. Surface the real cause so callers can
-      // raise the algorithm budget instead of the size budget.
-      return Status::ResourceExhausted(
-          "every probe of the dual binary search exhausted the solver's "
-          "budget before producing a representative (raise the algorithm's "
-          "resource limits, e.g. MdrcOptions::max_nodes)");
-    }
-    return Status::NotFound(
-        "no k in [1, n] met the size budget with this algorithm");
-  }
-  return best;
+  // One temporary engine serves every probe of the binary search, so the
+  // probes share the prepared artifacts (sweep, corner memo, samples) and
+  // memoized results even through this one-shot entry point.
+  EngineOptions engine_options;
+  engine_options.defaults = base_options;
+  std::shared_ptr<RrrEngine> engine;
+  RRR_ASSIGN_OR_RETURN(
+      engine, RrrEngine::Create(data::Dataset(dataset),
+                                std::move(engine_options)));
+  QueryOptions query;
+  query.exec = ctx;
+  return engine->SolveDual(max_size, query);
 }
 
 }  // namespace core

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/result.h"
 #include "core/kset_sampler.h"
 #include "core/mdrc.h"
@@ -35,6 +37,14 @@ enum class Algorithm {
 
 /// Human-readable algorithm name ("2DRRR", "MDRRR", ...).
 std::string AlgorithmName(Algorithm algorithm);
+
+/// \brief Inverse of AlgorithmName: parses an algorithm selector,
+/// case-insensitively, accepting both the canonical names ("2DRRR",
+/// "MDRRR", "MDRC", "MAXIMA", "AUTO") and their lower-case CLI spellings.
+///
+/// Fails with InvalidArgument (naming the accepted spellings) on anything
+/// else. Round-trips: ParseAlgorithm(AlgorithmName(a)) == a for every a.
+Result<Algorithm> ParseAlgorithm(std::string_view name);
 
 /// Options for FindRankRegretRepresentative.
 struct RrrOptions {
@@ -67,6 +77,12 @@ struct RrrResult {
 /// \brief One-call entry point to the library: computes a rank-regret
 /// representative of `dataset` for the options' k.
 ///
+/// This is a thin wrapper over a temporary RrrEngine (core/engine.h): it
+/// prepares the dataset, runs one query, and discards the engine. Callers
+/// issuing more than one query against the same dataset should hold an
+/// RrrEngine instead — it shares the prepared artifacts and memoizes
+/// results across queries.
+///
 /// See the per-algorithm headers for the exact guarantees and costs
 /// (2DRRR: optimal size / 2k regret, O(n^2 log n); MDRRR: k regret on the
 /// sampled k-sets / log-factor size; MDRC: dk regret / small size in
@@ -75,9 +91,32 @@ struct RrrResult {
 /// Fails with InvalidArgument for an empty dataset, k == 0, or an
 /// algorithm/dimension mismatch (k2dRrr on d != 2, kConvexMaxima with
 /// k > 1); otherwise propagates the dispatched algorithm's Status (e.g.
-/// MDRC's ResourceExhausted).
+/// MDRC's ResourceExhausted, or Cancelled/DeadlineExceeded when `ctx`
+/// preempts the solve).
 Result<RrrResult> FindRankRegretRepresentative(const data::Dataset& dataset,
-                                               const RrrOptions& options);
+                                               const RrrOptions& options,
+                                               const ExecContext& ctx = {});
+
+/// One oracle probe of the dual binary search (diagnostic trail).
+struct DualProbe {
+  /// The k this probe solved at.
+  size_t k = 0;
+  /// Algorithm the probe dispatched to (kAuto resolved — may differ across
+  /// probes, e.g. convex maxima at k == 1, MDRC above).
+  Algorithm algorithm_used = Algorithm::kAuto;
+  /// Wall-clock seconds of this probe.
+  double seconds = 0.0;
+  /// Size of the probe's representative (0 when the probe failed).
+  size_t representative_size = 0;
+  /// True when the representative fit the caller's size budget.
+  bool feasible = false;
+  /// kOk, or kResourceExhausted when the solver's own budget died at this
+  /// k (the search then continues upward).
+  StatusCode status = StatusCode::kOk;
+  /// True when an engine served this probe from its per-(k, algorithm)
+  /// result memo (always false through the one-shot free function).
+  bool from_cache = false;
+};
 
 /// Output of SolveDualProblem.
 struct DualResult {
@@ -85,13 +124,19 @@ struct DualResult {
   size_t k = 0;
   std::vector<int32_t> representative;
   Algorithm algorithm_used = Algorithm::kAuto;
+  /// Total wall-clock seconds across all probes.
+  double seconds = 0.0;
+  /// Every oracle probe in execution order, with per-probe timing and the
+  /// algorithm it resolved to.
+  std::vector<DualProbe> probes;
 };
 
 /// \brief The dual formulation (Section 2): given a maximum representative
 /// size, binary-search the smallest k whose representative fits.
 ///
-/// Uses FindRankRegretRepresentative as the oracle — O(log n) oracle calls
-/// — so the result inherits the chosen algorithm's approximation character.
+/// A thin wrapper over a temporary RrrEngine (core/engine.h), whose
+/// prepared artifacts are shared by all O(log n) probes; hold an engine to
+/// also share them with subsequent queries.
 ///
 /// Fails with InvalidArgument for max_size == 0 or an empty dataset, and
 /// with NotFound when even k = n produces a representative larger than
@@ -99,10 +144,12 @@ struct DualResult {
 /// ResourceExhausted probes are treated as "too large" and the search
 /// continues upward. When *every* probe is exhausted — no k produced any
 /// representative at all — the failure is reported as ResourceExhausted
-/// (the solver budget, not the size budget, is what failed).
+/// (the solver budget, not the size budget, is what failed). Returns
+/// Cancelled/DeadlineExceeded when `ctx` preempts the search.
 Result<DualResult> SolveDualProblem(const data::Dataset& dataset,
                                     size_t max_size,
-                                    const RrrOptions& base_options);
+                                    const RrrOptions& base_options,
+                                    const ExecContext& ctx = {});
 
 }  // namespace core
 }  // namespace rrr

@@ -1,14 +1,10 @@
 #include "eval/rank_regret.h"
 
-#include <algorithm>
-#include <mutex>
-#include <set>
 #include <unordered_set>
 
 #include "common/parallel.h"
-#include "common/random.h"
+#include "core/evaluator.h"
 #include "core/kset_graph.h"
-#include "core/sweep.h"
 #include "lp/separation.h"
 #include "topk/rank.h"
 #include "topk/scoring.h"
@@ -18,56 +14,8 @@ namespace eval {
 
 Result<int64_t> ExactRankRegret2D(const data::Dataset& dataset,
                                   const std::vector<int32_t>& subset) {
-  if (dataset.dims() != 2) {
-    return Status::InvalidArgument("ExactRankRegret2D requires 2D data");
-  }
-  if (subset.empty()) return Status::InvalidArgument("empty subset");
-  RRR_RETURN_IF_ERROR(dataset.CheckFinite());
-  const size_t n = dataset.size();
-  std::vector<char> in_subset(n, 0);
-  for (int32_t id : subset) {
-    if (id < 0 || static_cast<size_t>(id) >= n) {
-      return Status::OutOfRange("subset id out of range");
-    }
-    in_subset[static_cast<size_t>(id)] = 1;
-  }
-
-  core::AngularSweep sweep(dataset);
-  const auto& order = sweep.InitialOrder();
-  // Positions (0-based) currently held by subset members.
-  std::set<size_t> member_positions;
-  std::vector<size_t> pos(n);
-  for (size_t i = 0; i < n; ++i) {
-    pos[static_cast<size_t>(order[i])] = i;
-    if (in_subset[static_cast<size_t>(order[i])]) member_positions.insert(i);
-  }
-
-  int64_t worst = static_cast<int64_t>(*member_positions.begin()) + 1;
-  sweep.Run([&](const core::SweepEvent& ev) {
-    const bool down_in = in_subset[static_cast<size_t>(ev.item_down)] != 0;
-    const bool up_in = in_subset[static_cast<size_t>(ev.item_up)] != 0;
-    if (down_in != up_in) {
-      const size_t upper = ev.upper_position - 1;  // 0-based slot
-      if (down_in) {
-        // A member moved down one slot.
-        member_positions.erase(upper);
-        member_positions.insert(upper + 1);
-      } else {
-        // A member moved up one slot.
-        member_positions.erase(upper + 1);
-        member_positions.insert(upper);
-      }
-    }
-    // Only settled orders are rankings some function realizes; taking the
-    // max inside an equal-angle cascade would overstate the regret on
-    // tie-heavy data.
-    if (ev.settled) {
-      worst = std::max(worst,
-                       static_cast<int64_t>(*member_positions.begin()) + 1);
-    }
-    return true;
-  });
-  return worst;
+  // Implementation shared with the engine facade (core/evaluator.h).
+  return core::SweepExactRankRegret2D(dataset, subset);
 }
 
 Result<RankRegretCertificate> ExactRankRegretWithinK(
@@ -134,49 +82,12 @@ Result<RankRegretCertificate> ExactRankRegretWithinK(
 Result<int64_t> SampledRankRegret(const data::Dataset& dataset,
                                   const std::vector<int32_t>& subset,
                                   const SampledRankRegretOptions& options) {
-  if (subset.empty()) return Status::InvalidArgument("empty subset");
-  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
-  for (int32_t id : subset) {
-    if (id < 0 || static_cast<size_t>(id) >= dataset.size()) {
-      return Status::OutOfRange("subset id out of range");
-    }
-  }
-  Rng rng(options.seed);
-  const size_t threads = ResolveThreads(options.threads);
-  if (threads <= 1) {
-    int64_t worst = 1;
-    for (size_t s = 0; s < options.num_functions; ++s) {
-      topk::LinearFunction f(
-          rng.UnitWeightVector(static_cast<int>(dataset.dims())));
-      worst = std::max(worst, topk::MinRankOfSubset(dataset, f, subset));
-    }
-    return worst;
-  }
-
-  // Parallel path: the draws stay serial (one seeded Rng, same sequence as
-  // the serial path) and the O(n) rank scans fan out. max() is commutative,
-  // so the estimate is identical for every thread count.
-  std::vector<topk::LinearFunction> funcs;
-  funcs.reserve(options.num_functions);
-  for (size_t s = 0; s < options.num_functions; ++s) {
-    funcs.emplace_back(
-        rng.UnitWeightVector(static_cast<int>(dataset.dims())));
-  }
-  std::vector<int64_t> per_chunk_worst;
-  std::mutex mu;
-  ParallelForChunked(
-      threads, funcs.size(), 16, [&](size_t begin, size_t end) {
-        int64_t local = 1;
-        for (size_t s = begin; s < end; ++s) {
-          local = std::max(local,
-                           topk::MinRankOfSubset(dataset, funcs[s], subset));
-        }
-        std::lock_guard<std::mutex> lock(mu);
-        per_chunk_worst.push_back(local);
-      });
-  int64_t worst = 1;
-  for (int64_t w : per_chunk_worst) worst = std::max(worst, w);
-  return worst;
+  // Implementation shared with the engine facade (core/evaluator.h).
+  core::SampledRegretOptions core_options;
+  core_options.num_functions = options.num_functions;
+  core_options.seed = options.seed;
+  core_options.threads = options.threads;
+  return core::SampledRankRegretEstimate(dataset, subset, core_options);
 }
 
 }  // namespace eval

@@ -1,0 +1,147 @@
+#include "common/exec_context.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rrr {
+namespace {
+
+TEST(CancellationTest, DefaultTokenNeverCancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTest, SourceFlipsEveryToken) {
+  CancellationSource source;
+  CancellationToken a = source.token();
+  CancellationToken b = a;  // copies observe the same flag
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(source.cancel_requested());
+  source.RequestCancel();
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_TRUE(source.token().cancelled());
+}
+
+TEST(CancellationTest, TokenOutlivesSource) {
+  CancellationToken token;
+  {
+    CancellationSource source;
+    token = source.token();
+    source.RequestCancel();
+  }
+  EXPECT_TRUE(token.cancelled());  // shared flag keeps the state alive
+}
+
+TEST(CancellationTest, CancelFromAnotherThreadIsObserved) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  std::thread canceller([&source] { source.RequestCancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.has_deadline());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(d.remaining_seconds() > 1e18);
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpired) {
+  Deadline d = Deadline::After(-1.0);
+  EXPECT_TRUE(d.has_deadline());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineTest, FutureDeadlineIsNotExpired) {
+  Deadline d = Deadline::After(3600.0);
+  EXPECT_TRUE(d.has_deadline());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3000.0);
+}
+
+TEST(ExecContextTest, DefaultIsPermissive) {
+  ExecContext ctx;
+  EXPECT_TRUE(ctx.CheckPreempted().ok());
+  EXPECT_EQ(ctx.ThreadsOver(4), 4u);
+  EXPECT_EQ(ctx.ThreadsOver(0), 0u);
+}
+
+TEST(ExecContextTest, CancelledTokenWins) {
+  CancellationSource source;
+  source.RequestCancel();
+  ExecContext ctx;
+  ctx.cancel = source.token();
+  ctx.deadline = Deadline::After(-1.0);  // both fired: Cancelled reported
+  EXPECT_EQ(ctx.CheckPreempted().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, ExpiredDeadlineReported) {
+  ExecContext ctx;
+  ctx.deadline = Deadline::After(-0.001);
+  EXPECT_EQ(ctx.CheckPreempted().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, ThreadBudgetOverridesOption) {
+  ExecContext ctx;
+  ctx.threads = 2;
+  EXPECT_EQ(ctx.ThreadsOver(0), 2u);
+  EXPECT_EQ(ctx.ThreadsOver(16), 2u);
+}
+
+TEST(PreemptionGateTest, PermissiveContextNeverTrips) {
+  ExecContext ctx;
+  PreemptionGate gate(ctx);
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(gate.Check().ok());
+  EXPECT_FALSE(gate.Preempted());
+}
+
+TEST(PreemptionGateTest, CancellationSeenOnNextCheck) {
+  CancellationSource source;
+  ExecContext ctx;
+  ctx.cancel = source.token();
+  PreemptionGate gate(ctx);
+  EXPECT_TRUE(gate.Check().ok());
+  source.RequestCancel();
+  // Cancellation is checked every call, regardless of the clock stride.
+  EXPECT_EQ(gate.Check().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(gate.Preempted());
+  EXPECT_EQ(gate.status().code(), StatusCode::kCancelled);
+}
+
+TEST(PreemptionGateTest, DeadlineSeenOnFirstAndStridedChecks) {
+  ExecContext ctx;
+  ctx.deadline = Deadline::After(-1.0);
+  PreemptionGate first(ctx, 1 << 20);
+  // The very first Check consults the clock even with a huge stride.
+  EXPECT_EQ(first.Check().code(), StatusCode::kDeadlineExceeded);
+
+  // A gate that passed its first check trips within one stride.
+  ExecContext live;
+  live.deadline = Deadline::After(0.02);
+  PreemptionGate gate(live, 4);
+  EXPECT_TRUE(gate.Check().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  Status status;
+  for (int i = 0; i < 8 && status.ok(); ++i) status = gate.Check();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(PreemptionGateTest, FailureIsSticky) {
+  CancellationSource source;
+  source.RequestCancel();
+  ExecContext ctx;
+  ctx.cancel = source.token();
+  PreemptionGate gate(ctx);
+  EXPECT_FALSE(gate.Check().ok());
+  EXPECT_FALSE(gate.Check().ok());
+  EXPECT_EQ(gate.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace rrr

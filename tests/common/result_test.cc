@@ -31,6 +31,29 @@ TEST(ResultTest, ValueOrFallsBack) {
   EXPECT_EQ(bad.value_or(-1), -1);
 }
 
+TEST(ResultTest, ValueOrOnRvalueMovesHeldValue) {
+  // A large representative must move out of an rvalue Result, not copy:
+  // the moved-from Result's vector loses its buffer.
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3, 4};
+  const int* buffer = r.value().data();
+  std::vector<int> v = std::move(r).value_or(std::vector<int>{});
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.data(), buffer);  // same heap buffer: moved, not copied
+}
+
+TEST(ResultTest, ValueOrOnRvalueErrorUsesFallback) {
+  Result<std::vector<int>> r = Status::Internal("x");
+  std::vector<int> v = std::move(r).value_or(std::vector<int>{9});
+  EXPECT_EQ(v, (std::vector<int>{9}));
+}
+
+TEST(ResultTest, ValueOrOnLvalueLeavesHeldValueIntact) {
+  Result<std::vector<int>> r = std::vector<int>{5, 6};
+  std::vector<int> v = r.value_or(std::vector<int>{});
+  EXPECT_EQ(v, (std::vector<int>{5, 6}));
+  EXPECT_EQ(r.value(), (std::vector<int>{5, 6}));  // copy, source untouched
+}
+
 TEST(ResultTest, MoveOutValue) {
   Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
   std::vector<int> v = std::move(r).value();

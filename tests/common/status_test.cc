@@ -41,6 +41,9 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Cancelled("").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -71,6 +74,9 @@ TEST(StatusCodeTest, NamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "resource-exhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "deadline-exceeded");
 }
 
 }  // namespace

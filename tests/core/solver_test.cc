@@ -18,6 +18,34 @@ TEST(SolverTest, AlgorithmNames) {
   EXPECT_EQ(AlgorithmName(Algorithm::kMdRrr), "MDRRR");
   EXPECT_EQ(AlgorithmName(Algorithm::kMdRc), "MDRC");
   EXPECT_EQ(AlgorithmName(Algorithm::kAuto), "AUTO");
+  EXPECT_EQ(AlgorithmName(Algorithm::kConvexMaxima), "MAXIMA");
+}
+
+TEST(SolverTest, ParseAlgorithmRoundTripsEveryName) {
+  for (Algorithm algorithm :
+       {Algorithm::kAuto, Algorithm::k2dRrr, Algorithm::kMdRrr,
+        Algorithm::kMdRc, Algorithm::kConvexMaxima}) {
+    Result<Algorithm> parsed = ParseAlgorithm(AlgorithmName(algorithm));
+    ASSERT_TRUE(parsed.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(*parsed, algorithm);
+  }
+}
+
+TEST(SolverTest, ParseAlgorithmAcceptsCliSpellings) {
+  EXPECT_EQ(*ParseAlgorithm("auto"), Algorithm::kAuto);
+  EXPECT_EQ(*ParseAlgorithm("2drrr"), Algorithm::k2dRrr);
+  EXPECT_EQ(*ParseAlgorithm("mdrrr"), Algorithm::kMdRrr);
+  EXPECT_EQ(*ParseAlgorithm("mdrc"), Algorithm::kMdRc);
+  EXPECT_EQ(*ParseAlgorithm("maxima"), Algorithm::kConvexMaxima);
+  EXPECT_EQ(*ParseAlgorithm("MdRc"), Algorithm::kMdRc);  // case-insensitive
+}
+
+TEST(SolverTest, ParseAlgorithmRejectsUnknownNames) {
+  for (const char* bad : {"", "2d", "greedy", "mdrc ", "autoo"}) {
+    Result<Algorithm> parsed = ParseAlgorithm(bad);
+    EXPECT_FALSE(parsed.ok()) << "'" << bad << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(SolverTest, AutoPicks2DrrrForTwoDims) {
@@ -61,6 +89,68 @@ TEST(SolverTest, AutoPicksExactMaximaForKOneInHighDims) {
       eval::SampledRankRegret(ds, res->representative, eval_opts);
   ASSERT_TRUE(regret.ok());
   EXPECT_EQ(*regret, 1);
+}
+
+TEST(SolverTest, AutoPrefers2DrrrOverMaximaForKOneInTwoDims) {
+  // d == 2 with k == 1 satisfies both special rules; 2DRRR must win (it is
+  // exact and size-optimal in 2D, and the maxima LP adds nothing there).
+  const data::Dataset ds = data::GenerateUniform(60, 2, 31);
+  RrrOptions opts;
+  opts.k = 1;
+  Result<RrrResult> res = FindRankRegretRepresentative(ds, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->algorithm_used, Algorithm::k2dRrr);
+}
+
+TEST(SolverTest, AutoHandlesKAtLeastN) {
+  // k >= n: every tuple is in every top-k, so any single item represents.
+  for (size_t dims : {2u, 3u}) {
+    const data::Dataset ds = data::GenerateUniform(12, dims, 32);
+    for (size_t k : {ds.size(), 2 * ds.size()}) {
+      RrrOptions opts;
+      opts.k = k;
+      Result<RrrResult> res = FindRankRegretRepresentative(ds, opts);
+      ASSERT_TRUE(res.ok()) << "d=" << dims << " k=" << k;
+      EXPECT_EQ(res->algorithm_used,
+                dims == 2 ? Algorithm::k2dRrr : Algorithm::kMdRc);
+      EXPECT_EQ(res->representative.size(), 1u);
+    }
+  }
+}
+
+TEST(SolverTest, AutoHandlesOneDimensionalData) {
+  // d == 1: a single ranking function exists; its top-1 is the whole
+  // answer for every k. kAuto routes to MDRC, whose d == 1 fast path
+  // returns exactly that.
+  Result<data::Dataset> ds =
+      data::Dataset::FromRows({{0.3}, {0.9}, {0.1}, {0.7}});
+  ASSERT_TRUE(ds.ok());
+  for (size_t k : {1u, 3u, 10u}) {
+    RrrOptions opts;
+    opts.k = k;
+    Result<RrrResult> res = FindRankRegretRepresentative(*ds, opts);
+    ASSERT_TRUE(res.ok()) << "k=" << k;
+    EXPECT_EQ(res->algorithm_used, Algorithm::kMdRc);
+    EXPECT_EQ(res->representative, (std::vector<int32_t>{1}));
+  }
+}
+
+TEST(SolverTest, DimensionMismatchErrorsAreInvalidArgument) {
+  const data::Dataset ds3 = data::GenerateUniform(20, 3, 33);
+  RrrOptions opts;
+  opts.k = 2;
+  opts.algorithm = Algorithm::k2dRrr;  // 2DRRR on d == 3
+  Result<RrrResult> res = FindRankRegretRepresentative(ds3, opts);
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+
+  Result<data::Dataset> ds1 = data::Dataset::FromRows({{0.2}, {0.8}});
+  ASSERT_TRUE(ds1.ok());
+  res = FindRankRegretRepresentative(*ds1, opts);  // 2DRRR on d == 1
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+
+  opts.algorithm = Algorithm::kConvexMaxima;  // maxima with k > 1
+  res = FindRankRegretRepresentative(ds3, opts);
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SolverTest, ConvexMaximaRejectsKGreaterThanOne) {
