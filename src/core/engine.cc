@@ -31,6 +31,10 @@ std::string Diagnostics::ToString() const {
   if (eval_functions_sampled > 0) {
     out += StrFormat(" eval{functions=%zu}", eval_functions_sampled);
   }
+  if (skyband_size > 0) {
+    out += StrFormat(" skyband{size=%zu rows_saved=%zu}", skyband_size,
+                     skyband_scan_rows_saved);
+  }
   return out;
 }
 
@@ -92,27 +96,47 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
                                             const ExecContext& ctx) const {
   const RrrOptions& defaults = options_.defaults;
   const data::Dataset& dataset = prepared_->dataset();
+  const size_t n = dataset.size();
+
+  // Every top-k-driven path asks for the shared k-skyband index up front; a
+  // null result (declined build) just means the path runs unpruned. The
+  // convex-maxima path has its own skyline prefilter and skips the ask.
+  auto shared_candidates =
+      [&]() -> Result<std::shared_ptr<const CandidateIndex>> {
+    return prepared_->SharedCandidateIndex(
+        k, ResolveThreads(ctx.ThreadsOver(defaults.threads)), ctx);
+  };
 
   QueryResult result;
   result.diagnostics.algorithm_used = algorithm;
   Stopwatch timer;
   switch (algorithm) {
     case Algorithm::k2dRrr: {
-      // The prepared sweep replaces the per-call O(n log n) initial sort.
+      std::shared_ptr<const CandidateIndex> candidates;
+      RRR_ASSIGN_OR_RETURN(candidates, shared_candidates());
+      // The prepared sweep replaces the per-call O(n log n) initial sort;
+      // with an index the sweep runs over the band instead.
       RRR_ASSIGN_OR_RETURN(
           result.representative,
-          Solve2dRrr(dataset, k, defaults.rrr2d, ctx, prepared_->sweep()));
+          Solve2dRrr(dataset, k, defaults.rrr2d, ctx, prepared_->sweep(),
+                     candidates.get()));
       result.diagnostics.reused_prepared_artifacts =
           prepared_->sweep() != nullptr;
+      if (candidates != nullptr) {
+        result.diagnostics.skyband_size = candidates->band_size();
+      }
       break;
     }
     case Algorithm::kMdRrr: {
+      std::shared_ptr<const CandidateIndex> candidates;
+      RRR_ASSIGN_OR_RETURN(candidates, shared_candidates());
       KSetSamplerOptions sampler = defaults.sampler;
       if (defaults.threads != 0) sampler.threads = defaults.threads;
       bool sample_hit = false;
       std::shared_ptr<const KSetSampleResult> sample;
       RRR_ASSIGN_OR_RETURN(
-          sample, prepared_->SharedKSets(k, sampler, ctx, &sample_hit));
+          sample, prepared_->SharedKSets(k, sampler, ctx, &sample_hit,
+                                         candidates.get()));
       RRR_ASSIGN_OR_RETURN(
           result.representative,
           SolveMdrrr(dataset, sample->ksets, defaults.mdrrr, ctx));
@@ -120,9 +144,18 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
       result.diagnostics.sampler_ksets = sample->ksets.size();
       result.diagnostics.sampler_from_cache = sample_hit;
       result.diagnostics.reused_prepared_artifacts = sample_hit;
+      if (candidates != nullptr) {
+        result.diagnostics.skyband_size = candidates->band_size();
+        if (!sample_hit) {
+          result.diagnostics.skyband_scan_rows_saved =
+              sample->samples_drawn * (n - candidates->band_size());
+        }
+      }
       break;
     }
     case Algorithm::kMdRc: {
+      std::shared_ptr<const CandidateIndex> candidates;
+      RRR_ASSIGN_OR_RETURN(candidates, shared_candidates());
       MdrcOptions mdrc = defaults.mdrc;
       if (defaults.threads != 0) mdrc.threads = defaults.threads;
       // Cross-query warmth, not intra-solve sibling hits: sibling cells
@@ -133,9 +166,15 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
       MdrcStats stats;
       RRR_ASSIGN_OR_RETURN(
           result.representative,
-          SolveMdrc(dataset, k, mdrc, &stats, ctx, prepared_->corner_cache()));
+          SolveMdrc(dataset, k, mdrc, &stats, ctx, prepared_->corner_cache(),
+                    candidates.get()));
       result.diagnostics.mdrc = stats;
       result.diagnostics.reused_prepared_artifacts = cache_was_warm;
+      if (candidates != nullptr) {
+        result.diagnostics.skyband_size = candidates->band_size();
+        result.diagnostics.skyband_scan_rows_saved =
+            stats.corner_evals * (n - candidates->band_size());
+      }
       break;
     }
     case Algorithm::kConvexMaxima: {
@@ -268,16 +307,31 @@ Result<EvalReport> RrrEngine::Evaluate(
     report.exact = true;
     report.diagnostics.reused_prepared_artifacts = true;
   } else {
+    std::shared_ptr<const CandidateIndex> candidates;
+    RRR_ASSIGN_OR_RETURN(
+        candidates,
+        prepared_->SharedCandidateIndex(
+            k,
+            ResolveThreads(query.exec.ThreadsOver(options_.defaults.threads)),
+            query.exec));
     SampledRegretOptions sampled;
     sampled.num_functions = options_.eval_num_functions;
     sampled.seed = options_.eval_seed;
     sampled.threads = options_.defaults.threads;
+    SampledRegretStats eval_stats;
     RRR_ASSIGN_OR_RETURN(
         report.rank_regret,
         SampledRankRegretEstimate(prepared_->dataset(), representative,
-                                  sampled, query.exec));
+                                  sampled, query.exec, candidates.get(),
+                                  &eval_stats));
     report.exact = false;
     report.diagnostics.eval_functions_sampled = sampled.num_functions;
+    if (candidates != nullptr) {
+      report.diagnostics.skyband_size = candidates->band_size();
+      report.diagnostics.skyband_scan_rows_saved =
+          eval_stats.skyband_scans *
+          (prepared_->size() - candidates->band_size());
+    }
   }
   report.within_k = report.rank_regret <= static_cast<int64_t>(k);
   report.diagnostics.seconds = timer.ElapsedSeconds();

@@ -46,6 +46,14 @@ struct Diagnostics {
   /// Ranking functions drawn by Evaluate's sampled estimator (0 for the
   /// exact 2D path and for Solve/SolveDual queries).
   size_t eval_functions_sampled = 0;
+  /// Size of the shared k-skyband candidate set the query's top-k probes
+  /// ran over (0 when the index declined to build or the path has no top-k
+  /// probes — results are bit-identical either way).
+  size_t skyband_size = 0;
+  /// Estimated dataset rows the k-skyband pruning kept out of top-k scans:
+  /// pruned probes x (n - skyband_size). A throughput observability signal
+  /// like `seconds`, not part of the deterministic-output contract.
+  size_t skyband_scan_rows_saved = 0;
 
   /// One-line human-readable rendering, e.g.
   /// "MDRC 0.123s cached=no mdrc{nodes=93 leaves=47 ...}".

@@ -8,6 +8,7 @@
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "core/candidate_index.h"
 #include "core/sweep.h"
 #include "topk/rank.h"
 #include "topk/scoring.h"
@@ -82,7 +83,9 @@ Result<int64_t> SweepExactRankRegret2D(const data::Dataset& dataset,
 Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
                                           const std::vector<int32_t>& subset,
                                           const SampledRegretOptions& options,
-                                          const ExecContext& ctx) {
+                                          const ExecContext& ctx,
+                                          const CandidateIndex* candidates,
+                                          SampledRegretStats* stats) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (subset.empty()) return Status::InvalidArgument("empty subset");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
@@ -91,6 +94,31 @@ Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
       return Status::OutOfRange("subset id out of range");
     }
   }
+  if (candidates != nullptr) {
+    RRR_CHECK(candidates->full_dataset() == &dataset)
+        << "CandidateIndex built over a different dataset";
+  }
+  SampledRegretStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = SampledRegretStats{};
+
+  // One per-function rank scan, over the band when possible. The fallback
+  // count is a pure function of (data, subset, seed), so the stats are
+  // thread-count invariant along with the estimate itself.
+  std::atomic<size_t> fallbacks{0};
+  auto min_rank = [&](const topk::LinearFunction& f) {
+    if (candidates == nullptr) return topk::MinRankOfSubset(dataset, f, subset);
+    size_t fell_back = 0;
+    const int64_t rank = candidates->MinRankOfSubset(f, subset, &fell_back);
+    if (fell_back != 0) fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return rank;
+  };
+  auto record_stats = [&] {
+    if (candidates == nullptr) return;
+    stats->full_scan_fallbacks = fallbacks.load();
+    stats->skyband_scans = options.num_functions - stats->full_scan_fallbacks;
+  };
+
   Rng rng(options.seed);
   const size_t threads = ResolveThreads(ctx.ThreadsOver(options.threads));
   if (threads <= 1) {
@@ -100,8 +128,9 @@ Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
       RRR_RETURN_IF_ERROR(gate.Check());
       topk::LinearFunction f(
           rng.UnitWeightVector(static_cast<int>(dataset.dims())));
-      worst = std::max(worst, topk::MinRankOfSubset(dataset, f, subset));
+      worst = std::max(worst, min_rank(f));
     }
+    record_stats();
     return worst;
   }
 
@@ -126,8 +155,7 @@ Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
         }
         int64_t local = 1;
         for (size_t s = begin; s < end; ++s) {
-          local = std::max(local,
-                           topk::MinRankOfSubset(dataset, funcs[s], subset));
+          local = std::max(local, min_rank(funcs[s]));
         }
         std::lock_guard<std::mutex> lock(mu);
         per_chunk_worst.push_back(local);
@@ -139,6 +167,7 @@ Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
   }
   int64_t worst = 1;
   for (int64_t w : per_chunk_worst) worst = std::max(worst, w);
+  record_stats();
   return worst;
 }
 

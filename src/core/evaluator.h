@@ -12,6 +12,7 @@ namespace rrr {
 namespace core {
 
 class AngularSweep;
+class CandidateIndex;
 
 /// \brief Exact rank-regret of `subset` over all 2D linear ranking
 /// functions: max over theta in [0, pi/2] of the best subset rank
@@ -40,12 +41,32 @@ struct SampledRegretOptions {
   size_t threads = 0;
 };
 
+/// Observability for one SampledRankRegretEstimate run. The fallback count
+/// is deterministic (a pure function of data, subset, and seed), so it is
+/// identical for every thread count.
+struct SampledRegretStats {
+  /// Ranking functions whose rank was answered by a k-skyband scan.
+  size_t skyband_scans = 0;
+  /// Functions whose rank exceeded the band parameter and fell back to a
+  /// full-dataset scan (0 when no CandidateIndex was supplied — every scan
+  /// is then a full scan and neither counter moves).
+  size_t full_scan_fallbacks = 0;
+};
+
 /// \brief Monte-Carlo lower bound on the rank-regret of `subset`: the max
 /// over sampled functions of the subset's best rank (the paper's
 /// measurement protocol for d > 2). `ctx` preempts between scan batches.
+///
+/// `candidates` (may be null) answers each per-function rank scan over its
+/// k-skyband whenever the rank is <= candidates->k() — the common case for
+/// representatives — falling back to a full scan otherwise, so the estimate
+/// is bit-identical with and without the index. `stats` (may be null)
+/// receives the band/fallback attribution.
 Result<int64_t> SampledRankRegretEstimate(
     const data::Dataset& dataset, const std::vector<int32_t>& subset,
-    const SampledRegretOptions& options = {}, const ExecContext& ctx = {});
+    const SampledRegretOptions& options = {}, const ExecContext& ctx = {},
+    const CandidateIndex* candidates = nullptr,
+    SampledRegretStats* stats = nullptr);
 
 }  // namespace core
 }  // namespace rrr

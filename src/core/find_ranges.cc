@@ -1,7 +1,9 @@
 #include "core/find_ranges.h"
 
+#include <algorithm>
 #include <memory>
 
+#include "core/candidate_index.h"
 #include "core/sweep.h"
 #include "geometry/angles.h"
 
@@ -10,53 +12,70 @@ namespace core {
 
 Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
                                           size_t k, const ExecContext& ctx,
-                                          const AngularSweep* sweep) {
+                                          const AngularSweep* sweep,
+                                          const CandidateIndex* candidates) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (dataset.dims() != 2) {
     return Status::InvalidArgument("FindRanges requires a 2D dataset");
   }
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   const size_t n = dataset.size();
-  std::vector<ItemRange> ranges(n);
-  if (n == 0) return ranges;
+  if (n == 0) return std::vector<ItemRange>();
+  const size_t kk = std::min(k, n);
 
+  // The sweep runs over the k-skyband when an index is available: the
+  // boundary exchanges are identical (only band members ever cross the
+  // top-k border, at the same exchange angles), so the per-item ranges
+  // match the full sweep bit for bit while E shrinks to O(band^2).
+  const data::Dataset* work = &dataset;
+  if (candidates != nullptr) {
+    RRR_CHECK(candidates->full_dataset() == &dataset)
+        << "CandidateIndex built over a different dataset";
+    RRR_CHECK(candidates->k() >= kk)
+        << "CandidateIndex band too small for this k";
+    RRR_CHECK(candidates->band_sweep() != nullptr)
+        << "CandidateIndex over 2D data is missing its band sweep";
+    work = &candidates->band();
+    sweep = candidates->band_sweep();
+  }
   std::unique_ptr<AngularSweep> own_sweep;
   if (sweep == nullptr) {
     own_sweep = std::make_unique<AngularSweep>(dataset);
     sweep = own_sweep.get();
   }
+  const size_t m = work->size();  // kk <= m: the band contains every top-k
+  std::vector<ItemRange> local(m);
   const auto& order = sweep->InitialOrder();
-  const size_t kk = std::min(k, n);
 
   // Items in the top-k at theta = 0 start their range there.
-  std::vector<char> in_topk_now(n, 0);
+  std::vector<char> in_topk_now(m, 0);
   for (size_t i = 0; i < kk; ++i) {
     const auto id = static_cast<size_t>(order[i]);
-    ranges[id].in_topk = true;
-    ranges[id].begin = 0.0;
+    local[id].in_topk = true;
+    local[id].begin = 0.0;
     in_topk_now[id] = 1;
   }
 
   PreemptionGate gate(ctx, 1024);
-  if (kk < n) {
+  if (kk < m) {
     sweep->Run([&](const SweepEvent& ev) {
       if (gate.Preempted()) return false;
       if (ev.upper_position == kk) {
         // ev.item_up enters the top-k, ev.item_down leaves it.
         const auto up = static_cast<size_t>(ev.item_up);
         const auto down = static_cast<size_t>(ev.item_down);
-        if (!ranges[up].in_topk) {
-          ranges[up].in_topk = true;
-          ranges[up].begin = ev.angle;
+        if (!local[up].in_topk) {
+          local[up].in_topk = true;
+          local[up].begin = ev.angle;
         }
         in_topk_now[up] = 1;
-        if (ranges[down].begin == ev.angle) {
+        if (local[down].begin == ev.angle) {
           // Entered and left at the same angle: a transient visitor of an
           // equal-angle tie cascade. Its net range is empty — drop it so a
           // zero-width phantom interval can never be picked as a cover.
-          ranges[down].in_topk = false;
+          local[down].in_topk = false;
         } else {
-          ranges[down].end = ev.angle;  // overwritten on re-entry/re-exit
+          local[down].end = ev.angle;  // overwritten on re-entry/re-exit
         }
         in_topk_now[down] = 0;
       }
@@ -66,8 +85,17 @@ Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
   RRR_RETURN_IF_ERROR(gate.status());
 
   // Items still in the top-k at theta = pi/2 extend to the end.
-  for (size_t id = 0; id < n; ++id) {
-    if (in_topk_now[id]) ranges[id].end = geometry::kHalfPi;
+  for (size_t id = 0; id < m; ++id) {
+    if (in_topk_now[id]) local[id].end = geometry::kHalfPi;
+  }
+
+  if (candidates == nullptr) return local;
+  // Scatter band-local results back to original ids; pruned items keep the
+  // default never-in-top-k range, which is exactly what the full sweep
+  // reports for them.
+  std::vector<ItemRange> ranges(n);
+  for (size_t r = 0; r < m; ++r) {
+    ranges[static_cast<size_t>(candidates->band_ids()[r])] = local[r];
   }
   return ranges;
 }

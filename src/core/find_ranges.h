@@ -11,6 +11,7 @@ namespace rrr {
 namespace core {
 
 class AngularSweep;
+class CandidateIndex;
 
 /// Result of Algorithm 1 for one item: the convex closure of the sweep
 /// angles at which the item is in the top-k.
@@ -40,10 +41,17 @@ struct ItemRange {
 /// `sweep` optionally supplies a prebuilt AngularSweep over the same
 /// dataset (PreparedDataset shares one across queries, saving the
 /// O(n log n) initial sort per call); when null a fresh sweep is built.
-Result<std::vector<ItemRange>> FindRanges(const data::Dataset& dataset,
-                                          size_t k,
-                                          const ExecContext& ctx = {},
-                                          const AngularSweep* sweep = nullptr);
+///
+/// `candidates` (may be null) runs the sweep over the k-skyband instead of
+/// the full dataset — every top-k boundary crossing is an exchange between
+/// band members at the same angle in either sweep, so the per-item ranges
+/// (and everything 2DRRR derives from them) are bit-identical while the
+/// event count drops from O(n^2) to O(band^2). Takes precedence over
+/// `sweep`; must be built over `dataset` with candidates->k() >= k.
+Result<std::vector<ItemRange>> FindRanges(
+    const data::Dataset& dataset, size_t k, const ExecContext& ctx = {},
+    const AngularSweep* sweep = nullptr,
+    const CandidateIndex* candidates = nullptr);
 
 }  // namespace core
 }  // namespace rrr

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 
+#include "core/candidate_index.h"
 #include "lp/separation.h"
 #include "topk/scoring.h"
 #include "topk/topk.h"
@@ -13,7 +15,8 @@ namespace core {
 Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
                                            size_t k,
                                            const KSetGraphOptions& options,
-                                           const ExecContext& ctx) {
+                                           const ExecContext& ctx,
+                                           const CandidateIndex* candidates) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   const size_t n = dataset.size();
   const size_t d = dataset.dims();
@@ -23,6 +26,12 @@ Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
     return Status::InvalidArgument(
         "k must be < n for k-set enumeration (a k-set needs a non-empty "
         "complement)");
+  }
+  if (candidates != nullptr) {
+    RRR_CHECK(candidates->full_dataset() == &dataset)
+        << "CandidateIndex built over a different dataset";
+    RRR_CHECK(candidates->k() >= k)
+        << "CandidateIndex band too small for this k";
   }
 
   // Initial step: the top-k on the first attribute is a k-set under general
@@ -40,7 +49,9 @@ Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
   bool seeded = false;
   for (const auto& w : seed_functions) {
     KSet candidate;
-    candidate.ids = topk::TopKSet(dataset, topk::LinearFunction(w), k);
+    const topk::LinearFunction f(w);
+    candidate.ids = candidates != nullptr ? candidates->TopKSet(f, k)
+                                          : topk::TopKSet(dataset, f, k);
     lp::SeparationResult sep;
     RRR_ASSIGN_OR_RETURN(
         sep, lp::FindSeparatingWeights(dataset.flat(), n, d, candidate.ids,
@@ -63,6 +74,19 @@ Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
   queue.push_back(first);
   PreemptionGate gate(ctx, 64);
 
+  // Swap candidates: only k-skyband members can appear in a separable
+  // k-set (see the header), so the BFS inner loop shrinks from n to the
+  // band when an index is available. The candidate order is ascending id
+  // either way (band_ids are sorted), so the BFS discovery order — and
+  // therefore the enumerated collection — is unchanged.
+  std::vector<int32_t> swap_pool;
+  if (candidates != nullptr) {
+    swap_pool = candidates->band_ids();
+  } else {
+    swap_pool.resize(n);
+    std::iota(swap_pool.begin(), swap_pool.end(), 0);
+  }
+
   while (!queue.empty()) {
     const KSet current = queue.front();
     queue.pop_front();
@@ -70,11 +94,11 @@ Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
     for (int32_t id : current.ids) inside[static_cast<size_t>(id)] = 1;
 
     for (size_t swap_out = 0; swap_out < current.ids.size(); ++swap_out) {
-      for (size_t cand = 0; cand < n; ++cand) {
-        if (inside[cand]) continue;
+      for (const int32_t cand : swap_pool) {
+        if (inside[static_cast<size_t>(cand)]) continue;
         RRR_RETURN_IF_ERROR(gate.Check());
         KSet next = current;
-        next.ids[swap_out] = static_cast<int32_t>(cand);
+        next.ids[swap_out] = cand;
         next.Normalize();
         if (found.Contains(next)) continue;
 

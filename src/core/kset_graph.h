@@ -9,6 +9,8 @@
 namespace rrr {
 namespace core {
 
+class CandidateIndex;
+
 /// Tuning for EnumerateKSetsGraph.
 struct KSetGraphOptions {
   /// Abort with ResourceExhausted once this many k-sets are found
@@ -32,9 +34,20 @@ struct KSetGraphOptions {
 /// a proper complement), or ResourceExhausted past options.max_ksets.
 /// Returns Cancelled/DeadlineExceeded (no partial collection) when `ctx`
 /// preempts the BFS, which is checked before each candidate LP solve.
+///
+/// `candidates` (may be null; the legacy free-function path passes none and
+/// keeps the local full scans) answers the seed top-k queries from the
+/// shared TA/skyband index and restricts the swap-candidate loop to the
+/// k-skyband. That restriction is exactly output-preserving: a k-set
+/// containing a tuple with >= k always-outrankers can never pass the strict
+/// separation LP (one of the outrankers is outside the set and scores at
+/// least as high under every non-negative weight vector), so the skipped
+/// candidates were doomed LP rejections. Must be built over `dataset` with
+/// candidates->k() >= k.
 Result<KSetCollection> EnumerateKSetsGraph(
     const data::Dataset& dataset, size_t k,
-    const KSetGraphOptions& options = {}, const ExecContext& ctx = {});
+    const KSetGraphOptions& options = {}, const ExecContext& ctx = {},
+    const CandidateIndex* candidates = nullptr);
 
 }  // namespace core
 }  // namespace rrr

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "core/candidate_index.h"
 #include "geometry/dominance.h"
 #include "topk/scoring.h"
 #include "topk/threshold_algorithm.h"
@@ -15,19 +16,27 @@ namespace core {
 
 Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
                                      const KSetSamplerOptions& options,
-                                     const ExecContext& ctx) {
+                                     const ExecContext& ctx,
+                                     const CandidateIndex* candidates) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   RRR_RETURN_IF_ERROR(dataset.CheckFinite());
+  if (candidates != nullptr) {
+    RRR_CHECK(candidates->full_dataset() == &dataset)
+        << "CandidateIndex built over a different dataset";
+    RRR_CHECK(candidates->k() >= std::min(k, dataset.size()))
+        << "CandidateIndex band too small for this k";
+  }
 
   // Optional sound search-space reduction: only k-skyband members can ever
   // appear in a top-k, and their relative id order (the tie-break) is
-  // preserved by the compaction.
+  // preserved by the compaction. A shared CandidateIndex supersedes the
+  // per-call reduction below (same effect, amortized across calls).
   const data::Dataset* search = &dataset;
   data::Dataset band_data;
   std::vector<int32_t> band_ids;
-  if (options.skyband_prefilter) {
+  if (options.skyband_prefilter && candidates == nullptr) {
     band_ids = geometry::KSkyband(dataset.flat(), dataset.size(),
                                   dataset.dims(), k);
     std::vector<double> cells;
@@ -44,11 +53,12 @@ Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
   }
 
   std::unique_ptr<topk::ThresholdAlgorithmIndex> ta_index;
-  if (options.use_threshold_algorithm) {
+  if (options.use_threshold_algorithm && candidates == nullptr) {
     ta_index = std::make_unique<topk::ThresholdAlgorithmIndex>(*search);
   }
 
   auto top_k_set = [&](const topk::LinearFunction& f) {
+    if (candidates != nullptr) return candidates->TopKSet(f, k);
     std::vector<int32_t> ids =
         ta_index ? ta_index->TopKSet(f, k) : topk::TopKSet(*search, f, k);
     if (options.skyband_prefilter) {

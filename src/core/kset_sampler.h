@@ -11,6 +11,8 @@
 namespace rrr {
 namespace core {
 
+class CandidateIndex;
+
 /// Tuning for SampleKSets (the paper's termination condition c and seed).
 struct KSetSamplerOptions {
   uint64_t seed = 13;
@@ -63,9 +65,19 @@ struct KSetSampleResult {
 /// Cancelled/DeadlineExceeded (no partial collection) when `ctx` preempts
 /// the draw loop, which is checked between samples (serial) or between
 /// batches (parallel).
+///
+/// `candidates` (may be null) answers every per-sample top-k with a
+/// Threshold Algorithm query over its k-skyband (core/candidate_index.h)
+/// instead of the per-call prefilter/index the boolean options rebuild from
+/// scratch; the sampled collection is bit-identical in all cases (the
+/// sampler's invariance contract). It must be built over `dataset` with
+/// candidates->k() >= k, and takes precedence over the two query-strategy
+/// flags above.
 Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
                                      const KSetSamplerOptions& options = {},
-                                     const ExecContext& ctx = {});
+                                     const ExecContext& ctx = {},
+                                     const CandidateIndex* candidates =
+                                         nullptr);
 
 }  // namespace core
 }  // namespace rrr

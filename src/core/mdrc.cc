@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "core/candidate_index.h"
 #include "geometry/angles.h"
 #include "topk/scoring.h"
 #include "topk/topk.h"
@@ -28,9 +29,14 @@ struct Node {
 };
 
 /// Intersection of the (sorted) top-k sets of all 2^dims corners of `box`.
+/// `first_corner_front` receives the smallest id of the mask-0 corner's
+/// top-k (the all-lows corner) — exactly what the depth-cap fallback used
+/// to re-request from the cache just to take `.front()`.
 std::vector<int32_t> CornerIntersection(const Node& node, size_t k,
                                         CornerTopKCache* cache,
-                                        CornerTopKCache::Counters* counters) {
+                                        CornerTopKCache::Counters* counters,
+                                        const CandidateIndex* candidates,
+                                        int32_t* first_corner_front) {
   const size_t dims = node.box.size();
   const size_t corners = size_t{1} << dims;
   std::vector<int32_t> common;
@@ -40,8 +46,9 @@ std::vector<int32_t> CornerIntersection(const Node& node, size_t k,
       angles[j] = (mask >> j & 1) ? node.box[j].second : node.box[j].first;
     }
     const std::vector<int32_t> corner_topk =
-        cache->TopKAt(k, angles, counters);
+        cache->TopKAt(k, angles, counters, candidates);
     if (mask == 0) {
+      *first_corner_front = corner_topk.front();
       common = corner_topk;
     } else {
       std::vector<int32_t> next;
@@ -90,7 +97,8 @@ CornerTopKCache::CornerTopKCache(const data::Dataset& dataset,
 
 std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
                                              const geometry::Vec& angles,
-                                             Counters* counters) {
+                                             Counters* counters,
+                                             const CandidateIndex* candidates) {
   Key key{k, angles};
   Shard& shard = shards_[KeyHash{}(key) % kShards];
   std::shared_ptr<Entry> entry;
@@ -110,7 +118,7 @@ std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
     if (counters != nullptr) {
       counters->evals.fetch_add(1, std::memory_order_relaxed);
     }
-    return Evaluate(k, angles);
+    return Evaluate(k, angles, candidates);
   }
   if (existed && counters != nullptr) {
     counters->hits.fetch_add(1, std::memory_order_relaxed);
@@ -119,7 +127,7 @@ std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
     if (counters != nullptr) {
       counters->evals.fetch_add(1, std::memory_order_relaxed);
     }
-    entry->topk = Evaluate(k, angles);
+    entry->topk = Evaluate(k, angles, candidates);
   });
   return entry->topk;
 }
@@ -134,15 +142,19 @@ size_t CornerTopKCache::entries() const {
 }
 
 std::vector<int32_t> CornerTopKCache::Evaluate(
-    size_t k, const geometry::Vec& angles) const {
-  return topk::TopKSet(dataset_, topk::LinearFunction::FromAngles(angles), k);
+    size_t k, const geometry::Vec& angles,
+    const CandidateIndex* candidates) const {
+  const topk::LinearFunction f = topk::LinearFunction::FromAngles(angles);
+  if (candidates != nullptr) return candidates->TopKSet(f, k);
+  return topk::TopKSet(dataset_, f, k);
 }
 
 Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
                                        const MdrcOptions& options,
                                        MdrcStats* stats,
                                        const ExecContext& ctx,
-                                       CornerTopKCache* corner_cache) {
+                                       CornerTopKCache* corner_cache,
+                                       const CandidateIndex* candidates) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
@@ -160,6 +172,13 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
   const size_t max_level = options.max_splits_per_dim * angle_dims;
   const size_t threads = ResolveThreads(ctx.ThreadsOver(options.threads));
   const size_t kk = std::min(k, dataset.size());
+  if (candidates != nullptr) {
+    RRR_CHECK(candidates->full_dataset() == &dataset)
+        << "CandidateIndex built over a different dataset";
+    RRR_CHECK(candidates->k() >= kk)
+        << "CandidateIndex band too small for this k";
+    stats->skyband_size = candidates->band_size();
+  }
 
   std::unique_ptr<CornerTopKCache> own_cache;
   if (corner_cache == nullptr) {
@@ -216,8 +235,9 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
       }
 
       NodeOutcome& out = outcomes[i];
-      std::vector<int32_t> common =
-          CornerIntersection(node, kk, corner_cache, &counters);
+      int32_t first_corner_front = -1;
+      std::vector<int32_t> common = CornerIntersection(
+          node, kk, corner_cache, &counters, candidates, &first_corner_front);
       if (!common.empty()) {
         leaves.fetch_add(1, std::memory_order_relaxed);
         out.kind = NodeOutcome::kCommonLeaf;
@@ -226,13 +246,14 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
       }
       if (node.level >= max_level) {
         // Degenerate geometry: corners disagree at sub-epsilon cell sizes.
-        // Keep the guarantee "some item per cell" with the first corner's
-        // best item; counted so callers can detect the fallback.
+        // Keep the guarantee "some item per cell" with the all-lows
+        // corner's smallest top-k id, already in hand from the
+        // intersection above (this used to re-request the full corner
+        // top-k from the cache just to take `.front()`); counted so
+        // callers can detect the fallback.
         depth_cap_leaves.fetch_add(1, std::memory_order_relaxed);
-        geometry::Vec corner(angle_dims);
-        for (size_t j = 0; j < angle_dims; ++j) corner[j] = node.box[j].first;
         out.kind = NodeOutcome::kDepthCapLeaf;
-        out.fallback_item = corner_cache->TopKAt(kk, corner, &counters).front();
+        out.fallback_item = first_corner_front;
         return;
       }
       out.kind = NodeOutcome::kInternal;

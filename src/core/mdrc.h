@@ -16,6 +16,8 @@
 namespace rrr {
 namespace core {
 
+class CandidateIndex;
+
 /// Tuning for SolveMdrc.
 struct MdrcOptions {
   /// Depth cap, counted in bisections per angular dimension. 48 halvings
@@ -82,6 +84,9 @@ struct MdrcStats {
   size_t depth_cap_leaves = 0;
   /// Deepest node level reached.
   size_t max_depth = 0;
+  /// Size of the k-skyband candidate set the corner evaluations ran over
+  /// (0 when no CandidateIndex was supplied — full-dataset scans).
+  size_t skyband_size = 0;
 };
 
 /// \brief Concurrent memo of corner top-k evaluations keyed by
@@ -115,9 +120,14 @@ class CornerTopKCache {
 
   /// The (sorted-set) top-k of the corner function at `angles`, memoized
   /// under key (k, angles). Thread-safe; `counters` (may be null) receives
-  /// this call's hit/miss attribution.
+  /// this call's hit/miss attribution. `candidates` (may be null) answers
+  /// cache misses with a Threshold Algorithm query over its k-skyband
+  /// instead of a full scan — bit-identical by the CandidateIndex contract,
+  /// so entries computed with and without an index are interchangeable; it
+  /// must be built over this cache's dataset with candidates->k() >= k.
   std::vector<int32_t> TopKAt(size_t k, const geometry::Vec& angles,
-                              Counters* counters);
+                              Counters* counters,
+                              const CandidateIndex* candidates = nullptr);
 
   /// Dataset this cache evaluates against (identity-checked by SolveMdrc).
   const data::Dataset* dataset() const { return &dataset_; }
@@ -146,7 +156,8 @@ class CornerTopKCache {
     std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> map;
   };
 
-  std::vector<int32_t> Evaluate(size_t k, const geometry::Vec& angles) const;
+  std::vector<int32_t> Evaluate(size_t k, const geometry::Vec& angles,
+                                const CandidateIndex* candidates) const;
 
   const data::Dataset& dataset_;
   size_t per_shard_cap_;
@@ -176,11 +187,19 @@ class CornerTopKCache {
 /// ResourceExhausted when the recursion exceeds options.max_nodes. Returns
 /// Cancelled/DeadlineExceeded (no partial representative) when `ctx`
 /// preempts the expansion, which is checked per node.
+///
+/// `candidates` (may be null) routes every uncached corner top-k through
+/// the k-skyband candidate index (core/candidate_index.h) instead of a
+/// full-dataset scan; the representative and stats are bit-identical either
+/// way (the equivalence tests pin this). It must be built over `dataset`
+/// with candidates->k() >= min(k, n).
 Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
                                        const MdrcOptions& options = {},
                                        MdrcStats* stats = nullptr,
                                        const ExecContext& ctx = {},
-                                       CornerTopKCache* corner_cache = nullptr);
+                                       CornerTopKCache* corner_cache = nullptr,
+                                       const CandidateIndex* candidates =
+                                           nullptr);
 
 }  // namespace core
 }  // namespace rrr

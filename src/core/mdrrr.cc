@@ -29,9 +29,11 @@ Result<std::vector<int32_t>> SolveMdrrr(const data::Dataset& dataset,
 
 Result<std::vector<int32_t>> SolveMdrrrSampled(
     const data::Dataset& dataset, size_t k, const MdrrrOptions& options,
-    const KSetSamplerOptions& sampler_options, const ExecContext& ctx) {
+    const KSetSamplerOptions& sampler_options, const ExecContext& ctx,
+    const CandidateIndex* candidates) {
   KSetSampleResult sample;
-  RRR_ASSIGN_OR_RETURN(sample, SampleKSets(dataset, k, sampler_options, ctx));
+  RRR_ASSIGN_OR_RETURN(
+      sample, SampleKSets(dataset, k, sampler_options, ctx, candidates));
   return SolveMdrrr(dataset, sample.ksets, options, ctx);
 }
 

@@ -61,11 +61,13 @@ Result<std::vector<int32_t>> SolveMdrrr(const data::Dataset& dataset,
 ///
 /// Fails with InvalidArgument for k == 0 or an empty dataset; propagates
 /// sampler and hitting-set errors (including the sampler's
-/// Cancelled/DeadlineExceeded preemption statuses) otherwise.
+/// Cancelled/DeadlineExceeded preemption statuses) otherwise. `candidates`
+/// (may be null) is forwarded to SampleKSets — see there; the output is
+/// bit-identical with and without it.
 Result<std::vector<int32_t>> SolveMdrrrSampled(
     const data::Dataset& dataset, size_t k, const MdrrrOptions& options = {},
     const KSetSamplerOptions& sampler_options = {},
-    const ExecContext& ctx = {});
+    const ExecContext& ctx = {}, const CandidateIndex* candidates = nullptr);
 
 }  // namespace core
 }  // namespace rrr

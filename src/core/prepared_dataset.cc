@@ -20,7 +20,9 @@ size_t PreparedDataset::KSetKeyHash::operator()(const KSetKey& key) const {
 
 PreparedDataset::PreparedDataset(data::Dataset dataset, const Options& options)
     : data_(std::move(dataset)),
-      kset_cache_(options.max_kset_cache_entries) {
+      options_(options),
+      kset_cache_(options.max_kset_cache_entries),
+      candidate_cache_(options.max_candidate_cache_entries) {
   if (data_.dims() == 2) {
     sweep_ = std::make_unique<AngularSweep>(data_);
   }
@@ -80,14 +82,74 @@ PreparedDataset::SharedConvexMaxima(size_t threads, const ExecContext& ctx,
 
 Result<std::shared_ptr<const KSetSampleResult>> PreparedDataset::SharedKSets(
     size_t k, const KSetSamplerOptions& options, const ExecContext& ctx,
-    bool* cache_hit) const {
+    bool* cache_hit, const CandidateIndex* candidates) const {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   const KSetKey key{k, options.seed, options.termination_count,
                     options.max_samples};
   return kset_cache_.GetOrCompute(
-      key, ctx, cache_hit, [this, k, &options, &ctx]() {
-        return SampleKSets(data_, k, options, ctx);
+      key, ctx, cache_hit, [this, k, &options, &ctx, candidates]() {
+        return SampleKSets(data_, k, options, ctx, candidates);
       });
+}
+
+Result<std::shared_ptr<const CandidateIndex>>
+PreparedDataset::SharedCandidateIndex(size_t k, size_t threads,
+                                      const ExecContext& ctx,
+                                      bool* cache_hit) const {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  const size_t kk = std::min(k, data_.size());
+  // Monotone slice: counts capped at cap >= kk classify the kk-band
+  // exactly (a row is in iff its count < kk), so the largest successful
+  // count is reused for every smaller k. A slot that declined WITHOUT
+  // counts is retried (at most once per call) when counts covering kk have
+  // appeared since — a larger-k build paid for them, and the slice path
+  // skips the decline heuristics entirely — instead of serving the stale
+  // negative entry forever.
+  bool retried = false;
+  for (;;) {
+    std::shared_ptr<const std::vector<uint32_t>> counts;
+    {
+      std::lock_guard<std::mutex> lock(candidate_counts_mu_);
+      if (candidate_counts_.cap >= kk) counts = candidate_counts_.counts;
+    }
+    std::shared_ptr<const CandidateSlot> slot;
+    RRR_ASSIGN_OR_RETURN(
+        slot,
+        candidate_cache_.GetOrCompute(
+            kk, ctx, cache_hit,
+            [this, kk, threads, &counts, &ctx]() -> Result<CandidateSlot> {
+              CandidateIndexOptions build = options_.candidate;
+              build.threads = threads != 0 ? threads : build.threads;
+              CandidateIndex::Outcome outcome;
+              RRR_ASSIGN_OR_RETURN(
+                  outcome, CandidateIndex::Create(data_, kk, build, ctx,
+                                                  counts.get()));
+              if (outcome.counts != nullptr) {
+                std::lock_guard<std::mutex> lock(candidate_counts_mu_);
+                if (kk > candidate_counts_.cap) {
+                  candidate_counts_.cap = kk;
+                  candidate_counts_.counts = outcome.counts;
+                }
+              }
+              return CandidateSlot{std::move(outcome.index),
+                                   counts != nullptr};
+            }));
+    // A counts-less decline is stale once counts covering kk exist (this
+    // read, or appeared concurrently); drop it and rebuild through the
+    // slice path. One retry bounds the loop — the rebuilt slot either
+    // carries counts or was raced in by another counts-less compute, in
+    // which case the next call retries.
+    if (slot->index != nullptr || slot->built_from_counts || retried) {
+      return slot->index;
+    }
+    if (counts == nullptr) {
+      std::lock_guard<std::mutex> lock(candidate_counts_mu_);
+      if (candidate_counts_.cap < kk) return slot->index;
+    }
+    retried = true;
+    candidate_cache_.Invalidate(kk);
+  }
 }
 
 }  // namespace core

@@ -12,6 +12,7 @@
 
 #include "common/exec_context.h"
 #include "common/result.h"
+#include "core/candidate_index.h"
 #include "core/kset_sampler.h"
 #include "core/mdrc.h"
 #include "core/sweep.h"
@@ -112,6 +113,14 @@ class KeyedLazyCache {
     return map_.size();
   }
 
+  /// Drops the cell for `key`, so the next GetOrCompute recomputes it.
+  /// Callers already waiting on the dropped cell finish against it
+  /// unaffected; they just no longer share with future callers.
+  void Invalidate(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.erase(key);
+  }
+
  private:
   mutable std::mutex mu_;
   size_t max_entries_;
@@ -148,6 +157,12 @@ class PreparedDataset {
     size_t max_corner_cache_entries = size_t{1} << 21;
     /// Cap on distinct (k, sampler-options) K-SETr samples kept alive.
     size_t max_kset_cache_entries = 64;
+    /// Build policy for the shared k-skyband candidate indexes (decline
+    /// thresholds and the dominance-count work budget); `threads` inside is
+    /// superseded by the per-call thread budget of SharedCandidateIndex.
+    CandidateIndexOptions candidate;
+    /// Cap on distinct per-k candidate indexes kept alive.
+    size_t max_candidate_cache_entries = 64;
   };
 
   /// Validates `dataset` (non-empty, every cell finite — InvalidArgument
@@ -184,12 +199,35 @@ class PreparedDataset {
   /// queries (keyed by k plus every option that affects the sampled
   /// collection: seed, termination_count, max_samples — `threads` and the
   /// query-strategy flags don't, by the sampler's invariance contracts).
+  /// `candidates` (may be null) is handed to SampleKSets on a cache miss;
+  /// it does not key the cache because the sampled collection is
+  /// bit-identical with and without it.
   Result<std::shared_ptr<const KSetSampleResult>> SharedKSets(
       size_t k, const KSetSamplerOptions& options, const ExecContext& ctx = {},
-      bool* cache_hit = nullptr) const;
+      bool* cache_hit = nullptr,
+      const CandidateIndex* candidates = nullptr) const;
 
   /// Shared MDRC corner-top-k memo (pass to SolveMdrc).
   CornerTopKCache* corner_cache() const { return corner_cache_.get(); }
+
+  /// \brief Shared k-skyband candidate index for rank budget `k`
+  /// (core/candidate_index.h), computed once per k and shared by every
+  /// top-k hot path of the engine (MDRC corners, K-SETr draws, the 2D
+  /// sweep, the sampled evaluator).
+  ///
+  /// Returns a null pointer — not an error — when the build declined
+  /// (small dataset, near-full band, or over-budget dominance count; see
+  /// CandidateIndexOptions); callers then run unpruned, with bit-identical
+  /// results either way. The underlying dominance counts are monotone in k
+  /// (the (k+1)-band contains the k-band), so the largest computed count
+  /// vector is cached and sliced for every smaller k instead of recounting.
+  ///
+  /// `threads` fans the dominance count out on the first call for a given
+  /// k; like every shared artifact, the result is identical for every
+  /// thread count.
+  Result<std::shared_ptr<const CandidateIndex>> SharedCandidateIndex(
+      size_t k, size_t threads = 0, const ExecContext& ctx = {},
+      bool* cache_hit = nullptr) const;
 
  private:
   struct KSetKey {
@@ -207,15 +245,41 @@ class PreparedDataset {
     size_t operator()(const KSetKey& key) const;
   };
 
+  /// Cached outcome of one per-k candidate-index build; `index` is null
+  /// for a declined build (negative caching — the decline is as shareable
+  /// as the index). `built_from_counts` records whether the cached counts
+  /// fed the build: a counts-less decline is invalidated and retried once
+  /// a larger-k build has paid for counts that cover it (the slice path
+  /// then skips the pre-check and budget entirely).
+  struct CandidateSlot {
+    std::shared_ptr<const CandidateIndex> index;
+    bool built_from_counts = false;
+  };
+
+  /// Always-outranker counts from the largest successful build, capped at
+  /// `cap` = that build's min(k, n); any k <= cap slices these instead of
+  /// recounting. (Counts capped at a smaller cap cannot be extended —
+  /// saturated rows lose their exact values — so ascending-k query
+  /// patterns recount per k, each recount budget-bounded by the build
+  /// policy; descending patterns slice for free.)
+  struct CandidateCounts {
+    size_t cap = 0;
+    std::shared_ptr<const std::vector<uint32_t>> counts;
+  };
+
   PreparedDataset(data::Dataset dataset, const Options& options);
 
   data::Dataset data_;
+  Options options_;
   std::unique_ptr<AngularSweep> sweep_;  // d == 2 only
   std::unique_ptr<CornerTopKCache> corner_cache_;
   mutable internal::LazyCell<std::vector<int32_t>> skyline_;
   mutable internal::LazyCell<std::vector<int32_t>> convex_maxima_;
   mutable internal::KeyedLazyCache<KSetKey, KSetSampleResult, KSetKeyHash>
       kset_cache_;
+  mutable internal::KeyedLazyCache<size_t, CandidateSlot> candidate_cache_;
+  mutable std::mutex candidate_counts_mu_;
+  mutable CandidateCounts candidate_counts_;
 };
 
 }  // namespace core

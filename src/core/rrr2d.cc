@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/candidate_index.h"
 #include "core/find_ranges.h"
 #include "geometry/angles.h"
 #include "topk/scoring.h"
@@ -14,14 +15,16 @@ Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
                                         size_t k,
                                         const Rrr2dOptions& options,
                                         const ExecContext& ctx,
-                                        const AngularSweep* sweep) {
+                                        const AngularSweep* sweep,
+                                        const CandidateIndex* candidates) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   // NaN coordinates make the sweep comparators' ordering undefined (the
   // event heap can cycle); fail loudly instead.
   RRR_RETURN_IF_ERROR(dataset.CheckFinite());
   std::vector<ItemRange> ranges;
-  RRR_ASSIGN_OR_RETURN(ranges, FindRanges(dataset, k, ctx, sweep));
+  RRR_ASSIGN_OR_RETURN(ranges,
+                       FindRanges(dataset, k, ctx, sweep, candidates));
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
 
   std::vector<hitting::Interval> intervals;
@@ -46,8 +49,10 @@ Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
   // endpoint's top-1.
   for (const auto& axis :
        {geometry::Vec{1.0, 0.0}, geometry::Vec{0.0, 1.0}}) {
+    const topk::LinearFunction f(axis);
     const std::vector<int32_t> endpoint_topk =
-        topk::TopK(dataset, topk::LinearFunction(axis), k);
+        candidates != nullptr ? candidates->TopK(f, k)
+                              : topk::TopK(dataset, f, k);
     const bool hit = std::any_of(
         cover.begin(), cover.end(), [&](int32_t id) {
           return std::find(endpoint_topk.begin(), endpoint_topk.end(), id) !=

@@ -13,6 +13,7 @@ namespace rrr {
 namespace core {
 
 class AngularSweep;
+class CandidateIndex;
 
 /// Tuning for Solve2dRrr.
 struct Rrr2dOptions {
@@ -34,12 +35,17 @@ struct Rrr2dOptions {
 /// non-empty; propagates any Status from FindRanges or the interval cover.
 /// Returns Cancelled/DeadlineExceeded (no partial output) when `ctx`
 /// preempts the underlying sweep. `sweep` optionally reuses a prebuilt
-/// AngularSweep over the same dataset (see FindRanges).
+/// AngularSweep over the same dataset (see FindRanges). `candidates` (may
+/// be null) runs the sweep and the endpoint top-k patches over the
+/// k-skyband — bit-identical output, O(band^2) instead of O(n^2) events
+/// (see FindRanges); takes precedence over `sweep`.
 Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
                                         size_t k,
                                         const Rrr2dOptions& options = {},
                                         const ExecContext& ctx = {},
-                                        const AngularSweep* sweep = nullptr);
+                                        const AngularSweep* sweep = nullptr,
+                                        const CandidateIndex* candidates =
+                                            nullptr);
 
 }  // namespace core
 }  // namespace rrr

@@ -20,7 +20,7 @@ Result<int64_t> ExactRankRegret2D(const data::Dataset& dataset,
 
 Result<RankRegretCertificate> ExactRankRegretWithinK(
     const data::Dataset& dataset, const std::vector<int32_t>& subset,
-    size_t k, size_t threads) {
+    size_t k, size_t threads, const core::CandidateIndex* candidates) {
   if (subset.empty()) return Status::InvalidArgument("empty subset");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   const size_t n = dataset.size();
@@ -39,7 +39,8 @@ Result<RankRegretCertificate> ExactRankRegretWithinK(
   }
 
   core::KSetCollection ksets;
-  RRR_ASSIGN_OR_RETURN(ksets, core::EnumerateKSetsGraph(dataset, k));
+  RRR_ASSIGN_OR_RETURN(
+      ksets, core::EnumerateKSetsGraph(dataset, k, {}, {}, candidates));
   const std::vector<core::KSet>& sets = ksets.sets();
 
   // Hit checks are independent per k-set; fan them out, then certify the

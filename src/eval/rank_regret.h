@@ -8,6 +8,10 @@
 #include "data/dataset.h"
 
 namespace rrr {
+namespace core {
+class CandidateIndex;
+}  // namespace core
+
 namespace eval {
 
 /// \brief Exact rank-regret of `subset` over all 2D linear ranking
@@ -66,9 +70,15 @@ struct RankRegretCertificate {
 /// 1 = serial); the certificate — including which missed k-set supplies
 /// the witness — is identical for every thread count, because the first
 /// miss in enumeration order is always the one certified.
+///
+/// `candidates` (may be null) hands the underlying k-set enumeration the
+/// shared k-skyband index — e.g. PreparedDataset::SharedCandidateIndex(k)
+/// — shrinking its swap loops from n to the band with an identical
+/// certificate (see EnumerateKSetsGraph).
 Result<RankRegretCertificate> ExactRankRegretWithinK(
     const data::Dataset& dataset, const std::vector<int32_t>& subset,
-    size_t k, size_t threads = 0);
+    size_t k, size_t threads = 0,
+    const core::CandidateIndex* candidates = nullptr);
 
 }  // namespace eval
 }  // namespace rrr

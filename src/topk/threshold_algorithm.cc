@@ -3,12 +3,36 @@
 #include <algorithm>
 #include <numeric>
 #include <queue>
-#include <unordered_set>
 
 #include "common/logging.h"
 
 namespace rrr {
 namespace topk {
+
+ThresholdAlgorithmIndex::ScratchLease::ScratchLease(
+    const ThresholdAlgorithmIndex* index)
+    : index_(index) {
+  {
+    std::lock_guard<std::mutex> lock(index->scratch_mu_);
+    if (!index->scratch_pool_.empty()) {
+      scratch_ = std::move(index->scratch_pool_.back());
+      index->scratch_pool_.pop_back();
+    }
+  }
+  if (scratch_ == nullptr) {
+    scratch_ = std::make_unique<Scratch>();
+    scratch_->stamp.assign(index->dataset_.size(), 0);
+  }
+  if (++scratch_->epoch == 0) {  // wrap: old stamps would alias epoch 0
+    std::fill(scratch_->stamp.begin(), scratch_->stamp.end(), 0u);
+    scratch_->epoch = 1;
+  }
+}
+
+ThresholdAlgorithmIndex::ScratchLease::~ScratchLease() {
+  std::lock_guard<std::mutex> lock(index_->scratch_mu_);
+  index_->scratch_pool_.push_back(std::move(scratch_));
+}
 
 ThresholdAlgorithmIndex::ThresholdAlgorithmIndex(const data::Dataset& dataset)
     : dataset_(dataset) {
@@ -51,8 +75,7 @@ std::vector<int32_t> ThresholdAlgorithmIndex::TopK(const LinearFunction& f,
     return a.id < b.id;
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> best(worse);
-  std::unordered_set<int32_t> seen;
-  seen.reserve(4 * k);
+  ScratchLease seen(this);
 
   size_t depth = 0;
   for (; depth < n; ++depth) {
@@ -62,7 +85,7 @@ std::vector<int32_t> ThresholdAlgorithmIndex::TopK(const LinearFunction& f,
       const int32_t id = columns_[j][depth];
       threshold +=
           f.weights()[j] * dataset_.at(static_cast<size_t>(id), j);
-      if (seen.insert(id).second) {
+      if (seen.MarkSeen(id)) {
         const double score = f.Score(dataset_.row(static_cast<size_t>(id)));
         if (best.size() < k) {
           best.push(Entry{score, id});

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "data/dataset.h"
@@ -46,11 +48,48 @@ class ThresholdAlgorithmIndex {
   }
 
  private:
+  /// \brief Reusable per-query "seen" marker: an epoch-stamped array
+  /// instead of a per-call std::unordered_set, which used to dominate the
+  /// TA inner loop at small k (hashing + rehash + allocation per query).
+  ///
+  /// A tuple is "seen this query" iff stamp[id] == epoch; bumping the epoch
+  /// resets all marks in O(1). On the (once per 2^32 queries) epoch wrap
+  /// the array is cleared explicitly so stale stamps can never alias.
+  struct Scratch {
+    std::vector<uint32_t> stamp;
+    uint32_t epoch = 0;
+  };
+
+  /// Checks a scratch buffer out of the pool (TopK is const and called
+  /// concurrently by the parallel K-SETr sampler, so the mutable scratch
+  /// state is pooled behind a mutex touched once per query, never in the
+  /// scan loop). Returns it on destruction.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(const ThresholdAlgorithmIndex* index);
+    ~ScratchLease();
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    /// Marks `id` seen; true when it was not seen before in this query.
+    bool MarkSeen(int32_t id) {
+      uint32_t& stamp = scratch_->stamp[static_cast<size_t>(id)];
+      if (stamp == scratch_->epoch) return false;
+      stamp = scratch_->epoch;
+      return true;
+    }
+
+   private:
+    const ThresholdAlgorithmIndex* index_;
+    std::unique_ptr<Scratch> scratch_;
+  };
+
   const data::Dataset& dataset_;
   /// columns_[j] holds tuple ids sorted by attribute j descending
   /// (ties by id ascending, consistent with the library order).
   std::vector<std::vector<int32_t>> columns_;
   mutable std::atomic<size_t> last_scan_depth_{0};
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<Scratch>> scratch_pool_;
 };
 
 }  // namespace topk
