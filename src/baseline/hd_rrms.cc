@@ -4,9 +4,12 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/logging.h"
 #include "common/random.h"
+#include "data/column_blocks.h"
 #include "geometry/angles.h"
 #include "hitting/greedy.h"
+#include "topk/score_kernel.h"
 #include "topk/scoring.h"
 
 namespace rrr {
@@ -118,14 +121,20 @@ Result<HdRrmsResult> SolveHdRrms(const data::Dataset& dataset,
   }
   const size_t num_funcs = functions.size();
 
-  // Materialize the score matrix once.
+  // Materialize the score matrix once: one blocked-kernel pass per
+  // function (double scores bit-identical to the row loop, demoted to
+  // float afterwards exactly as before).
+  Result<data::ColumnBlocks> mirror = data::ColumnBlocks::Build(dataset, 1);
+  RRR_CHECK(mirror.ok()) << mirror.status().ToString();
+  std::vector<double> row_scores(n);
   std::vector<std::vector<float>> scores(num_funcs,
                                          std::vector<float>(n, 0.0f));
   std::vector<float> max_score(num_funcs, 0.0f);
   for (size_t j = 0; j < num_funcs; ++j) {
     topk::LinearFunction f(functions[j]);
+    topk::ScoreAll(f, *mirror, row_scores.data());
     for (size_t i = 0; i < n; ++i) {
-      const auto s = static_cast<float>(f.Score(dataset.row(i)));
+      const auto s = static_cast<float>(row_scores[i]);
       scores[j][i] = s;
       max_score[j] = std::max(max_score[j], s);
     }

@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "topk/rank.h"
+#include "topk/score_kernel.h"
 
 namespace rrr {
 namespace core {
@@ -31,17 +32,27 @@ bool AlwaysOutranks(const double* j_row, int32_t j, const double* i_row,
 /// Rows ordered by (coordinate sum desc, id asc). Any always-outranker of a
 /// row precedes it in this order: strict dominance implies a strictly
 /// larger sum, and weak dominance with an equal sum implies an identical
-/// row, where the smaller id sorts first.
+/// row, where the smaller id sorts first. With a columnar mirror the sums
+/// come from the blocked kernel under the all-ones function — 1.0 * x == x
+/// exactly, so the sums (and the order) are bit-identical to the row loop.
 std::vector<int32_t> SumOrder(const data::Dataset& dataset,
-                              std::vector<double>* sums) {
+                              std::vector<double>* sums,
+                              const data::ColumnBlocks* blocks) {
   const size_t n = dataset.size();
   const size_t d = dataset.dims();
   sums->resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    const double* row = dataset.row(i);
-    double s = 0.0;
-    for (size_t c = 0; c < d; ++c) s += row[c];
-    (*sums)[i] = s;
+  if (blocks != nullptr) {
+    RRR_DCHECK(blocks->source() == &dataset)
+        << "SumOrder: blocks mirror a different dataset";
+    topk::ScoreAll(topk::LinearFunction(geometry::Vec(d, 1.0)), *blocks,
+                   sums->data());
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = dataset.row(i);
+      double s = 0.0;
+      for (size_t c = 0; c < d; ++c) s += row[c];
+      (*sums)[i] = s;
+    }
   }
   std::vector<int32_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -133,13 +144,13 @@ Result<CountOutcome> CountWithBudget(const data::Dataset& dataset,
 
 Result<std::vector<uint32_t>> CandidateIndex::CountAlwaysOutrankers(
     const data::Dataset& dataset, size_t cap, size_t threads,
-    const ExecContext& ctx) {
+    const ExecContext& ctx, const data::ColumnBlocks* blocks) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   if (cap == 0) return Status::InvalidArgument("cap must be >= 1");
   RRR_RETURN_IF_ERROR(dataset.CheckFinite());
   std::vector<double> sums;
-  const std::vector<int32_t> order = SumOrder(dataset, &sums);
+  const std::vector<int32_t> order = SumOrder(dataset, &sums, blocks);
   const uint32_t capped = static_cast<uint32_t>(
       std::min<size_t>(cap, dataset.size()));
   CountOutcome counted;
@@ -157,14 +168,25 @@ CandidateIndex::CandidateIndex(const data::Dataset& full, size_t k,
       band_(std::move(band)),
       band_ids_(std::move(band_ids)),
       in_band_(std::move(in_band)) {
-  ta_ = std::make_unique<topk::ThresholdAlgorithmIndex>(band_);
-  if (band_.dims() == 2) band_sweep_ = std::make_unique<AngularSweep>(band_);
+  // The band is this index's hot scan surface (TA dense queries, the
+  // MinRankOfSubset band count, the band sweep's initial scoring), so its
+  // columnar mirror is built unconditionally — one O(band * d) pass,
+  // serial: the band build itself already gated profitability.
+  Result<data::ColumnBlocks> mirror = data::ColumnBlocks::Build(band_, 1);
+  RRR_CHECK(mirror.ok()) << mirror.status().ToString();
+  band_blocks_ =
+      std::make_unique<data::ColumnBlocks>(std::move(mirror).value());
+  ta_ = std::make_unique<topk::ThresholdAlgorithmIndex>(band_,
+                                                        band_blocks_.get());
+  if (band_.dims() == 2) {
+    band_sweep_ = std::make_unique<AngularSweep>(band_, band_blocks_.get());
+  }
 }
 
 Result<CandidateIndex::Outcome> CandidateIndex::Create(
     const data::Dataset& dataset, size_t k,
     const CandidateIndexOptions& options, const ExecContext& ctx,
-    const std::vector<uint32_t>* counts) {
+    const std::vector<uint32_t>* counts, const data::ColumnBlocks* blocks) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
@@ -185,7 +207,7 @@ Result<CandidateIndex::Outcome> CandidateIndex::Create(
       return out;
     }
     std::vector<double> sums;
-    const std::vector<int32_t> order = SumOrder(dataset, &sums);
+    const std::vector<int32_t> order = SumOrder(dataset, &sums, blocks);
 
     const size_t budget =
         options.budget_slack_per_tuple == 0
@@ -311,43 +333,55 @@ int32_t CandidateIndex::Top1(const topk::LinearFunction& f) const {
   return TopK(f, 1).front();
 }
 
-int64_t CandidateIndex::MinRankOfSubset(const topk::LinearFunction& f,
-                                        const std::vector<int32_t>& subset,
-                                        size_t* full_scan_fallbacks) const {
+int64_t CandidateIndex::MinRankOfSubset(
+    const topk::LinearFunction& f, const std::vector<int32_t>& subset,
+    size_t* full_scan_fallbacks, const data::ColumnBlocks* full_blocks) const {
   RRR_CHECK(!subset.empty()) << "MinRankOfSubset: empty subset";
   const data::Dataset& full = *full_;
   // Best member under the tie-broken order (same arithmetic as
   // topk::MinRankOfSubset — subset members may lie outside the band).
   int32_t best = subset[0];
-  double best_score = f.Score(full, static_cast<size_t>(best));
+  double best_score = f.Score(full.row(static_cast<size_t>(best)));
   for (size_t i = 1; i < subset.size(); ++i) {
     const int32_t t = subset[i];
-    const double s = f.Score(full, static_cast<size_t>(t));
+    const double s = f.Score(full.row(static_cast<size_t>(t)));
     if (topk::Outranks(s, t, best_score, best)) {
       best = t;
       best_score = s;
     }
   }
   if (in_band(best)) {
-    // Count band outrankers. While the running rank stays <= k_, it is the
-    // exact full-dataset rank (band top-k_ == full top-k_, ordered).
-    const size_t b = band_.size();
+    // Count band outrankers, blockwise through the kernel. While the
+    // running rank stays <= k_, it is the exact full-dataset rank (band
+    // top-k_ == full top-k_, ordered); scores are bit-identical to the row
+    // loop, so the certify/fallback decision is too.
+    constexpr size_t kBlockRows = data::ColumnBlocks::kBlockRows;
+    const data::ColumnBlocks& mirror = *band_blocks_;
+    const double* w = f.weights().data();
+    const size_t d = mirror.dims();
+    double buf[kBlockRows];
     int64_t rank = 1;
     bool certified = true;
-    for (size_t r = 0; r < b; ++r) {
-      const int32_t id = band_ids_[r];
-      if (id == best) continue;
-      if (topk::Outranks(f.Score(band_.row(r)), id, best_score, best)) {
-        if (++rank > static_cast<int64_t>(k_)) {
-          certified = false;
-          break;
+    const size_t num_blocks = mirror.num_blocks();
+    for (size_t blk = 0; blk < num_blocks && certified; ++blk) {
+      topk::ScoreBlock(w, d, mirror.block(blk), buf);
+      const size_t rows = mirror.block_rows(blk);
+      const size_t base = blk * kBlockRows;
+      for (size_t lane = 0; lane < rows; ++lane) {
+        const int32_t id = band_ids_[base + lane];
+        if (id == best) continue;
+        if (topk::Outranks(buf[lane], id, best_score, best)) {
+          if (++rank > static_cast<int64_t>(k_)) {
+            certified = false;
+            break;
+          }
         }
       }
     }
     if (certified) return rank;
   }
   if (full_scan_fallbacks != nullptr) ++(*full_scan_fallbacks);
-  return topk::MinRankOfSubset(full, f, subset);
+  return topk::MinRankOfSubset(full, f, subset, full_blocks);
 }
 
 }  // namespace core

@@ -10,6 +10,7 @@
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "core/sweep.h"
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 #include "topk/scoring.h"
 #include "topk/threshold_algorithm.h"
@@ -112,20 +113,25 @@ class CandidateIndex {
   /// finite, and outlive the index). `counts`, when non-null, must be
   /// always-outranker counts for this dataset capped at >= min(k, n); the
   /// pre-check and work budget are then skipped (the expensive part is
-  /// already paid). Fails only on preemption (Cancelled/DeadlineExceeded)
-  /// or invalid arguments; an unprofitable build declines instead.
+  /// already paid). `blocks` (may be null) is the dataset's columnar
+  /// mirror: the sort-by-sum pass of the dominance count then runs through
+  /// the blocked scoring kernel (all-ones function — identical sums).
+  /// Fails only on preemption (Cancelled/DeadlineExceeded) or invalid
+  /// arguments; an unprofitable build declines instead.
   static Result<Outcome> Create(
       const data::Dataset& dataset, size_t k,
       const CandidateIndexOptions& options = {}, const ExecContext& ctx = {},
-      const std::vector<uint32_t>* counts = nullptr);
+      const std::vector<uint32_t>* counts = nullptr,
+      const data::ColumnBlocks* blocks = nullptr);
 
   /// Per-row always-outranker counts, capped at `cap` (rows with >= cap
   /// outrankers report exactly cap). Deterministic for every thread count.
   /// Exposed for the slice cache and the monotonicity tests; Create is the
-  /// usual entry point.
+  /// usual entry point. `blocks` as in Create.
   static Result<std::vector<uint32_t>> CountAlwaysOutrankers(
       const data::Dataset& dataset, size_t cap, size_t threads = 0,
-      const ExecContext& ctx = {});
+      const ExecContext& ctx = {},
+      const data::ColumnBlocks* blocks = nullptr);
 
   /// Band parameter: queries are valid for any k' <= k.
   size_t k() const { return k_; }
@@ -141,6 +147,9 @@ class CandidateIndex {
   }
   /// Angular sweep over the band; non-null iff the data is 2D.
   const AngularSweep* band_sweep() const { return band_sweep_.get(); }
+  /// Columnar mirror of band() (always built — the band is the hot scan
+  /// surface, and the mirror costs one O(band * d) pass).
+  const data::ColumnBlocks* band_blocks() const { return band_blocks_.get(); }
 
   /// Ids of the top-k' tuples of the FULL dataset under `f`, best first —
   /// bit-identical to topk::TopK(full, f, k') for k' <= k(), answered by a
@@ -161,10 +170,15 @@ class CandidateIndex {
   /// Sound because the band's ordered top-k equals the full top-k: a best
   /// member that is in the band with fewer than k() band outrankers has
   /// exactly that rank in the full dataset too. `full_scan_fallbacks`
-  /// (may be null) is incremented when the fallback fires.
+  /// (may be null) is incremented when the fallback fires. The band count
+  /// always runs through the blocked kernel (band_blocks()); `full_blocks`
+  /// (may be null, must mirror the full dataset) routes the fallback scan
+  /// through it too.
   int64_t MinRankOfSubset(const topk::LinearFunction& f,
                           const std::vector<int32_t>& subset,
-                          size_t* full_scan_fallbacks = nullptr) const;
+                          size_t* full_scan_fallbacks = nullptr,
+                          const data::ColumnBlocks* full_blocks =
+                              nullptr) const;
 
  private:
   CandidateIndex(const data::Dataset& full, size_t k, data::Dataset band,
@@ -175,6 +189,7 @@ class CandidateIndex {
   data::Dataset band_;
   std::vector<int32_t> band_ids_;
   std::vector<char> in_band_;  // indexed by original id
+  std::unique_ptr<data::ColumnBlocks> band_blocks_;
   std::unique_ptr<topk::ThresholdAlgorithmIndex> ta_;
   std::unique_ptr<AngularSweep> band_sweep_;  // d == 2 only
 };

@@ -35,6 +35,7 @@ std::string Diagnostics::ToString() const {
     out += StrFormat(" skyband{size=%zu rows_saved=%zu}", skyband_size,
                      skyband_scan_rows_saved);
   }
+  if (columnar_kernel) out += " kernel=columnar";
   return out;
 }
 
@@ -106,6 +107,14 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
     return prepared_->SharedCandidateIndex(
         k, ResolveThreads(ctx.ThreadsOver(defaults.threads)), ctx);
   };
+  // Likewise the shared columnar mirror: every scan-shaped loop below runs
+  // through the blocked scoring kernel with it (bit-identical results; the
+  // one O(n d) transpose amortizes across all queries).
+  auto shared_blocks =
+      [&]() -> Result<std::shared_ptr<const data::ColumnBlocks>> {
+    return prepared_->SharedColumnBlocks(
+        ResolveThreads(ctx.ThreadsOver(defaults.threads)), ctx);
+  };
 
   QueryResult result;
   result.diagnostics.algorithm_used = algorithm;
@@ -114,12 +123,17 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
     case Algorithm::k2dRrr: {
       std::shared_ptr<const CandidateIndex> candidates;
       RRR_ASSIGN_OR_RETURN(candidates, shared_candidates());
+      std::shared_ptr<const data::ColumnBlocks> blocks;
+      RRR_ASSIGN_OR_RETURN(blocks, shared_blocks());
+      // With a candidate index the scans run over the band, not the
+      // mirror — report the mirror only when it is what actually scanned.
+      result.diagnostics.columnar_kernel = candidates == nullptr;
       // The prepared sweep replaces the per-call O(n log n) initial sort;
       // with an index the sweep runs over the band instead.
       RRR_ASSIGN_OR_RETURN(
           result.representative,
           Solve2dRrr(dataset, k, defaults.rrr2d, ctx, prepared_->sweep(),
-                     candidates.get()));
+                     candidates.get(), blocks.get()));
       result.diagnostics.reused_prepared_artifacts =
           prepared_->sweep() != nullptr;
       if (candidates != nullptr) {
@@ -144,6 +158,11 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
       result.diagnostics.sampler_ksets = sample->ksets.size();
       result.diagnostics.sampler_from_cache = sample_hit;
       result.diagnostics.reused_prepared_artifacts = sample_hit;
+      // The mirror only feeds the sampler's full-dataset draw path;
+      // SharedKSets skips it when an index or the prefilter supersedes it,
+      // and a cached sample means no scans ran at all.
+      result.diagnostics.columnar_kernel =
+          !sample_hit && candidates == nullptr && !sampler.skyband_prefilter;
       if (candidates != nullptr) {
         result.diagnostics.skyband_size = candidates->band_size();
         if (!sample_hit) {
@@ -156,6 +175,11 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
     case Algorithm::kMdRc: {
       std::shared_ptr<const CandidateIndex> candidates;
       RRR_ASSIGN_OR_RETURN(candidates, shared_candidates());
+      std::shared_ptr<const data::ColumnBlocks> blocks;
+      RRR_ASSIGN_OR_RETURN(blocks, shared_blocks());
+      // Corner evaluations consult the candidate index first; the mirror
+      // scans only when no index superseded it.
+      result.diagnostics.columnar_kernel = candidates == nullptr;
       MdrcOptions mdrc = defaults.mdrc;
       if (defaults.threads != 0) mdrc.threads = defaults.threads;
       // Cross-query warmth, not intra-solve sibling hits: sibling cells
@@ -167,7 +191,7 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
       RRR_ASSIGN_OR_RETURN(
           result.representative,
           SolveMdrc(dataset, k, mdrc, &stats, ctx, prepared_->corner_cache(),
-                    candidates.get()));
+                    candidates.get(), blocks.get()));
       result.diagnostics.mdrc = stats;
       result.diagnostics.reused_prepared_artifacts = cache_was_warm;
       if (candidates != nullptr) {
@@ -314,6 +338,12 @@ Result<EvalReport> RrrEngine::Evaluate(
             k,
             ResolveThreads(query.exec.ThreadsOver(options_.defaults.threads)),
             query.exec));
+    std::shared_ptr<const data::ColumnBlocks> blocks;
+    RRR_ASSIGN_OR_RETURN(
+        blocks,
+        prepared_->SharedColumnBlocks(
+            ResolveThreads(query.exec.ThreadsOver(options_.defaults.threads)),
+            query.exec));
     SampledRegretOptions sampled;
     sampled.num_functions = options_.eval_num_functions;
     sampled.seed = options_.eval_seed;
@@ -323,9 +353,13 @@ Result<EvalReport> RrrEngine::Evaluate(
         report.rank_regret,
         SampledRankRegretEstimate(prepared_->dataset(), representative,
                                   sampled, query.exec, candidates.get(),
-                                  &eval_stats));
+                                  &eval_stats, blocks.get()));
     report.exact = false;
     report.diagnostics.eval_functions_sampled = sampled.num_functions;
+    // Without an index every rank scan runs on the mirror; with one, only
+    // the certified-past-the-band fallbacks do.
+    report.diagnostics.columnar_kernel =
+        candidates == nullptr || eval_stats.full_scan_fallbacks > 0;
     if (candidates != nullptr) {
       report.diagnostics.skyband_size = candidates->band_size();
       report.diagnostics.skyband_scan_rows_saved =

@@ -54,6 +54,11 @@ struct Diagnostics {
   /// pruned probes x (n - skyband_size). A throughput observability signal
   /// like `seconds`, not part of the deterministic-output contract.
   size_t skyband_scan_rows_saved = 0;
+  /// True when the query's full-dataset scans ran through the shared
+  /// columnar mirror and the blocked scoring kernel
+  /// (topk/score_kernel.h). Throughput observability only — results are
+  /// bit-identical with and without the mirror.
+  bool columnar_kernel = false;
 
   /// One-line human-readable rendering, e.g.
   /// "MDRC 0.123s cached=no mdrc{nodes=93 leaves=47 ...}".

@@ -85,7 +85,8 @@ Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
                                           const SampledRegretOptions& options,
                                           const ExecContext& ctx,
                                           const CandidateIndex* candidates,
-                                          SampledRegretStats* stats) {
+                                          SampledRegretStats* stats,
+                                          const data::ColumnBlocks* blocks) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (subset.empty()) return Status::InvalidArgument("empty subset");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
@@ -98,6 +99,10 @@ Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
     RRR_CHECK(candidates->full_dataset() == &dataset)
         << "CandidateIndex built over a different dataset";
   }
+  if (blocks != nullptr) {
+    RRR_CHECK(blocks->source() == &dataset)
+        << "blocks mirror a different dataset";
+  }
   SampledRegretStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = SampledRegretStats{};
@@ -107,9 +112,12 @@ Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
   // thread-count invariant along with the estimate itself.
   std::atomic<size_t> fallbacks{0};
   auto min_rank = [&](const topk::LinearFunction& f) {
-    if (candidates == nullptr) return topk::MinRankOfSubset(dataset, f, subset);
+    if (candidates == nullptr) {
+      return topk::MinRankOfSubset(dataset, f, subset, blocks);
+    }
     size_t fell_back = 0;
-    const int64_t rank = candidates->MinRankOfSubset(f, subset, &fell_back);
+    const int64_t rank =
+        candidates->MinRankOfSubset(f, subset, &fell_back, blocks);
     if (fell_back != 0) fallbacks.fetch_add(1, std::memory_order_relaxed);
     return rank;
   };

@@ -6,6 +6,7 @@
 
 #include "common/exec_context.h"
 #include "common/result.h"
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 
 namespace rrr {
@@ -61,12 +62,16 @@ struct SampledRegretStats {
 /// k-skyband whenever the rank is <= candidates->k() — the common case for
 /// representatives — falling back to a full scan otherwise, so the estimate
 /// is bit-identical with and without the index. `stats` (may be null)
-/// receives the band/fallback attribution.
+/// receives the band/fallback attribution. `blocks` (may be null, must
+/// mirror `dataset`) routes the full-dataset rank scans — the whole
+/// workload without an index, the fallbacks with one — through the blocked
+/// scoring kernel; bit-identical estimate in every combination.
 Result<int64_t> SampledRankRegretEstimate(
     const data::Dataset& dataset, const std::vector<int32_t>& subset,
     const SampledRegretOptions& options = {}, const ExecContext& ctx = {},
     const CandidateIndex* candidates = nullptr,
-    SampledRegretStats* stats = nullptr);
+    SampledRegretStats* stats = nullptr,
+    const data::ColumnBlocks* blocks = nullptr);
 
 }  // namespace core
 }  // namespace rrr

@@ -16,7 +16,8 @@ Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
                                            size_t k,
                                            const KSetGraphOptions& options,
                                            const ExecContext& ctx,
-                                           const CandidateIndex* candidates) {
+                                           const CandidateIndex* candidates,
+                                           const data::ColumnBlocks* blocks) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   const size_t n = dataset.size();
   const size_t d = dataset.dims();
@@ -50,8 +51,9 @@ Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
   for (const auto& w : seed_functions) {
     KSet candidate;
     const topk::LinearFunction f(w);
-    candidate.ids = candidates != nullptr ? candidates->TopKSet(f, k)
-                                          : topk::TopKSet(dataset, f, k);
+    candidate.ids = candidates != nullptr
+                        ? candidates->TopKSet(f, k)
+                        : topk::TopKSet(dataset, f, k, blocks);
     lp::SeparationResult sep;
     RRR_ASSIGN_OR_RETURN(
         sep, lp::FindSeparatingWeights(dataset.flat(), n, d, candidate.ids,

@@ -4,6 +4,7 @@
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "core/kset.h"
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 
 namespace rrr {
@@ -43,11 +44,13 @@ struct KSetGraphOptions {
 /// separation LP (one of the outrankers is outside the set and scores at
 /// least as high under every non-negative weight vector), so the skipped
 /// candidates were doomed LP rejections. Must be built over `dataset` with
-/// candidates->k() >= k.
+/// candidates->k() >= k. `blocks` (may be null, must mirror `dataset`)
+/// routes the unpruned seed top-k scans through the blocked scoring kernel.
 Result<KSetCollection> EnumerateKSetsGraph(
     const data::Dataset& dataset, size_t k,
     const KSetGraphOptions& options = {}, const ExecContext& ctx = {},
-    const CandidateIndex* candidates = nullptr);
+    const CandidateIndex* candidates = nullptr,
+    const data::ColumnBlocks* blocks = nullptr);
 
 }  // namespace core
 }  // namespace rrr

@@ -17,7 +17,8 @@ namespace core {
 Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
                                      const KSetSamplerOptions& options,
                                      const ExecContext& ctx,
-                                     const CandidateIndex* candidates) {
+                                     const CandidateIndex* candidates,
+                                     const data::ColumnBlocks* blocks) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
@@ -27,6 +28,10 @@ Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
         << "CandidateIndex built over a different dataset";
     RRR_CHECK(candidates->k() >= std::min(k, dataset.size()))
         << "CandidateIndex band too small for this k";
+  }
+  if (blocks != nullptr) {
+    RRR_CHECK(blocks->source() == &dataset)
+        << "SampleKSets: blocks mirror a different dataset";
   }
 
   // Optional sound search-space reduction: only k-skyband members can ever
@@ -52,15 +57,23 @@ Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
     search = &band_data;
   }
 
+  // The mirror only applies while the search space IS the caller's dataset;
+  // the skyband prefilter above swaps in a compacted copy it cannot cover.
+  const data::ColumnBlocks* search_blocks =
+      search == &dataset ? blocks : nullptr;
   std::unique_ptr<topk::ThresholdAlgorithmIndex> ta_index;
   if (options.use_threshold_algorithm && candidates == nullptr) {
-    ta_index = std::make_unique<topk::ThresholdAlgorithmIndex>(*search);
+    ta_index =
+        std::make_unique<topk::ThresholdAlgorithmIndex>(*search,
+                                                        search_blocks);
   }
 
   auto top_k_set = [&](const topk::LinearFunction& f) {
     if (candidates != nullptr) return candidates->TopKSet(f, k);
-    std::vector<int32_t> ids =
-        ta_index ? ta_index->TopKSet(f, k) : topk::TopKSet(*search, f, k);
+    std::vector<int32_t> ids = ta_index
+                                   ? ta_index->TopKSet(f, k)
+                                   : topk::TopKSet(*search, f, k,
+                                                   search_blocks);
     if (options.skyband_prefilter) {
       for (int32_t& id : ids) id = band_ids[static_cast<size_t>(id)];
     }

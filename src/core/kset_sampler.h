@@ -6,6 +6,7 @@
 #include "common/exec_context.h"
 #include "common/result.h"
 #include "core/kset.h"
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 
 namespace rrr {
@@ -72,11 +73,16 @@ struct KSetSampleResult {
 /// scratch; the sampled collection is bit-identical in all cases (the
 /// sampler's invariance contract). It must be built over `dataset` with
 /// candidates->k() >= k, and takes precedence over the two query-strategy
-/// flags above.
+/// flags above. `blocks` (may be null, must mirror `dataset`) routes the
+/// full-dataset scans — the default draw path, and the TA index's dense
+/// queries — through the blocked scoring kernel; it is ignored when the
+/// skyband prefilter compacts the search space to a different dataset.
 Result<KSetSampleResult> SampleKSets(const data::Dataset& dataset, size_t k,
                                      const KSetSamplerOptions& options = {},
                                      const ExecContext& ctx = {},
                                      const CandidateIndex* candidates =
+                                         nullptr,
+                                     const data::ColumnBlocks* blocks =
                                          nullptr);
 
 }  // namespace core

@@ -36,6 +36,7 @@ std::vector<int32_t> CornerIntersection(const Node& node, size_t k,
                                         CornerTopKCache* cache,
                                         CornerTopKCache::Counters* counters,
                                         const CandidateIndex* candidates,
+                                        const data::ColumnBlocks* blocks,
                                         int32_t* first_corner_front) {
   const size_t dims = node.box.size();
   const size_t corners = size_t{1} << dims;
@@ -46,7 +47,7 @@ std::vector<int32_t> CornerIntersection(const Node& node, size_t k,
       angles[j] = (mask >> j & 1) ? node.box[j].second : node.box[j].first;
     }
     const std::vector<int32_t> corner_topk =
-        cache->TopKAt(k, angles, counters, candidates);
+        cache->TopKAt(k, angles, counters, candidates, blocks);
     if (mask == 0) {
       *first_corner_front = corner_topk.front();
       common = corner_topk;
@@ -98,7 +99,8 @@ CornerTopKCache::CornerTopKCache(const data::Dataset& dataset,
 std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
                                              const geometry::Vec& angles,
                                              Counters* counters,
-                                             const CandidateIndex* candidates) {
+                                             const CandidateIndex* candidates,
+                                             const data::ColumnBlocks* blocks) {
   Key key{k, angles};
   Shard& shard = shards_[KeyHash{}(key) % kShards];
   std::shared_ptr<Entry> entry;
@@ -118,7 +120,7 @@ std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
     if (counters != nullptr) {
       counters->evals.fetch_add(1, std::memory_order_relaxed);
     }
-    return Evaluate(k, angles, candidates);
+    return Evaluate(k, angles, candidates, blocks);
   }
   if (existed && counters != nullptr) {
     counters->hits.fetch_add(1, std::memory_order_relaxed);
@@ -127,7 +129,7 @@ std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
     if (counters != nullptr) {
       counters->evals.fetch_add(1, std::memory_order_relaxed);
     }
-    entry->topk = Evaluate(k, angles, candidates);
+    entry->topk = Evaluate(k, angles, candidates, blocks);
   });
   return entry->topk;
 }
@@ -142,11 +144,11 @@ size_t CornerTopKCache::entries() const {
 }
 
 std::vector<int32_t> CornerTopKCache::Evaluate(
-    size_t k, const geometry::Vec& angles,
-    const CandidateIndex* candidates) const {
+    size_t k, const geometry::Vec& angles, const CandidateIndex* candidates,
+    const data::ColumnBlocks* blocks) const {
   const topk::LinearFunction f = topk::LinearFunction::FromAngles(angles);
   if (candidates != nullptr) return candidates->TopKSet(f, k);
-  return topk::TopKSet(dataset_, f, k);
+  return topk::TopKSet(dataset_, f, k, blocks);
 }
 
 Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
@@ -154,11 +156,16 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
                                        MdrcStats* stats,
                                        const ExecContext& ctx,
                                        CornerTopKCache* corner_cache,
-                                       const CandidateIndex* candidates) {
+                                       const CandidateIndex* candidates,
+                                       const data::ColumnBlocks* blocks) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   RRR_RETURN_IF_ERROR(dataset.CheckFinite());
+  if (blocks != nullptr) {
+    RRR_CHECK(blocks->source() == &dataset)
+        << "SolveMdrc: blocks mirror a different dataset";
+  }
   MdrcStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = MdrcStats{};
@@ -166,7 +173,7 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
   const size_t d = dataset.dims();
   if (d == 1) {
     // One ranking function total; its top-1 is a perfect representative.
-    return topk::TopK(dataset, topk::LinearFunction({1.0}), 1);
+    return topk::TopK(dataset, topk::LinearFunction({1.0}), 1, blocks);
   }
   const size_t angle_dims = d - 1;
   const size_t max_level = options.max_splits_per_dim * angle_dims;
@@ -236,8 +243,9 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
 
       NodeOutcome& out = outcomes[i];
       int32_t first_corner_front = -1;
-      std::vector<int32_t> common = CornerIntersection(
-          node, kk, corner_cache, &counters, candidates, &first_corner_front);
+      std::vector<int32_t> common =
+          CornerIntersection(node, kk, corner_cache, &counters, candidates,
+                             blocks, &first_corner_front);
       if (!common.empty()) {
         leaves.fetch_add(1, std::memory_order_relaxed);
         out.kind = NodeOutcome::kCommonLeaf;

@@ -10,6 +10,7 @@
 
 #include "common/exec_context.h"
 #include "common/result.h"
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 #include "geometry/vec.h"
 
@@ -125,9 +126,13 @@ class CornerTopKCache {
   /// instead of a full scan — bit-identical by the CandidateIndex contract,
   /// so entries computed with and without an index are interchangeable; it
   /// must be built over this cache's dataset with candidates->k() >= k.
+  /// `blocks` (may be null, must mirror this cache's dataset) routes
+  /// uncached full scans through the blocked scoring kernel — also
+  /// bit-identical, so all four miss paths fill interchangeable entries.
   std::vector<int32_t> TopKAt(size_t k, const geometry::Vec& angles,
                               Counters* counters,
-                              const CandidateIndex* candidates = nullptr);
+                              const CandidateIndex* candidates = nullptr,
+                              const data::ColumnBlocks* blocks = nullptr);
 
   /// Dataset this cache evaluates against (identity-checked by SolveMdrc).
   const data::Dataset* dataset() const { return &dataset_; }
@@ -157,7 +162,8 @@ class CornerTopKCache {
   };
 
   std::vector<int32_t> Evaluate(size_t k, const geometry::Vec& angles,
-                                const CandidateIndex* candidates) const;
+                                const CandidateIndex* candidates,
+                                const data::ColumnBlocks* blocks) const;
 
   const data::Dataset& dataset_;
   size_t per_shard_cap_;
@@ -192,13 +198,17 @@ class CornerTopKCache {
 /// the k-skyband candidate index (core/candidate_index.h) instead of a
 /// full-dataset scan; the representative and stats are bit-identical either
 /// way (the equivalence tests pin this). It must be built over `dataset`
-/// with candidates->k() >= min(k, n).
+/// with candidates->k() >= min(k, n). `blocks` (may be null, must mirror
+/// `dataset`) routes the remaining full-scan corner evaluations through the
+/// blocked scoring kernel — again bit-identical.
 Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
                                        const MdrcOptions& options = {},
                                        MdrcStats* stats = nullptr,
                                        const ExecContext& ctx = {},
                                        CornerTopKCache* corner_cache = nullptr,
                                        const CandidateIndex* candidates =
+                                           nullptr,
+                                       const data::ColumnBlocks* blocks =
                                            nullptr);
 
 }  // namespace core

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "geometry/convex_hull.h"
 #include "geometry/dominance.h"
+#include "topk/score_kernel.h"
 
 namespace rrr {
 namespace core {
@@ -40,6 +41,16 @@ Result<std::shared_ptr<const PreparedDataset>> PreparedDataset::Create(
       new PreparedDataset(std::move(dataset), options));
 }
 
+Result<std::shared_ptr<const data::ColumnBlocks>>
+PreparedDataset::SharedColumnBlocks(size_t threads, const ExecContext& ctx,
+                                    bool* cache_hit) const {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+  return column_blocks_.GetOrCompute(
+      ctx, cache_hit, [this, threads, &ctx]() {
+        return data::ColumnBlocks::Build(data_, threads, ctx);
+      });
+}
+
 Result<std::shared_ptr<const std::vector<int32_t>>>
 PreparedDataset::SharedSkyline(const ExecContext& ctx, bool* cache_hit) const {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
@@ -70,10 +81,40 @@ PreparedDataset::SharedConvexMaxima(size_t threads, const ExecContext& ctx,
         Result<data::Dataset> compact = data::Dataset::FromFlat(
             std::move(cells), sky->size(), data_.dims());
         RRR_CHECK(compact.ok()) << compact.status().ToString();
+        // Kernel pre-certification: a candidate that is the STRICT top-1 of
+        // some probe function — with a margin comfortably above the
+        // separation LP's tolerance after |w|_1 normalization — is a
+        // maximum by witness, so its LP is skipped. One blocked top-2 scan
+        // per probe (the d axes and the diagonal, the directions skyline
+        // winners concentrate on) over the compact mirror.
+        const size_t d = compact->dims();
+        data::ColumnBlocks compact_blocks;
+        RRR_ASSIGN_OR_RETURN(compact_blocks,
+                             data::ColumnBlocks::Build(*compact, threads,
+                                                       ctx));
+        std::vector<char> certified(compact->size(), 0);
+        constexpr double kCertifyMargin = 1e-4;  // LP tolerance is 1e-7
+        for (size_t probe = 0; probe <= d; ++probe) {
+          geometry::Vec w(d, probe == d ? 1.0 : 0.0);
+          double l1 = static_cast<double>(d);
+          if (probe < d) {
+            w[probe] = 1.0;
+            l1 = 1.0;
+          }
+          const topk::LinearFunction f(std::move(w));
+          const std::vector<int32_t> top2 =
+              topk::TopKScan(compact_blocks, f, 2);
+          const double s1 = f.Score(compact->row(static_cast<size_t>(top2[0])));
+          const double s2 = f.Score(compact->row(static_cast<size_t>(top2[1])));
+          if ((s1 - s2) / l1 > kCertifyMargin) {
+            certified[static_cast<size_t>(top2[0])] = 1;
+          }
+        }
         std::vector<int32_t> maxima;
         RRR_ASSIGN_OR_RETURN(
             maxima, geometry::ConvexMaxima(compact->flat(), compact->size(),
-                                           compact->dims(), threads));
+                                           compact->dims(), threads,
+                                           &certified));
         for (int32_t& id : maxima) id = (*sky)[static_cast<size_t>(id)];
         std::sort(maxima.begin(), maxima.end());
         return maxima;
@@ -87,8 +128,19 @@ Result<std::shared_ptr<const KSetSampleResult>> PreparedDataset::SharedKSets(
   const KSetKey key{k, options.seed, options.termination_count,
                     options.max_samples};
   return kset_cache_.GetOrCompute(
-      key, ctx, cache_hit, [this, k, &options, &ctx, candidates]() {
-        return SampleKSets(data_, k, options, ctx, candidates);
+      key, ctx, cache_hit,
+      [this, k, &options, &ctx,
+       candidates]() -> Result<KSetSampleResult> {
+        // The draws scan the full dataset only without an index and
+        // without the skyband prefilter's compaction; only then is the
+        // shared columnar mirror fetched (bit-identical collection either
+        // way — which is also why the mirror does not key the cache).
+        std::shared_ptr<const data::ColumnBlocks> blocks;
+        if (candidates == nullptr && !options.skyband_prefilter) {
+          RRR_ASSIGN_OR_RETURN(
+              blocks, SharedColumnBlocks(options.threads, ctx));
+        }
+        return SampleKSets(data_, k, options, ctx, candidates, blocks.get());
       });
 }
 
@@ -121,10 +173,16 @@ PreparedDataset::SharedCandidateIndex(size_t k, size_t threads,
             [this, kk, threads, &counts, &ctx]() -> Result<CandidateSlot> {
               CandidateIndexOptions build = options_.candidate;
               build.threads = threads != 0 ? threads : build.threads;
+              // The shared mirror feeds the build's sort-by-sum pass (and
+              // is cheap relative to the dominance count it precedes).
+              std::shared_ptr<const data::ColumnBlocks> blocks;
+              RRR_ASSIGN_OR_RETURN(blocks,
+                                   SharedColumnBlocks(threads, ctx));
               CandidateIndex::Outcome outcome;
               RRR_ASSIGN_OR_RETURN(
                   outcome, CandidateIndex::Create(data_, kk, build, ctx,
-                                                  counts.get()));
+                                                  counts.get(),
+                                                  blocks.get()));
               if (outcome.counts != nullptr) {
                 std::lock_guard<std::mutex> lock(candidate_counts_mu_);
                 if (kk > candidate_counts_.cap) {

@@ -16,6 +16,7 @@
 #include "core/kset_sampler.h"
 #include "core/mdrc.h"
 #include "core/sweep.h"
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 
 namespace rrr {
@@ -183,6 +184,17 @@ class PreparedDataset {
   /// Shared sweep artifacts; non-null iff dims() == 2.
   const AngularSweep* sweep() const { return sweep_.get(); }
 
+  /// \brief Shared columnar mirror of the dataset (data/column_blocks.h),
+  /// built lazily once — one O(n d) transpose — and handed by the engine to
+  /// every scoring hot path (corner top-k scans, sampler draws, endpoint
+  /// patches, evaluator rank scans) so they run through the blocked scoring
+  /// kernel (topk/score_kernel.h). Results are bit-identical with and
+  /// without the mirror; only throughput changes. `threads` fans the
+  /// transpose out on the first call.
+  Result<std::shared_ptr<const data::ColumnBlocks>> SharedColumnBlocks(
+      size_t threads = 0, const ExecContext& ctx = {},
+      bool* cache_hit = nullptr) const;
+
   /// Skyline ids (lazy, memoized; the prefilter for the convex-maxima
   /// solve and a useful standalone summary).
   Result<std::shared_ptr<const std::vector<int32_t>>> SharedSkyline(
@@ -273,6 +285,7 @@ class PreparedDataset {
   Options options_;
   std::unique_ptr<AngularSweep> sweep_;  // d == 2 only
   std::unique_ptr<CornerTopKCache> corner_cache_;
+  mutable internal::LazyCell<data::ColumnBlocks> column_blocks_;
   mutable internal::LazyCell<std::vector<int32_t>> skyline_;
   mutable internal::LazyCell<std::vector<int32_t>> convex_maxima_;
   mutable internal::KeyedLazyCache<KSetKey, KSetSampleResult, KSetKeyHash>

@@ -16,7 +16,8 @@ Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
                                         const Rrr2dOptions& options,
                                         const ExecContext& ctx,
                                         const AngularSweep* sweep,
-                                        const CandidateIndex* candidates) {
+                                        const CandidateIndex* candidates,
+                                        const data::ColumnBlocks* blocks) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   if (dataset.empty()) return Status::InvalidArgument("empty dataset");
   // NaN coordinates make the sweep comparators' ordering undefined (the
@@ -52,7 +53,7 @@ Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
     const topk::LinearFunction f(axis);
     const std::vector<int32_t> endpoint_topk =
         candidates != nullptr ? candidates->TopK(f, k)
-                              : topk::TopK(dataset, f, k);
+                              : topk::TopK(dataset, f, k, blocks);
     const bool hit = std::any_of(
         cover.begin(), cover.end(), [&](int32_t id) {
           return std::find(endpoint_topk.begin(), endpoint_topk.end(), id) !=

@@ -6,6 +6,7 @@
 
 #include "common/exec_context.h"
 #include "common/result.h"
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 #include "hitting/interval_cover.h"
 
@@ -38,13 +39,17 @@ struct Rrr2dOptions {
 /// AngularSweep over the same dataset (see FindRanges). `candidates` (may
 /// be null) runs the sweep and the endpoint top-k patches over the
 /// k-skyband — bit-identical output, O(band^2) instead of O(n^2) events
-/// (see FindRanges); takes precedence over `sweep`.
+/// (see FindRanges); takes precedence over `sweep`. `blocks` (may be null,
+/// must mirror `dataset`) routes the unpruned endpoint top-k patches
+/// through the blocked scoring kernel — bit-identical again.
 Result<std::vector<int32_t>> Solve2dRrr(const data::Dataset& dataset,
                                         size_t k,
                                         const Rrr2dOptions& options = {},
                                         const ExecContext& ctx = {},
                                         const AngularSweep* sweep = nullptr,
                                         const CandidateIndex* candidates =
+                                            nullptr,
+                                        const data::ColumnBlocks* blocks =
                                             nullptr);
 
 }  // namespace core

@@ -1,0 +1,50 @@
+#include "data/column_blocks.h"
+
+#include <atomic>
+
+#include "common/parallel.h"
+
+namespace rrr {
+namespace data {
+
+Result<ColumnBlocks> ColumnBlocks::Build(const Dataset& dataset,
+                                         size_t threads,
+                                         const ExecContext& ctx) {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+  const size_t n = dataset.size();
+  const size_t d = dataset.dims();
+  if (n == 0) return ColumnBlocks(&dataset, 0, d, 0, {});
+  const size_t num_blocks = (n + kBlockRows - 1) / kBlockRows;
+
+  std::vector<double> cells(num_blocks * d * kBlockRows, 0.0);
+  std::atomic<bool> preempted{false};
+  ParallelForChunked(
+      ResolveThreads(ctx.ThreadsOver(threads)), num_blocks, 8,
+      [&](size_t begin, size_t end) {
+        if (preempted.load(std::memory_order_relaxed)) return;
+        if (!ctx.CheckPreempted().ok()) {
+          preempted.store(true, std::memory_order_relaxed);
+          return;
+        }
+        for (size_t b = begin; b < end; ++b) {
+          double* out = cells.data() + b * d * kBlockRows;
+          const size_t rows =
+              b + 1 < num_blocks ? kBlockRows : n - b * kBlockRows;
+          for (size_t lane = 0; lane < rows; ++lane) {
+            const double* row = dataset.row(b * kBlockRows + lane);
+            for (size_t j = 0; j < d; ++j) {
+              out[j * kBlockRows + lane] = row[j];
+            }
+          }
+        }
+      });
+  if (preempted.load()) {
+    Status cause = ctx.CheckPreempted();
+    if (cause.ok()) cause = Status::Cancelled("column mirror build preempted");
+    return cause;
+  }
+  return ColumnBlocks(&dataset, n, d, num_blocks, std::move(cells));
+}
+
+}  // namespace data
+}  // namespace rrr

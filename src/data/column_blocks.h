@@ -1,0 +1,98 @@
+#ifndef RRR_DATA_COLUMN_BLOCKS_H_
+#define RRR_DATA_COLUMN_BLOCKS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rrr {
+namespace data {
+
+/// \brief Immutable column-major mirror of a Dataset, tiled in blocks of
+/// kBlockRows rows — the data layout behind topk/score_kernel.h.
+///
+/// The row-major Dataset is the canonical storage (algorithms that walk one
+/// tuple's attributes stay on it); ColumnBlocks is a derived, read-only view
+/// optimized for the opposite access pattern: evaluating one linear function
+/// over *many* tuples. Each block holds dims() columns of kBlockRows
+/// contiguous doubles, so a scoring kernel can vectorize across rows while
+/// accumulating each row's d terms in exactly the attribute order of the
+/// scalar loop — the layout is what makes the kernel's bit-identity
+/// contract cheap to keep.
+///
+/// The final block is zero-padded up to kBlockRows rows; consumers must use
+/// block_rows() to ignore the padding lanes (their scores are computed and
+/// discarded, never surfaced).
+///
+/// Build cost is one O(n d) transpose pass (parallel over blocks,
+/// ExecContext-cancellable); PreparedDataset builds the mirror lazily and
+/// shares it across every query. The source Dataset must outlive the mirror
+/// (block data is copied, but consumers identity-check source()).
+class ColumnBlocks {
+ public:
+  /// Rows per block. 64 keeps a block's column (512 bytes) a small whole
+  /// number of cache lines and a d <= 16 block inside L1.
+  static constexpr size_t kBlockRows = 64;
+
+  /// Builds the mirror. `threads` follows the library convention
+  /// (0 = hardware concurrency, 1 = serial; the mirror is identical for
+  /// every thread count); `ctx` can preempt the transpose with
+  /// Cancelled/DeadlineExceeded.
+  static Result<ColumnBlocks> Build(const Dataset& dataset,
+                                    size_t threads = 0,
+                                    const ExecContext& ctx = {});
+
+  ColumnBlocks() = default;
+
+  /// Mirrored (unpadded) row count — equals source()->size().
+  size_t rows() const { return n_; }
+  size_t dims() const { return d_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Number of kBlockRows-row tiles (ceil(rows / kBlockRows)).
+  size_t num_blocks() const { return num_blocks_; }
+
+  /// Valid rows in block `b`: kBlockRows except possibly for the last
+  /// block. Lanes >= block_rows(b) are zero padding.
+  size_t block_rows(size_t b) const {
+    return b + 1 < num_blocks_ ? kBlockRows : n_ - b * kBlockRows;
+  }
+
+  /// The dims() * kBlockRows doubles of block `b`; column j starts at
+  /// offset j * kBlockRows.
+  const double* block(size_t b) const {
+    return cells_.data() + b * d_ * kBlockRows;
+  }
+
+  /// Column j of block b (kBlockRows contiguous doubles, padded).
+  const double* column(size_t b, size_t j) const {
+    return block(b) + j * kBlockRows;
+  }
+
+  /// The dataset this mirror was built from (identity-checked by
+  /// consumers that take both).
+  const Dataset* source() const { return source_; }
+
+ private:
+  ColumnBlocks(const Dataset* source, size_t n, size_t d, size_t num_blocks,
+               std::vector<double> cells)
+      : source_(source),
+        n_(n),
+        d_(d),
+        num_blocks_(num_blocks),
+        cells_(std::move(cells)) {}
+
+  const Dataset* source_ = nullptr;
+  size_t n_ = 0;
+  size_t d_ = 0;
+  size_t num_blocks_ = 0;
+  std::vector<double> cells_;  // num_blocks_ * d_ * kBlockRows, zero padded
+};
+
+}  // namespace data
+}  // namespace rrr
+
+#endif  // RRR_DATA_COLUMN_BLOCKS_H_

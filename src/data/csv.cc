@@ -1,5 +1,6 @@
 #include "data/csv.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -78,11 +79,22 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
   if (!in.is_open()) {
     return Status::IoError("cannot open for reading: " + path);
   }
+  // File size for the cell-buffer reserve heuristic below. Non-seekable
+  // inputs (FIFOs, character devices) fail the probe: clear the stream
+  // state so parsing proceeds normally, just without a size estimate.
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_bytes = in.tellg();
+  if (in.good() && file_bytes > 0) {
+    in.seekg(0, std::ios::beg);
+  } else {
+    in.clear();
+  }
   std::string line;
   std::vector<std::string> names;
   size_t d = 0;
   bool first = true;
   std::vector<double> cells;
+  std::vector<double> row;  // hoisted: one buffer for every record
   size_t n = 0;
   size_t line_no = 0;
   // std::getline yields the final record whether or not the file ends with
@@ -117,7 +129,29 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
           StrFormat("line %zu: %zu fields, expected %zu", line_no,
                     fields.size(), d));
     }
-    std::vector<double> row;
+    if (cells.capacity() == 0 && d > 0 && file_bytes > 0) {
+      // Size the flat buffer once, from the first data record: estimated
+      // rows = file size / this record's byte length (+1 for the
+      // newline). Large ingests then grow the buffer zero or a few times
+      // instead of O(log n) reallocation-and-copy cycles. The estimate
+      // only reserves (never resizes), and is doubly capped so an
+      // atypically short first record cannot turn a long file into a
+      // multi-GB speculative allocation: by the content bound (a cell
+      // costs at least 2 file bytes — one character plus its separator)
+      // and by an absolute 1 << 25 cells (256 MiB of doubles), past which
+      // geometric growth is amortized anyway.
+      const size_t approx_row_bytes = record.size() + 1;
+      const size_t approx_rows =
+          static_cast<size_t>(file_bytes) / std::max<size_t>(1,
+                                                             approx_row_bytes);
+      const size_t cap_cells = std::min<size_t>(
+          size_t{1} << 25, static_cast<size_t>(file_bytes) / 2);
+      const size_t approx_cells = approx_rows >= cap_cells / d
+                                      ? cap_cells
+                                      : (approx_rows + 1) * d;
+      cells.reserve(std::min(approx_cells, cap_cells));
+    }
+    row.clear();
     row.reserve(d);
     bool bad = false;
     for (const auto& f : fields) {

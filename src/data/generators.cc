@@ -44,13 +44,13 @@ Dataset GenerateUniform(size_t n, size_t d, uint64_t seed) {
 Dataset GenerateCorrelated(size_t n, size_t d, uint64_t seed, double rho) {
   RRR_CHECK(rho >= 0.0 && rho <= 1.0) << "rho out of [0,1]: " << rho;
   Rng rng(seed);
-  std::vector<double> cells;
-  cells.reserve(n * d);
+  std::vector<double> cells(n * d);
   const double noise = 1.0 - rho;
   for (size_t i = 0; i < n; ++i) {
     const double level = rng.Uniform();
+    double* row = cells.data() + i * d;
     for (size_t j = 0; j < d; ++j) {
-      cells.push_back(Clamp01(rho * level + noise * rng.Uniform()));
+      row[j] = Clamp01(rho * level + noise * rng.Uniform());
     }
   }
   Result<Dataset> ds = Dataset::FromFlat(std::move(cells), n, d);
@@ -60,21 +60,22 @@ Dataset GenerateCorrelated(size_t n, size_t d, uint64_t seed, double rho) {
 
 Dataset GenerateAnticorrelated(size_t n, size_t d, uint64_t seed) {
   Rng rng(seed);
-  std::vector<double> cells;
-  cells.reserve(n * d);
-  std::vector<double> row(d);
+  // Rows are generated in place in the flat buffer (the two passes — draw,
+  // then shift onto the simplex — reuse the row slice, no temporaries).
+  std::vector<double> cells(n * d);
   for (size_t i = 0; i < n; ++i) {
     // Points concentrated near the plane sum(x) = d/2: good on some
     // attributes exactly when bad on others.
     const double target = 0.5 * static_cast<double>(d) +
                           rng.Gaussian(0.0, 0.05 * static_cast<double>(d));
+    double* row = cells.data() + i * d;
     double sum = 0.0;
     for (size_t j = 0; j < d; ++j) {
       row[j] = rng.Uniform();
       sum += row[j];
     }
     const double shift = (target - sum) / static_cast<double>(d);
-    for (size_t j = 0; j < d; ++j) cells.push_back(Clamp01(row[j] + shift));
+    for (size_t j = 0; j < d; ++j) row[j] = Clamp01(row[j] + shift);
   }
   Result<Dataset> ds = Dataset::FromFlat(std::move(cells), n, d);
   RRR_CHECK(ds.ok()) << ds.status().ToString();
@@ -84,17 +85,19 @@ Dataset GenerateAnticorrelated(size_t n, size_t d, uint64_t seed) {
 Dataset GenerateClustered(size_t n, size_t d, uint64_t seed, size_t clusters) {
   RRR_CHECK(clusters >= 1) << "clusters must be positive";
   Rng rng(seed);
-  std::vector<std::vector<double>> centers(clusters, std::vector<double>(d));
-  for (auto& c : centers) {
-    for (double& v : c) v = rng.Uniform(0.15, 0.85);
-  }
-  std::vector<double> cells;
-  cells.reserve(n * d);
+  // Flat center table (clusters x d, row-major) — same draw order as the
+  // old vector-of-vectors, without the per-center heap allocations.
+  std::vector<double> centers(clusters * d);
+  for (double& v : centers) v = rng.Uniform(0.15, 0.85);
+  std::vector<double> cells(n * d);
   for (size_t i = 0; i < n; ++i) {
-    const auto& c = centers[static_cast<size_t>(
-        rng.UniformInt(0, static_cast<int64_t>(clusters) - 1))];
+    const double* c = centers.data() +
+                      static_cast<size_t>(rng.UniformInt(
+                          0, static_cast<int64_t>(clusters) - 1)) *
+                          d;
+    double* row = cells.data() + i * d;
     for (size_t j = 0; j < d; ++j) {
-      cells.push_back(Clamp01(c[j] + rng.Gaussian(0.0, 0.08)));
+      row[j] = Clamp01(c[j] + rng.Gaussian(0.0, 0.08));
     }
   }
   Result<Dataset> ds = Dataset::FromFlat(std::move(cells), n, d);

@@ -20,7 +20,8 @@ Result<int64_t> ExactRankRegret2D(const data::Dataset& dataset,
 
 Result<RankRegretCertificate> ExactRankRegretWithinK(
     const data::Dataset& dataset, const std::vector<int32_t>& subset,
-    size_t k, size_t threads, const core::CandidateIndex* candidates) {
+    size_t k, size_t threads, const core::CandidateIndex* candidates,
+    const data::ColumnBlocks* blocks) {
   if (subset.empty()) return Status::InvalidArgument("empty subset");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   const size_t n = dataset.size();
@@ -40,7 +41,8 @@ Result<RankRegretCertificate> ExactRankRegretWithinK(
 
   core::KSetCollection ksets;
   RRR_ASSIGN_OR_RETURN(
-      ksets, core::EnumerateKSetsGraph(dataset, k, {}, {}, candidates));
+      ksets,
+      core::EnumerateKSetsGraph(dataset, k, {}, {}, candidates, blocks));
   const std::vector<core::KSet>& sets = ksets.sets();
 
   // Hit checks are independent per k-set; fan them out, then certify the
@@ -73,7 +75,7 @@ Result<RankRegretCertificate> ExactRankRegretWithinK(
     cert.within_k = false;
     cert.witness_weights = sep.weights;
     cert.witness_rank = topk::MinRankOfSubset(
-        dataset, topk::LinearFunction(sep.weights), subset);
+        dataset, topk::LinearFunction(sep.weights), subset, blocks);
     return cert;
   }
   cert.within_k = true;

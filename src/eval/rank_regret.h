@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 
 namespace rrr {
@@ -74,11 +75,15 @@ struct RankRegretCertificate {
 /// `candidates` (may be null) hands the underlying k-set enumeration the
 /// shared k-skyband index — e.g. PreparedDataset::SharedCandidateIndex(k)
 /// — shrinking its swap loops from n to the band with an identical
-/// certificate (see EnumerateKSetsGraph).
+/// certificate (see EnumerateKSetsGraph). `blocks` (may be null, must
+/// mirror `dataset` — e.g. PreparedDataset::SharedColumnBlocks()) routes
+/// the enumeration's seed scans and the witness rank scan through the
+/// blocked scoring kernel; identical certificate again.
 Result<RankRegretCertificate> ExactRankRegretWithinK(
     const data::Dataset& dataset, const std::vector<int32_t>& subset,
     size_t k, size_t threads = 0,
-    const core::CandidateIndex* candidates = nullptr);
+    const core::CandidateIndex* candidates = nullptr,
+    const data::ColumnBlocks* blocks = nullptr);
 
 }  // namespace eval
 }  // namespace rrr

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/random.h"
+#include "data/column_blocks.h"
+#include "topk/score_kernel.h"
 #include "topk/scoring.h"
 
 namespace rrr {
@@ -18,15 +21,18 @@ Result<double> SampledRegretRatio(const data::Dataset& dataset,
       return Status::OutOfRange("subset id out of range");
     }
   }
+  // One columnar mirror amortized over the num_functions max-score scans;
+  // the fold (0.0 floor over row maxima) matches the legacy loop exactly.
+  Result<data::ColumnBlocks> mirror = data::ColumnBlocks::Build(dataset, 1);
+  RRR_CHECK(mirror.ok()) << mirror.status().ToString();
+  const data::ColumnBlocks& blocks = *mirror;
+
   Rng rng(options.seed);
   double worst = 0.0;
   for (size_t s = 0; s < options.num_functions; ++s) {
     topk::LinearFunction f(
         rng.UnitWeightVector(static_cast<int>(dataset.dims())));
-    double best_all = 0.0;
-    for (size_t i = 0; i < dataset.size(); ++i) {
-      best_all = std::max(best_all, f.Score(dataset.row(i)));
-    }
+    const double best_all = std::max(0.0, topk::MaxScore(blocks, f));
     if (best_all <= 0.0) continue;
     double best_subset = 0.0;
     for (int32_t id : subset) {

@@ -66,16 +66,25 @@ std::vector<int32_t> ConvexHull2D(const double* rows, size_t n) {
 }
 
 Result<std::vector<int32_t>> ConvexMaxima(const double* rows, size_t n,
-                                          size_t d, size_t threads) {
+                                          size_t d, size_t threads,
+                                          const std::vector<char>* certified) {
   if (rows == nullptr) return Status::InvalidArgument("null rows");
+  if (certified != nullptr && certified->size() != n) {
+    return Status::InvalidArgument("certified mask size != n");
+  }
   std::vector<int32_t> maxima;
   if (n == 0) return maxima;
   if (n == 1) return std::vector<int32_t>{0};
   // One independent separation LP per candidate; flags keep the output in
   // ascending index order regardless of which thread ran which candidate.
+  // Caller-certified rows are maxima by witness and skip their LP.
   std::vector<char> is_maximum(n, 0);
   std::vector<Status> errors(n);
   ParallelFor(ResolveThreads(threads), n, [&](size_t i) {
+    if (certified != nullptr && (*certified)[i] != 0) {
+      is_maximum[i] = 1;
+      return;
+    }
     Result<lp::SeparationResult> sep = lp::FindSeparatingWeights(
         rows, n, d, {static_cast<int32_t>(i)});
     if (!sep.ok()) {

@@ -29,8 +29,17 @@ std::vector<int32_t> ConvexHull2D(const double* rows, size_t n);
 /// The per-candidate LPs are independent; `threads` fans them out (0 =
 /// hardware concurrency; the default 1 stays serial). Candidates are
 /// reported in ascending index order for every thread count.
+///
+/// `certified` (may be null, else size n) marks rows already proven to be
+/// maxima by the caller — e.g. a strict top-1 under some probe function
+/// with a margin above the LP tolerance, which the scoring kernel finds in
+/// one blocked scan (see PreparedDataset::SharedConvexMaxima). Certified
+/// rows skip their LP; the output is identical because their LP could only
+/// have confirmed what the witness already proves.
 Result<std::vector<int32_t>> ConvexMaxima(const double* rows, size_t n,
-                                          size_t d, size_t threads = 1);
+                                          size_t d, size_t threads = 1,
+                                          const std::vector<char>* certified =
+                                              nullptr);
 
 }  // namespace geometry
 }  // namespace rrr

@@ -1,48 +1,60 @@
 #include "topk/rank.h"
 
 #include "common/logging.h"
+#include "topk/score_kernel.h"
 
 namespace rrr {
 namespace topk {
 
-int64_t RankOf(const data::Dataset& dataset, const LinearFunction& f,
-               int32_t item) {
+namespace {
+
+/// Outrankers of (score, item) by legacy row loop (null blocks) or the
+/// blocked kernel. The count is a pure predicate fold, so the two paths
+/// agree exactly; row `item` never outranks its own pair, so neither path
+/// excludes it.
+int64_t OutrankerCount(const data::Dataset& dataset, const LinearFunction& f,
+                       double score, int32_t item,
+                       const data::ColumnBlocks* blocks) {
+  if (blocks != nullptr) {
+    RRR_DCHECK(blocks->source() == &dataset)
+        << "rank: blocks mirror a different dataset";
+    return CountOutranking(*blocks, f, score, item);
+  }
+  int64_t count = 0;
   const size_t n = dataset.size();
-  RRR_CHECK(item >= 0 && static_cast<size_t>(item) < n)
-      << "RankOf: item out of range";
-  const double s = f.Score(dataset.row(static_cast<size_t>(item)));
-  int64_t rank = 1;
   for (size_t j = 0; j < n; ++j) {
     const int32_t jj = static_cast<int32_t>(j);
-    if (jj == item) continue;
-    if (Outranks(f.Score(dataset.row(j)), jj, s, item)) ++rank;
+    if (Outranks(f.Score(dataset.row(j)), jj, score, item)) ++count;
   }
-  return rank;
+  return count;
+}
+
+}  // namespace
+
+int64_t RankOf(const data::Dataset& dataset, const LinearFunction& f,
+               int32_t item, const data::ColumnBlocks* blocks) {
+  RRR_CHECK(item >= 0 && static_cast<size_t>(item) < dataset.size())
+      << "RankOf: item out of range";
+  const double s = f.Score(dataset.row(static_cast<size_t>(item)));
+  return 1 + OutrankerCount(dataset, f, s, item, blocks);
 }
 
 int64_t MinRankOfSubset(const data::Dataset& dataset, const LinearFunction& f,
-                        const std::vector<int32_t>& subset) {
+                        const std::vector<int32_t>& subset,
+                        const data::ColumnBlocks* blocks) {
   RRR_CHECK(!subset.empty()) << "MinRankOfSubset: empty subset";
-  // Best member under the tie-broken order.
+  // Best member under the tie-broken order (subset-sized, stays row-wise).
   int32_t best = subset[0];
-  double best_score = f.Score(dataset, static_cast<size_t>(best));
+  double best_score = f.Score(dataset.row(static_cast<size_t>(best)));
   for (size_t i = 1; i < subset.size(); ++i) {
     const int32_t t = subset[i];
-    const double s = f.Score(dataset, static_cast<size_t>(t));
+    const double s = f.Score(dataset.row(static_cast<size_t>(t)));
     if (Outranks(s, t, best_score, best)) {
       best = t;
       best_score = s;
     }
   }
-  // Count tuples outranking the best member.
-  int64_t rank = 1;
-  const size_t n = dataset.size();
-  for (size_t j = 0; j < n; ++j) {
-    const int32_t jj = static_cast<int32_t>(j);
-    if (jj == best) continue;
-    if (Outranks(f.Score(dataset.row(j)), jj, best_score, best)) ++rank;
-  }
-  return rank;
+  return 1 + OutrankerCount(dataset, f, best_score, best, blocks);
 }
 
 }  // namespace topk

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 #include "topk/scoring.h"
 
@@ -11,14 +12,18 @@ namespace rrr {
 namespace topk {
 
 /// \brief Rank (1-based, 1 = best) of tuple `item` under `f`; the paper's
-/// nabla_f(t). O(n).
+/// nabla_f(t). O(n). `blocks` (may be null) must mirror `dataset`; when
+/// present the outranker count runs through the blocked scoring kernel —
+/// bit-identical rank.
 int64_t RankOf(const data::Dataset& dataset, const LinearFunction& f,
-               int32_t item);
+               int32_t item, const data::ColumnBlocks* blocks = nullptr);
 
 /// \brief Minimum rank over `subset` under `f`; the paper's RR_f(X)
-/// (Definition 1). Requires a non-empty subset. O(n + |subset|).
+/// (Definition 1). Requires a non-empty subset. O(n + |subset|); the O(n)
+/// count goes through the kernel when `blocks` is supplied.
 int64_t MinRankOfSubset(const data::Dataset& dataset, const LinearFunction& f,
-                        const std::vector<int32_t>& subset);
+                        const std::vector<int32_t>& subset,
+                        const data::ColumnBlocks* blocks = nullptr);
 
 }  // namespace topk
 }  // namespace rrr

@@ -1,0 +1,253 @@
+#include "topk/score_kernel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define RRR_SCORE_KERNEL_X86 1
+#include <immintrin.h>
+#endif
+
+namespace rrr {
+namespace topk {
+
+namespace {
+
+constexpr size_t kBlockRows = data::ColumnBlocks::kBlockRows;
+
+#ifdef RRR_SCORE_KERNEL_X86
+/// AVX2 block scorer. Compiled with a per-function target attribute so the
+/// translation unit itself stays baseline x86-64; only executed after the
+/// runtime __builtin_cpu_supports check below. Uses explicit mul then add —
+/// never vfmadd — so each lane's rounding sequence matches the scalar loop
+/// exactly (the kernel's bit-identity contract).
+__attribute__((target("avx2"))) void ScoreBlockAvx2(const double* weights,
+                                                    size_t d,
+                                                    const double* cols,
+                                                    double* out) {
+  // Half a block (32 lanes) per round: 8 live accumulators fit the 16-ymm
+  // register file with room for the broadcast weight and the column load,
+  // the weight is broadcast once per column (not once per lane chunk), and
+  // each column is consumed as one 256-byte contiguous stream. Per lane the
+  // operation sequence is acc += w[j] * col[lane] in ascending j with
+  // separate mul and add roundings — bit-identical to the scalar loop.
+  for (size_t half = 0; half < kBlockRows; half += 32) {
+    __m256d acc[8];
+    for (int i = 0; i < 8; ++i) acc[i] = _mm256_setzero_pd();
+    for (size_t j = 0; j < d; ++j) {
+      const __m256d wj = _mm256_set1_pd(weights[j]);
+      const double* col = cols + j * kBlockRows + half;
+      for (int i = 0; i < 8; ++i) {
+        acc[i] = _mm256_add_pd(
+            acc[i], _mm256_mul_pd(wj, _mm256_loadu_pd(col + 4 * i)));
+      }
+    }
+    for (int i = 0; i < 8; ++i) {
+      _mm256_storeu_pd(out + half + 4 * i, acc[i]);
+    }
+  }
+}
+#endif  // RRR_SCORE_KERNEL_X86
+
+/// True when the dispatched path should be SIMD: host support AND no
+/// RRR_SCORE_KERNEL=scalar override (read once; the choice never changes
+/// mid-process, so consumers see one consistent — and in every case
+/// bit-identical — path).
+bool UseSimd() {
+  static const bool use = [] {
+#ifdef RRR_SCORE_KERNEL_X86
+    const char* force = std::getenv("RRR_SCORE_KERNEL");
+    if (force != nullptr && std::strcmp(force, "scalar") == 0) return false;
+    return static_cast<bool>(__builtin_cpu_supports("avx2"));
+#else
+    return false;
+#endif
+  }();
+  return use;
+}
+
+}  // namespace
+
+ScoreKernelPath ActiveScoreKernelPath() {
+  return UseSimd() ? ScoreKernelPath::kAvx2 : ScoreKernelPath::kScalarBlocked;
+}
+
+const char* ScoreKernelPathName(ScoreKernelPath path) {
+  switch (path) {
+    case ScoreKernelPath::kScalarBlocked:
+      return "scalar-blocked";
+    case ScoreKernelPath::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void ScoreBlockScalar(const double* weights, size_t d, const double* cols,
+                      double* out) {
+  // Per-lane accumulation in ascending j — the exact operation sequence of
+  // LinearFunction::Score (0.0 seed included, so a -0.0 first term rounds
+  // the same way). The lane loop is what the compiler vectorizes.
+  for (size_t lane = 0; lane < kBlockRows; ++lane) out[lane] = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double w = weights[j];
+    const double* col = cols + j * kBlockRows;
+    for (size_t lane = 0; lane < kBlockRows; ++lane) {
+      out[lane] += w * col[lane];
+    }
+  }
+}
+
+bool ScoreBlockSimd(const double* weights, size_t d, const double* cols,
+                    double* out) {
+#ifdef RRR_SCORE_KERNEL_X86
+  if (!__builtin_cpu_supports("avx2")) return false;
+  ScoreBlockAvx2(weights, d, cols, out);
+  return true;
+#else
+  (void)weights;
+  (void)d;
+  (void)cols;
+  (void)out;
+  return false;
+#endif
+}
+
+void ScoreBlock(const double* weights, size_t d, const double* cols,
+                double* out) {
+#ifdef RRR_SCORE_KERNEL_X86
+  if (UseSimd()) {
+    ScoreBlockAvx2(weights, d, cols, out);
+    return;
+  }
+#endif
+  ScoreBlockScalar(weights, d, cols, out);
+}
+
+void ScoreAll(const LinearFunction& f, const data::ColumnBlocks& blocks,
+              double* out) {
+  RRR_DCHECK(f.dims() == blocks.dims()) << "ScoreAll: dimension mismatch";
+  const double* w = f.weights().data();
+  const size_t d = blocks.dims();
+  const size_t num_blocks = blocks.num_blocks();
+  double buf[kBlockRows];
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t rows = blocks.block_rows(b);
+    if (rows == kBlockRows) {
+      ScoreBlock(w, d, blocks.block(b), out + b * kBlockRows);
+    } else {
+      ScoreBlock(w, d, blocks.block(b), buf);
+      std::copy(buf, buf + rows, out + b * kBlockRows);
+    }
+  }
+}
+
+std::vector<int32_t> TopKScan(const data::ColumnBlocks& blocks,
+                              const LinearFunction& f, size_t k) {
+  RRR_DCHECK(f.dims() == blocks.dims()) << "TopKScan: dimension mismatch";
+  const size_t n = blocks.rows();
+  k = std::min(k, n);
+  if (k == 0) return {};
+  const double* w = f.weights().data();
+  const size_t d = blocks.dims();
+
+  // Same bounded heap as the Threshold Algorithm's candidate set: min-heap
+  // on "goodness", weakest of the current top-k on top. The total order is
+  // strict (Outranks), so any correct selection yields the same ids — and
+  // the final extraction sorts them into the same best-first order as
+  // topk::TopK.
+  struct Entry {
+    double score;
+    int32_t id;
+  };
+  auto worse = [](const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> best(worse);
+
+  double buf[kBlockRows];
+  const size_t num_blocks = blocks.num_blocks();
+  for (size_t b = 0; b < num_blocks; ++b) {
+    ScoreBlock(w, d, blocks.block(b), buf);
+    const size_t rows = blocks.block_rows(b);
+    const int32_t base = static_cast<int32_t>(b * kBlockRows);
+    for (size_t lane = 0; lane < rows; ++lane) {
+      const double score = buf[lane];
+      const int32_t id = base + static_cast<int32_t>(lane);
+      if (best.size() < k) {
+        best.push(Entry{score, id});
+      } else if (Outranks(score, id, best.top().score, best.top().id)) {
+        best.pop();
+        best.push(Entry{score, id});
+      }
+    }
+  }
+
+  std::vector<int32_t> out(best.size());
+  for (size_t i = out.size(); i-- > 0;) {
+    out[i] = best.top().id;
+    best.pop();
+  }
+  return out;
+}
+
+double MaxScore(const data::ColumnBlocks& blocks, const LinearFunction& f) {
+  RRR_DCHECK(f.dims() == blocks.dims()) << "MaxScore: dimension mismatch";
+  RRR_CHECK(blocks.rows() > 0) << "MaxScore: empty mirror";
+  const double* w = f.weights().data();
+  const size_t d = blocks.dims();
+  double buf[kBlockRows];
+  // Padding lanes score 0.0 and all-negative data would let them win, so
+  // the fold honors block_rows everywhere. The -infinity seed with a
+  // strict > makes the fold NaN-robust exactly like a std::max chain: a
+  // NaN score never wins a comparison, so unvalidated callers (the eval
+  // metrics pre-date finiteness checks) see the max of the comparable
+  // scores — bit-identical to their legacy row loops — instead of a
+  // poisoned max. All-NaN input yields -infinity.
+  double best = -std::numeric_limits<double>::infinity();
+  const size_t num_blocks = blocks.num_blocks();
+  for (size_t b = 0; b < num_blocks; ++b) {
+    ScoreBlock(w, d, blocks.block(b), buf);
+    const size_t rows = blocks.block_rows(b);
+    for (size_t lane = 0; lane < rows; ++lane) {
+      if (buf[lane] > best) best = buf[lane];
+    }
+  }
+  return best;
+}
+
+int64_t CountOutranking(const data::ColumnBlocks& blocks,
+                        const LinearFunction& f, double score, int32_t id) {
+  RRR_DCHECK(f.dims() == blocks.dims())
+      << "CountOutranking: dimension mismatch";
+  const double* w = f.weights().data();
+  const size_t d = blocks.dims();
+  double buf[kBlockRows];
+  int64_t count = 0;
+  const size_t num_blocks = blocks.num_blocks();
+  for (size_t b = 0; b < num_blocks; ++b) {
+    ScoreBlock(w, d, blocks.block(b), buf);
+    const size_t rows = blocks.block_rows(b);
+    const int32_t base = static_cast<int32_t>(b * kBlockRows);
+    for (size_t lane = 0; lane < rows; ++lane) {
+      const double s = buf[lane];
+      // Outranks(s, base + lane, score, id), branch-light: the strict
+      // score comparison almost always decides.
+      if (s > score) {
+        ++count;
+      } else if (s == score && base + static_cast<int32_t>(lane) < id) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace topk
+}  // namespace rrr

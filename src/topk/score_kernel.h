@@ -1,0 +1,96 @@
+#ifndef RRR_TOPK_SCORE_KERNEL_H_
+#define RRR_TOPK_SCORE_KERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/column_blocks.h"
+#include "topk/scoring.h"
+
+namespace rrr {
+namespace topk {
+
+/// \brief Blocked columnar scoring kernel: the one vectorizable data path
+/// under every solver's "evaluate a linear function over many tuples" loop.
+///
+/// All entry points score whole data::ColumnBlocks tiles at a time,
+/// vectorizing ACROSS rows (one lane per row) while accumulating each row's
+/// d terms in ascending attribute order — exactly the order of
+/// LinearFunction::Score's scalar loop. Multiplications and additions are
+/// never fused (the build sets -ffp-contract=off, and the SIMD path uses
+/// explicit mul+add, not FMA), so every path — scalar row loop, blocked
+/// scalar, SIMD — produces bit-identical scores. Consumers may therefore
+/// switch freely between paths without tolerance-based comparisons; the
+/// contract is pinned by tests/topk/score_kernel_test.cc.
+///
+/// Dispatch: ScoreBlock picks the widest path the host CPU supports at
+/// runtime (AVX2 on x86-64 when available; set RRR_SCORE_KERNEL=scalar in
+/// the environment to force the blocked-scalar reference path). Building
+/// with -DRRR_NATIVE=ON additionally lets the compiler autovectorize the
+/// scalar-blocked loop for the build host; the dispatched results are
+/// identical either way.
+
+/// Which inner path ScoreBlock dispatches to on this host/build.
+enum class ScoreKernelPath {
+  kScalarBlocked,  ///< autovectorizable scalar loop over the block lanes
+  kAvx2,           ///< 4-wide AVX2 doubles, explicit mul+add (no FMA)
+};
+
+/// The dispatched path (after the RRR_SCORE_KERNEL env override).
+ScoreKernelPath ActiveScoreKernelPath();
+
+/// Stable lowercase name for bench/diagnostic output ("scalar-blocked",
+/// "avx2").
+const char* ScoreKernelPathName(ScoreKernelPath path);
+
+/// \brief Scores one block: out[lane] = sum_j weights[j] * cols[j * 64 +
+/// lane] for all data::ColumnBlocks::kBlockRows lanes, j ascending.
+///
+/// `cols` is ColumnBlocks::block(b) (d columns of kBlockRows doubles);
+/// `out` receives kBlockRows scores, padding lanes included (callers
+/// discard them via block_rows). Reference scalar path; always available.
+void ScoreBlockScalar(const double* weights, size_t d, const double* cols,
+                      double* out);
+
+/// SIMD ScoreBlock; returns false (out untouched) when the CPU or build
+/// lacks the vector path. Bit-identical to ScoreBlockScalar when it runs.
+bool ScoreBlockSimd(const double* weights, size_t d, const double* cols,
+                    double* out);
+
+/// Runtime-dispatched ScoreBlock (SIMD when available, scalar otherwise).
+void ScoreBlock(const double* weights, size_t d, const double* cols,
+                double* out);
+
+/// Scores every mirrored row: out[i] = f.Score(row i) for i in
+/// [0, blocks.rows()), bit-identically.
+void ScoreAll(const LinearFunction& f, const data::ColumnBlocks& blocks,
+              double* out);
+
+/// \brief Fused scoring + top-k selection over the mirror: bit-identical
+/// ids, in bit-identical order, to topk::TopK(*blocks.source(), f, k) —
+/// score descending, ties by ascending id. k is clamped to blocks.rows().
+///
+/// One pass: each block is scored into a stack buffer and folded into a
+/// bounded heap, so no O(n) score materialization and no O(n) index sort.
+std::vector<int32_t> TopKScan(const data::ColumnBlocks& blocks,
+                              const LinearFunction& f, size_t k);
+
+/// Maximum score over all mirrored rows (== max_i f.Score(row i); the
+/// regret-ratio evaluators' full-scan numerator). Requires rows() > 0.
+/// NaN scores never win the fold (std::max-chain semantics, matching the
+/// legacy row loops on unvalidated data); all-NaN input yields -infinity.
+double MaxScore(const data::ColumnBlocks& blocks, const LinearFunction& f);
+
+/// \brief Rows outranking reference (score, id) under the library tie
+/// order: |{ j : Outranks(f.Score(row j), j, score, id) }|.
+///
+/// The rank primitive: RankOf(item) == 1 + CountOutranking(f.Score(item),
+/// item) (row `id` itself never outranks its own (score, id) pair, so it
+/// needs no exclusion).
+int64_t CountOutranking(const data::ColumnBlocks& blocks,
+                        const LinearFunction& f, double score, int32_t id);
+
+}  // namespace topk
+}  // namespace rrr
+
+#endif  // RRR_TOPK_SCORE_KERNEL_H_

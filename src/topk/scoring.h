@@ -25,6 +25,14 @@ class LinearFunction {
   double Score(const double* row) const;
 
   /// Score of row i of `dataset` (dimensions must match).
+  ///
+  /// Convenience for user code, examples, and one-off lookups ONLY. Library
+  /// hot loops must not call this (or Score(row)) per tuple of a full scan:
+  /// every scan-shaped loop goes through the blocked columnar kernel
+  /// (topk/score_kernel.h — ScoreAll / TopKScan / CountOutranking), which
+  /// is bit-identical and vectorizes across rows. The in-tree call sites
+  /// are grep-audited to subset-sized or random-access loops; new solvers
+  /// that scan n rows through this API will be bounced in review.
   double Score(const data::Dataset& dataset, size_t i) const;
 
   size_t dims() const { return weights_.size(); }

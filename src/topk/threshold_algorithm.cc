@@ -5,9 +5,22 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "topk/score_kernel.h"
 
 namespace rrr {
 namespace topk {
+
+namespace {
+
+/// k at or above n / kDenseScanFraction answers via the blocked kernel
+/// scan when a mirror is available: TA's stopping rule cannot fire before
+/// depth ~ k on any data, so a query returning a quarter of the dataset
+/// pays the full sorted-access overhead (per-id seen-marking, random
+/// lookups) on top of an effectively complete scan. Results are
+/// bit-identical on both sides of the threshold.
+constexpr size_t kDenseScanFraction = 4;
+
+}  // namespace
 
 ThresholdAlgorithmIndex::ScratchLease::ScratchLease(
     const ThresholdAlgorithmIndex* index)
@@ -34,8 +47,11 @@ ThresholdAlgorithmIndex::ScratchLease::~ScratchLease() {
   index_->scratch_pool_.push_back(std::move(scratch_));
 }
 
-ThresholdAlgorithmIndex::ThresholdAlgorithmIndex(const data::Dataset& dataset)
-    : dataset_(dataset) {
+ThresholdAlgorithmIndex::ThresholdAlgorithmIndex(
+    const data::Dataset& dataset, const data::ColumnBlocks* blocks)
+    : dataset_(dataset), blocks_(blocks) {
+  RRR_CHECK(blocks == nullptr || blocks->source() == &dataset)
+      << "TA: blocks mirror a different dataset";
   const size_t n = dataset.size();
   const size_t d = dataset.dims();
   columns_.resize(d);
@@ -61,6 +77,13 @@ std::vector<int32_t> ThresholdAlgorithmIndex::TopK(const LinearFunction& f,
   if (k == 0) {
     last_scan_depth_.store(0, std::memory_order_relaxed);
     return {};
+  }
+  if (blocks_ != nullptr && k * kDenseScanFraction >= n) {
+    // Dense query: skip sorted access entirely and run the fused blocked
+    // scan (bit-identical output). Reported as a degenerated-to-full-scan
+    // query, which is exactly what it is.
+    last_scan_depth_.store(n * d, std::memory_order_relaxed);
+    return TopKScan(*blocks_, f, k);
   }
 
   // Candidate heap keeps the best k seen so far; worst on top.

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "data/column_blocks.h"
 #include "data/dataset.h"
 #include "topk/scoring.h"
 
@@ -30,7 +31,13 @@ namespace topk {
 class ThresholdAlgorithmIndex {
  public:
   /// Builds the sorted-access index. The dataset must outlive the index.
-  explicit ThresholdAlgorithmIndex(const data::Dataset& dataset);
+  /// `blocks` (may be null) is the dataset's columnar mirror
+  /// (data/column_blocks.h, must outlive the index too): queries whose k is
+  /// a large fraction of n — where sorted access degenerates toward a full
+  /// scan anyway — are then answered by the blocked scoring kernel's fused
+  /// scan instead, bit-identically (see TopK).
+  explicit ThresholdAlgorithmIndex(const data::Dataset& dataset,
+                                   const data::ColumnBlocks* blocks = nullptr);
 
   /// Ids of the top-k tuples under `f`, best first.
   std::vector<int32_t> TopK(const LinearFunction& f, size_t k) const;
@@ -84,6 +91,9 @@ class ThresholdAlgorithmIndex {
   };
 
   const data::Dataset& dataset_;
+  /// Columnar mirror for the dense-scan escape; may be null (sorted access
+  /// then answers every query, including degenerate ones).
+  const data::ColumnBlocks* blocks_;
   /// columns_[j] holds tuple ids sorted by attribute j descending
   /// (ties by id ascending, consistent with the library order).
   std::vector<std::vector<int32_t>> columns_;

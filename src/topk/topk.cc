@@ -3,11 +3,23 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/logging.h"
+#include "topk/score_kernel.h"
+
 namespace rrr {
 namespace topk {
 
 std::vector<int32_t> TopK(const data::Dataset& dataset,
-                          const LinearFunction& f, size_t k) {
+                          const LinearFunction& f, size_t k,
+                          const data::ColumnBlocks* blocks) {
+  if (blocks != nullptr) {
+    RRR_DCHECK(blocks->source() == &dataset)
+        << "TopK: blocks mirror a different dataset";
+    RRR_DCHECK(blocks->rows() == dataset.size() &&
+               blocks->dims() == dataset.dims())
+        << "TopK: stale column mirror";
+    return TopKScan(*blocks, f, k);
+  }
   const size_t n = dataset.size();
   k = std::min(k, n);
   if (k == 0) return {};
@@ -29,8 +41,9 @@ std::vector<int32_t> TopK(const data::Dataset& dataset,
 }
 
 std::vector<int32_t> TopKSet(const data::Dataset& dataset,
-                             const LinearFunction& f, size_t k) {
-  std::vector<int32_t> ids = TopK(dataset, f, k);
+                             const LinearFunction& f, size_t k,
+                             const data::ColumnBlocks* blocks) {
+  std::vector<int32_t> ids = TopK(dataset, f, k, blocks);
   std::sort(ids.begin(), ids.end());
   return ids;
 }

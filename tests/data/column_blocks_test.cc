@@ -1,0 +1,98 @@
+// ColumnBlocks is the data layout under the blocked scoring kernel; these
+// tests pin the transpose itself: cell placement, tail-block zero padding,
+// thread-count invariance of the build, and ExecContext preemption.
+#include "data/column_blocks.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "data/generators.h"
+
+namespace rrr {
+namespace data {
+namespace {
+
+TEST(ColumnBlocksTest, MirrorsEveryCell) {
+  const Dataset ds = GenerateUniform(257, 5, 11);  // deliberately != 64k
+  Result<ColumnBlocks> built = ColumnBlocks::Build(ds, 1);
+  ASSERT_TRUE(built.ok());
+  const ColumnBlocks& blocks = *built;
+  EXPECT_EQ(blocks.rows(), ds.size());
+  EXPECT_EQ(blocks.dims(), ds.dims());
+  EXPECT_EQ(blocks.source(), &ds);
+  EXPECT_EQ(blocks.num_blocks(),
+            (ds.size() + ColumnBlocks::kBlockRows - 1) /
+                ColumnBlocks::kBlockRows);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const size_t b = i / ColumnBlocks::kBlockRows;
+    const size_t lane = i % ColumnBlocks::kBlockRows;
+    for (size_t j = 0; j < ds.dims(); ++j) {
+      EXPECT_EQ(blocks.column(b, j)[lane], ds.at(i, j))
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(ColumnBlocksTest, TailBlockIsZeroPadded) {
+  const Dataset ds = GenerateUniform(70, 3, 5);  // one full block + 6 rows
+  Result<ColumnBlocks> built = ColumnBlocks::Build(ds, 1);
+  ASSERT_TRUE(built.ok());
+  const ColumnBlocks& blocks = *built;
+  ASSERT_EQ(blocks.num_blocks(), 2u);
+  EXPECT_EQ(blocks.block_rows(0), ColumnBlocks::kBlockRows);
+  EXPECT_EQ(blocks.block_rows(1), 6u);
+  for (size_t j = 0; j < ds.dims(); ++j) {
+    const double* col = blocks.column(1, j);
+    for (size_t lane = blocks.block_rows(1);
+         lane < ColumnBlocks::kBlockRows; ++lane) {
+      EXPECT_EQ(col[lane], 0.0);
+    }
+  }
+}
+
+TEST(ColumnBlocksTest, BuildIsThreadCountInvariant) {
+  const Dataset ds = GenerateCorrelated(1000, 4, 3, 0.7);
+  Result<ColumnBlocks> serial = ColumnBlocks::Build(ds, 1);
+  Result<ColumnBlocks> parallel = ColumnBlocks::Build(ds, 4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->num_blocks(), parallel->num_blocks());
+  const size_t block_doubles = ds.dims() * ColumnBlocks::kBlockRows;
+  for (size_t b = 0; b < serial->num_blocks(); ++b) {
+    EXPECT_EQ(std::memcmp(serial->block(b), parallel->block(b),
+                          block_doubles * sizeof(double)),
+              0)
+        << "block " << b;
+  }
+}
+
+TEST(ColumnBlocksTest, EmptyDataset) {
+  const Dataset empty;
+  Result<ColumnBlocks> built = ColumnBlocks::Build(empty, 1);
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->empty());
+  EXPECT_EQ(built->num_blocks(), 0u);
+}
+
+TEST(ColumnBlocksTest, BuildHonorsCancellation) {
+  const Dataset ds = GenerateUniform(10000, 4, 9);
+  CancellationSource source;
+  source.RequestCancel();
+  ExecContext ctx;
+  ctx.cancel = source.token();
+  Result<ColumnBlocks> built = ColumnBlocks::Build(ds, 2, ctx);
+  EXPECT_EQ(built.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ColumnBlocksTest, BuildHonorsDeadline) {
+  const Dataset ds = GenerateUniform(1000, 3, 9);
+  ExecContext ctx;
+  ctx.deadline = Deadline::After(-1.0);  // already expired
+  Result<ColumnBlocks> built = ColumnBlocks::Build(ds, 1, ctx);
+  EXPECT_EQ(built.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace rrr
