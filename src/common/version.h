@@ -1,0 +1,54 @@
+#ifndef RRR_COMMON_VERSION_H_
+#define RRR_COMMON_VERSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rrr {
+
+/// \brief Identity token of one immutable dataset version.
+///
+/// A version names a specific row-state of a dataset: `origin` identifies
+/// the lineage (one DynamicDataset, or one standalone PreparedDataset) and
+/// `ordinal` counts the updates applied within it. Two PreparedDatasets
+/// share a token iff they hold bit-identical rows produced by the same
+/// update history, which is what makes the token a sound memo key: any
+/// cache entry keyed by a DatasetVersion can never serve a result computed
+/// against different data ("a memo hit from a previous version is a bug,
+/// not a cache win").
+///
+/// Tokens are assigned, never reused: every origin comes from a
+/// process-wide atomic counter, and ordinals only grow within an origin.
+/// The zero token (origin == 0) is reserved for "unversioned" — it never
+/// equals an assigned token.
+struct DatasetVersion {
+  uint64_t origin = 0;
+  uint64_t ordinal = 0;
+
+  bool assigned() const { return origin != 0; }
+
+  bool operator==(const DatasetVersion& other) const {
+    return origin == other.origin && ordinal == other.ordinal;
+  }
+  bool operator!=(const DatasetVersion& other) const {
+    return !(*this == other);
+  }
+
+  /// "v<origin>.<ordinal>", or "v-unversioned" for the zero token.
+  std::string ToString() const {
+    if (!assigned()) return "v-unversioned";
+    return "v" + std::to_string(origin) + "." + std::to_string(ordinal);
+  }
+};
+
+/// Fresh lineage: a token with a never-before-seen origin, ordinal 0.
+/// Thread-safe; every call returns a distinct origin.
+inline DatasetVersion NewDatasetOrigin() {
+  static std::atomic<uint64_t> next{1};
+  return DatasetVersion{next.fetch_add(1, std::memory_order_relaxed), 0};
+}
+
+}  // namespace rrr
+
+#endif  // RRR_COMMON_VERSION_H_

@@ -13,12 +13,6 @@
 namespace rrr {
 namespace core {
 
-namespace {
-
-/// True when row j beats row i under EVERY non-negative, not-all-zero
-/// weight vector with the (score desc, id asc) tie order: strict coordinate
-/// dominance, or weak dominance with the smaller id (covers exact
-/// duplicates and zero-weight corner functions — see the header).
 bool AlwaysOutranks(const double* j_row, int32_t j, const double* i_row,
                     int32_t i, size_t d) {
   bool all_strict = true;
@@ -28,6 +22,8 @@ bool AlwaysOutranks(const double* j_row, int32_t j, const double* i_row,
   }
   return all_strict || j < i;
 }
+
+namespace {
 
 /// Rows ordered by (coordinate sum desc, id asc). Any always-outranker of a
 /// row precedes it in this order: strict dominance implies a strictly

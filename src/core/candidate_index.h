@@ -57,6 +57,19 @@ struct CandidateIndexOptions {
   size_t budget_slack_per_tuple = 2048;
 };
 
+/// \brief The always-outranks predicate under the library tie order: true
+/// when row j beats row i under EVERY non-negative, not-all-zero weight
+/// vector — strict coordinate dominance, or weak dominance with j's id
+/// smaller (covers exact duplicates and zero-weight corner functions; see
+/// the CandidateIndex class comment).
+///
+/// Exported as the shared primitive of k-skyband maintenance: Create's
+/// dominance count uses it, and the dynamic-update layer
+/// (core/dataset_updates.h) applies it pairwise to keep always-outranker
+/// counts exact across inserts and deletes without a full recount.
+bool AlwaysOutranks(const double* j_row, int32_t j, const double* i_row,
+                    int32_t i, size_t d);
+
 /// \brief k-skyband candidate-pruning layer: the set of tuples that can
 /// appear in the top-k of *some* non-negative linear ranking function,
 /// materialized as a compact dataset + Threshold Algorithm index so every

@@ -36,18 +36,22 @@ std::string Diagnostics::ToString() const {
                      skyband_scan_rows_saved);
   }
   if (columnar_kernel) out += " kernel=columnar";
+  if (dataset_version.assigned()) out += " " + dataset_version.ToString();
   return out;
 }
 
 size_t RrrEngine::ResultKeyHash::operator()(const ResultKey& key) const {
-  uint64_t h = FnvMix(kFnvOffsetBasis, key.k);
+  uint64_t h = FnvMix(kFnvOffsetBasis, key.version.origin);
+  h = FnvMix(h, key.version.ordinal);
+  h = FnvMix(h, key.k);
   h = FnvMix(h, static_cast<uint64_t>(key.algorithm));
   return static_cast<size_t>(h);
 }
 
 RrrEngine::RrrEngine(std::shared_ptr<const PreparedDataset> prepared,
-                     EngineOptions options)
+                     SnapshotFn source, EngineOptions options)
     : prepared_(std::move(prepared)),
+      snapshot_source_(std::move(source)),
       options_(std::move(options)),
       result_cache_(options_.max_result_cache_entries) {}
 
@@ -66,24 +70,48 @@ Result<std::shared_ptr<RrrEngine>> RrrEngine::Create(
   }
   // Not make_shared: the constructor is private.
   return std::shared_ptr<RrrEngine>(
-      new RrrEngine(std::move(prepared), std::move(options)));
+      new RrrEngine(std::move(prepared), nullptr, std::move(options)));
 }
 
-Result<Algorithm> RrrEngine::ResolveAlgorithm(size_t k,
+Result<std::shared_ptr<RrrEngine>> RrrEngine::CreateDynamic(
+    SnapshotFn source, EngineOptions options) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("null snapshot source");
+  }
+  std::shared_ptr<const PreparedDataset> initial = source();
+  if (initial == nullptr) {
+    return Status::InvalidArgument("snapshot source returned null");
+  }
+  return std::shared_ptr<RrrEngine>(new RrrEngine(
+      std::move(initial), std::move(source), std::move(options)));
+}
+
+std::shared_ptr<const PreparedDataset> RrrEngine::ResolveSnapshot(
+    const QueryOptions& query) const {
+  if (query.snapshot != nullptr) return query.snapshot;
+  if (snapshot_source_ != nullptr) {
+    std::shared_ptr<const PreparedDataset> current = snapshot_source_();
+    if (current != nullptr) return current;
+  }
+  return prepared_;
+}
+
+Result<Algorithm> RrrEngine::ResolveAlgorithm(const PreparedDataset& prepared,
+                                              size_t k,
                                               const QueryOptions& query) const {
   Algorithm algorithm = query.algorithm != Algorithm::kAuto
                             ? query.algorithm
                             : options_.defaults.algorithm;
   if (algorithm == Algorithm::kAuto) {
-    if (prepared_->dims() == 2) {
+    if (prepared.dims() == 2) {
       algorithm = Algorithm::k2dRrr;
-    } else if (k == 1 && prepared_->dims() > 2) {
+    } else if (k == 1 && prepared.dims() > 2) {
       algorithm = Algorithm::kConvexMaxima;
     } else {
       algorithm = Algorithm::kMdRc;
     }
   }
-  if (algorithm == Algorithm::k2dRrr && prepared_->dims() != 2) {
+  if (algorithm == Algorithm::k2dRrr && prepared.dims() != 2) {
     return Status::InvalidArgument("2DRRR requires a 2D dataset");
   }
   if (algorithm == Algorithm::kConvexMaxima && k != 1) {
@@ -93,10 +121,11 @@ Result<Algorithm> RrrEngine::ResolveAlgorithm(size_t k,
   return algorithm;
 }
 
-Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
+Result<QueryResult> RrrEngine::RunAlgorithm(const PreparedDataset& prepared,
+                                            size_t k, Algorithm algorithm,
                                             const ExecContext& ctx) const {
   const RrrOptions& defaults = options_.defaults;
-  const data::Dataset& dataset = prepared_->dataset();
+  const data::Dataset& dataset = prepared.dataset();
   const size_t n = dataset.size();
 
   // Every top-k-driven path asks for the shared k-skyband index up front; a
@@ -104,7 +133,7 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
   // convex-maxima path has its own skyline prefilter and skips the ask.
   auto shared_candidates =
       [&]() -> Result<std::shared_ptr<const CandidateIndex>> {
-    return prepared_->SharedCandidateIndex(
+    return prepared.SharedCandidateIndex(
         k, ResolveThreads(ctx.ThreadsOver(defaults.threads)), ctx);
   };
   // Likewise the shared columnar mirror: every scan-shaped loop below runs
@@ -112,12 +141,13 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
   // one O(n d) transpose amortizes across all queries).
   auto shared_blocks =
       [&]() -> Result<std::shared_ptr<const data::ColumnBlocks>> {
-    return prepared_->SharedColumnBlocks(
+    return prepared.SharedColumnBlocks(
         ResolveThreads(ctx.ThreadsOver(defaults.threads)), ctx);
   };
 
   QueryResult result;
   result.diagnostics.algorithm_used = algorithm;
+  result.diagnostics.dataset_version = prepared.version();
   Stopwatch timer;
   switch (algorithm) {
     case Algorithm::k2dRrr: {
@@ -132,10 +162,10 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
       // with an index the sweep runs over the band instead.
       RRR_ASSIGN_OR_RETURN(
           result.representative,
-          Solve2dRrr(dataset, k, defaults.rrr2d, ctx, prepared_->sweep(),
+          Solve2dRrr(dataset, k, defaults.rrr2d, ctx, prepared.sweep(),
                      candidates.get(), blocks.get()));
       result.diagnostics.reused_prepared_artifacts =
-          prepared_->sweep() != nullptr;
+          prepared.sweep() != nullptr;
       if (candidates != nullptr) {
         result.diagnostics.skyband_size = candidates->band_size();
       }
@@ -149,8 +179,8 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
       bool sample_hit = false;
       std::shared_ptr<const KSetSampleResult> sample;
       RRR_ASSIGN_OR_RETURN(
-          sample, prepared_->SharedKSets(k, sampler, ctx, &sample_hit,
-                                         candidates.get()));
+          sample, prepared.SharedKSets(k, sampler, ctx, &sample_hit,
+                                       candidates.get()));
       RRR_ASSIGN_OR_RETURN(
           result.representative,
           SolveMdrrr(dataset, sample->ksets, defaults.mdrrr, ctx));
@@ -186,11 +216,11 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
       // share corners within any single solve, so stats.cache_hits > 0
       // even on a cold engine. Corners stored before this query started
       // are the actual prepared-artifact signal.
-      const bool cache_was_warm = prepared_->corner_cache()->entries() > 0;
+      const bool cache_was_warm = prepared.corner_cache()->entries() > 0;
       MdrcStats stats;
       RRR_ASSIGN_OR_RETURN(
           result.representative,
-          SolveMdrc(dataset, k, mdrc, &stats, ctx, prepared_->corner_cache(),
+          SolveMdrc(dataset, k, mdrc, &stats, ctx, prepared.corner_cache(),
                     candidates.get(), blocks.get()));
       result.diagnostics.mdrc = stats;
       result.diagnostics.reused_prepared_artifacts = cache_was_warm;
@@ -207,7 +237,7 @@ Result<QueryResult> RrrEngine::RunAlgorithm(size_t k, Algorithm algorithm,
       bool maxima_hit = false;
       std::shared_ptr<const std::vector<int32_t>> maxima;
       RRR_ASSIGN_OR_RETURN(
-          maxima, prepared_->SharedConvexMaxima(threads, ctx, &maxima_hit));
+          maxima, prepared.SharedConvexMaxima(threads, ctx, &maxima_hit));
       result.representative = *maxima;
       result.diagnostics.reused_prepared_artifacts = maxima_hit;
       break;
@@ -223,20 +253,26 @@ Result<QueryResult> RrrEngine::Solve(size_t k,
                                      const QueryOptions& query) const {
   RRR_RETURN_IF_ERROR(query.exec.CheckPreempted());
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  // One resolution per query: everything below — algorithm choice, memo
+  // key, solver input — sees this one immutable version even if a writer
+  // publishes a newer one mid-query.
+  const std::shared_ptr<const PreparedDataset> snapshot =
+      ResolveSnapshot(query);
   Algorithm algorithm;
-  RRR_ASSIGN_OR_RETURN(algorithm, ResolveAlgorithm(k, query));
+  RRR_ASSIGN_OR_RETURN(algorithm, ResolveAlgorithm(*snapshot, k, query));
 
   if (!options_.memoize_results || !query.use_cache) {
-    return RunAlgorithm(k, algorithm, query.exec);
+    return RunAlgorithm(*snapshot, k, algorithm, query.exec);
   }
 
   Stopwatch timer;
   bool memo_hit = false;
   std::shared_ptr<const QueryResult> cached;
   RRR_ASSIGN_OR_RETURN(
-      cached, result_cache_.GetOrCompute(
-                  ResultKey{k, algorithm}, query.exec, &memo_hit,
-                  [&] { return RunAlgorithm(k, algorithm, query.exec); }));
+      cached,
+      result_cache_.GetOrCompute(
+          ResultKey{snapshot->version(), k, algorithm}, query.exec, &memo_hit,
+          [&] { return RunAlgorithm(*snapshot, k, algorithm, query.exec); }));
   QueryResult result = *cached;  // cached entries are immutable; copy out
   if (memo_hit) {
     // The counters describe the original computing run; re-stamp the
@@ -253,11 +289,17 @@ Result<DualResult> RrrEngine::SolveDual(size_t max_size,
   RRR_RETURN_IF_ERROR(query.exec.CheckPreempted());
   if (max_size == 0) return Status::InvalidArgument("max_size must be >= 1");
 
+  // Pin every probe to one snapshot resolved NOW: a version swap between
+  // probes would otherwise binary-search over answers from different
+  // datasets — the classic torn read.
+  QueryOptions pinned = query;
+  pinned.snapshot = ResolveSnapshot(query);
+
   // Binary search the smallest feasible k in [1, n] (Section 2's reduction:
   // log n calls to the primal solver). Every probe goes through Solve, so
   // probes share the prepared artifacts and land in the result memo.
   size_t lo = 1;
-  size_t hi = prepared_->size();
+  size_t hi = pinned.snapshot->size();
   DualResult best;
   bool found = false;
   size_t exhausted_probes = 0;
@@ -265,7 +307,7 @@ Result<DualResult> RrrEngine::SolveDual(size_t max_size,
   while (lo <= hi) {
     RRR_RETURN_IF_ERROR(query.exec.CheckPreempted());
     const size_t mid = lo + (hi - lo) / 2;
-    Result<QueryResult> probe = Solve(mid, query);
+    Result<QueryResult> probe = Solve(mid, pinned);
     DualProbe record;
     record.k = mid;
     if (!probe.ok() &&
@@ -320,28 +362,33 @@ Result<EvalReport> RrrEngine::Evaluate(
     const QueryOptions& query) const {
   RRR_RETURN_IF_ERROR(query.exec.CheckPreempted());
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  // Resolved once, like Solve: the audit must measure the representative
+  // against one consistent version.
+  const std::shared_ptr<const PreparedDataset> snapshot =
+      ResolveSnapshot(query);
 
   EvalReport report;
+  report.diagnostics.dataset_version = snapshot->version();
   Stopwatch timer;
-  if (prepared_->dims() == 2) {
+  if (snapshot->dims() == 2) {
     RRR_ASSIGN_OR_RETURN(
         report.rank_regret,
-        SweepExactRankRegret2D(prepared_->dataset(), representative,
-                               query.exec, prepared_->sweep()));
+        SweepExactRankRegret2D(snapshot->dataset(), representative,
+                               query.exec, snapshot->sweep()));
     report.exact = true;
     report.diagnostics.reused_prepared_artifacts = true;
   } else {
     std::shared_ptr<const CandidateIndex> candidates;
     RRR_ASSIGN_OR_RETURN(
         candidates,
-        prepared_->SharedCandidateIndex(
+        snapshot->SharedCandidateIndex(
             k,
             ResolveThreads(query.exec.ThreadsOver(options_.defaults.threads)),
             query.exec));
     std::shared_ptr<const data::ColumnBlocks> blocks;
     RRR_ASSIGN_OR_RETURN(
         blocks,
-        prepared_->SharedColumnBlocks(
+        snapshot->SharedColumnBlocks(
             ResolveThreads(query.exec.ThreadsOver(options_.defaults.threads)),
             query.exec));
     SampledRegretOptions sampled;
@@ -351,7 +398,7 @@ Result<EvalReport> RrrEngine::Evaluate(
     SampledRegretStats eval_stats;
     RRR_ASSIGN_OR_RETURN(
         report.rank_regret,
-        SampledRankRegretEstimate(prepared_->dataset(), representative,
+        SampledRankRegretEstimate(snapshot->dataset(), representative,
                                   sampled, query.exec, candidates.get(),
                                   &eval_stats, blocks.get()));
     report.exact = false;
@@ -364,7 +411,7 @@ Result<EvalReport> RrrEngine::Evaluate(
       report.diagnostics.skyband_size = candidates->band_size();
       report.diagnostics.skyband_scan_rows_saved =
           eval_stats.skyband_scans *
-          (prepared_->size() - candidates->band_size());
+          (snapshot->size() - candidates->band_size());
     }
   }
   report.within_k = report.rank_regret <= static_cast<int64_t>(k);

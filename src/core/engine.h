@@ -2,12 +2,14 @@
 #define RRR_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/exec_context.h"
 #include "common/result.h"
+#include "common/version.h"
 #include "core/prepared_dataset.h"
 #include "core/solver.h"
 #include "data/dataset.h"
@@ -59,6 +61,11 @@ struct Diagnostics {
   /// (topk/score_kernel.h). Throughput observability only — results are
   /// bit-identical with and without the mirror.
   bool columnar_kernel = false;
+  /// The dataset version this query answered against (the pinned snapshot,
+  /// or the current version at query start for a dynamic engine). Every
+  /// reuse flag above is scoped to this version: a memo or artifact hit
+  /// can only come from work done on the same version's data.
+  DatasetVersion dataset_version;
 
   /// One-line human-readable rendering, e.g.
   /// "MDRC 0.123s cached=no mdrc{nodes=93 leaves=47 ...}".
@@ -95,9 +102,18 @@ struct QueryOptions {
   /// query. `exec.threads` (non-zero) overrides every thread setting the
   /// engine was configured with.
   ExecContext exec;
-  /// Consult and populate the engine's per-(k, algorithm) result memo.
-  /// Off forces a full recompute (still reusing the prepared artifacts).
+  /// Consult and populate the engine's per-(version, k, algorithm) result
+  /// memo. Off forces a full recompute (still reusing prepared artifacts).
   bool use_cache = true;
+  /// Pin this query to a specific dataset snapshot instead of the engine's
+  /// current one — the consistent-read primitive of the dynamic layer: a
+  /// caller holding a snapshot from DynamicDataset::Snapshot() can keep
+  /// querying that immutable version while writers publish newer ones
+  /// (old-snapshot queries still hit their own memos). Null (the default)
+  /// resolves to the engine's current version. The snapshot must come from
+  /// the same lineage the engine serves; SolveDual pins all its probes to
+  /// one snapshot internally either way.
+  std::shared_ptr<const PreparedDataset> snapshot;
 };
 
 /// Engine-wide configuration.
@@ -107,9 +123,9 @@ struct EngineOptions {
   /// `threads` field is the engine-wide default budget, overridable per
   /// query via QueryOptions::exec.threads).
   RrrOptions defaults;
-  /// Memoize Solve results per (k, resolved algorithm). Sound because
-  /// every solver is deterministic given its options, which are fixed at
-  /// engine construction.
+  /// Memoize Solve results per (dataset version, k, resolved algorithm).
+  /// Sound because every solver is deterministic given its options (fixed
+  /// at engine construction) and the version names the exact row-state.
   bool memoize_results = true;
   /// Cap on memoized results; past it, queries compute without caching.
   size_t max_result_cache_entries = 1024;
@@ -145,6 +161,12 @@ struct EngineOptions {
 /// SolveDualProblem) are thin wrappers constructing a temporary engine.
 class RrrEngine {
  public:
+  /// Supplier of the current dataset snapshot for a dynamic engine
+  /// (typically DynamicDataset::Snapshot bound by NewDynamicEngine in
+  /// core/dataset_updates.h). Must be thread-safe and never return null.
+  using SnapshotFn =
+      std::function<std::shared_ptr<const PreparedDataset>()>;
+
   /// Validates and prepares `dataset` (see PreparedDataset::Create).
   static Result<std::shared_ptr<RrrEngine>> Create(
       data::Dataset dataset, EngineOptions options = {});
@@ -155,6 +177,19 @@ class RrrEngine {
       std::shared_ptr<const PreparedDataset> prepared,
       EngineOptions options = {});
 
+  /// \brief Dynamic engine: every query resolves `source` ONCE at entry
+  /// and answers consistently against that immutable snapshot, so updates
+  /// published mid-query never tear a result (SolveDual's probes all see
+  /// the snapshot of its first call). The result memo is keyed by dataset
+  /// version: publishing a new version invalidates nothing and poisons
+  /// nothing — new-version queries miss (recompute against the new data),
+  /// pinned old-snapshot queries still hit their own entries.
+  static Result<std::shared_ptr<RrrEngine>> CreateDynamic(
+      SnapshotFn source, EngineOptions options = {});
+
+  /// The snapshot the engine was created over; for a dynamic engine this
+  /// is the version current at creation, not necessarily the one queries
+  /// resolve now.
   const PreparedDataset& prepared() const { return *prepared_; }
   const EngineOptions& options() const { return options_; }
 
@@ -183,11 +218,17 @@ class RrrEngine {
                               size_t k, const QueryOptions& query = {}) const;
 
  private:
+  /// Memo key: the dataset version is part of the identity, so an entry
+  /// computed against one row-state can never answer for another — the
+  /// precise invalidation the dynamic layer relies on (and a no-op for
+  /// static engines, whose version is constant).
   struct ResultKey {
+    DatasetVersion version;
     size_t k;
     Algorithm algorithm;
     bool operator==(const ResultKey& other) const {
-      return k == other.k && algorithm == other.algorithm;
+      return version == other.version && k == other.k &&
+             algorithm == other.algorithm;
     }
   };
   struct ResultKeyHash {
@@ -195,18 +236,26 @@ class RrrEngine {
   };
 
   RrrEngine(std::shared_ptr<const PreparedDataset> prepared,
-            EngineOptions options);
+            SnapshotFn source, EngineOptions options);
+
+  /// The snapshot this query answers against: its pin, else the dynamic
+  /// source's current version, else the static prepared dataset. Called
+  /// exactly once per query so one query never mixes versions.
+  std::shared_ptr<const PreparedDataset> ResolveSnapshot(
+      const QueryOptions& query) const;
 
   /// Applies the query override, the engine default, and the kAuto
   /// dimension/k rules; validates algorithm/dimension compatibility.
-  Result<Algorithm> ResolveAlgorithm(size_t k,
+  Result<Algorithm> ResolveAlgorithm(const PreparedDataset& prepared, size_t k,
                                      const QueryOptions& query) const;
 
   /// Dispatches one uncached solve (shared artifacts still apply).
-  Result<QueryResult> RunAlgorithm(size_t k, Algorithm algorithm,
+  Result<QueryResult> RunAlgorithm(const PreparedDataset& prepared, size_t k,
+                                   Algorithm algorithm,
                                    const ExecContext& ctx) const;
 
   std::shared_ptr<const PreparedDataset> prepared_;
+  SnapshotFn snapshot_source_;  // null for static engines
   EngineOptions options_;
   mutable internal::KeyedLazyCache<ResultKey, QueryResult, ResultKeyHash>
       result_cache_;

@@ -19,9 +19,11 @@ size_t PreparedDataset::KSetKeyHash::operator()(const KSetKey& key) const {
   return static_cast<size_t>(h);
 }
 
-PreparedDataset::PreparedDataset(data::Dataset dataset, const Options& options)
+PreparedDataset::PreparedDataset(data::Dataset dataset, const Options& options,
+                                 DatasetVersion version)
     : data_(std::move(dataset)),
       options_(options),
+      version_(version),
       kset_cache_(options.max_kset_cache_entries),
       candidate_cache_(options.max_candidate_cache_entries) {
   if (data_.dims() == 2) {
@@ -38,7 +40,40 @@ Result<std::shared_ptr<const PreparedDataset>> PreparedDataset::Create(
   // Not make_shared: the constructor is private, and the sweep must be
   // built against the dataset's final resting address.
   return std::shared_ptr<const PreparedDataset>(
-      new PreparedDataset(std::move(dataset), options));
+      new PreparedDataset(std::move(dataset), options, NewDatasetOrigin()));
+}
+
+Result<std::shared_ptr<const PreparedDataset>> PreparedDataset::CreateVersioned(
+    data::Dataset dataset, const Options& options, UpdateSeed seed) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  RRR_RETURN_IF_ERROR(dataset.CheckFinite());
+  if (!seed.version.assigned()) {
+    return Status::InvalidArgument("CreateVersioned: unassigned version");
+  }
+  const size_t n = dataset.size();
+  if (seed.blocks != nullptr && (seed.blocks->rows() != n ||
+                                 seed.blocks->dims() != dataset.dims())) {
+    return Status::InvalidArgument(
+        "CreateVersioned: seed mirror shape mismatches the dataset");
+  }
+  if (seed.counts != nullptr &&
+      (seed.counts->size() != n || seed.counts_cap == 0)) {
+    return Status::InvalidArgument(
+        "CreateVersioned: seed counts shape mismatches the dataset");
+  }
+  std::shared_ptr<PreparedDataset> prepared(
+      new PreparedDataset(std::move(dataset), options, seed.version));
+  if (seed.blocks != nullptr) {
+    // The seed mirror was built against the update layer's staging
+    // dataset; the rows now live (bit-identically) inside this object.
+    seed.blocks->RebindSource(&prepared->data_);
+    prepared->column_blocks_.Put(std::move(*seed.blocks));
+  }
+  if (seed.counts != nullptr) {
+    prepared->candidate_counts_.cap = std::min(seed.counts_cap, n);
+    prepared->candidate_counts_.counts = std::move(seed.counts);
+  }
+  return std::shared_ptr<const PreparedDataset>(std::move(prepared));
 }
 
 Result<std::shared_ptr<const data::ColumnBlocks>>

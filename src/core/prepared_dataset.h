@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/logging.h"
 #include "common/result.h"
+#include "common/version.h"
 #include "core/candidate_index.h"
 #include "core/kset_sampler.h"
 #include "core/mdrc.h"
@@ -37,6 +39,27 @@ class LazyCell {
   /// `compute` is a callable returning Result<V>, invoked at most once
   /// concurrently. On success every caller shares one immutable value;
   /// `cache_hit` (may be null) reports whether this call found it ready.
+  /// Seeds the slot with an already-computed value; later GetOrCompute
+  /// callers share it as a hit. Only valid before any compute started
+  /// (the versioned-update path seeds incrementally-maintained artifacts
+  /// at construction, when the cell is necessarily idle).
+  void Put(V value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RRR_CHECK(state_ == State::kIdle)
+        << "LazyCell::Put on a cell that already computed";
+    value_ = std::make_shared<const V>(std::move(value));
+    state_ = State::kReady;
+    cv_.notify_all();
+  }
+
+  /// The value if already computed (or Put), else null — never triggers or
+  /// waits for a compute. The dynamic-update layer peeks so an update only
+  /// maintains artifacts that some query actually paid for.
+  std::shared_ptr<const V> Peek() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_ == State::kReady ? value_ : nullptr;
+  }
+
   template <typename Fn>
   Result<std::shared_ptr<const V>> GetOrCompute(const ExecContext& ctx,
                                                 bool* cache_hit,
@@ -71,7 +94,7 @@ class LazyCell {
 
  private:
   enum class State { kIdle, kComputing, kReady };
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   State state_ = State::kIdle;
   std::shared_ptr<const V> value_;
@@ -166,10 +189,30 @@ class PreparedDataset {
     size_t max_candidate_cache_entries = 64;
   };
 
+  /// \brief Pre-built artifacts handed to CreateVersioned by the
+  /// dynamic-update layer (core/dataset_updates.h), so a new version starts
+  /// life with incrementally-maintained state instead of recomputing from
+  /// scratch on first query.
+  ///
+  /// Everything here must be a pure function of the new dataset — the seed
+  /// changes first-query cost, never any result. `blocks`, when non-null,
+  /// is a mirror of exactly the new dataset's rows (possibly masked or
+  /// appended-to; its source pointer is rebound to the prepared copy).
+  /// `counts`, when non-null, are always-outranker counts capped at
+  /// `counts_cap` (the CandidateIndex::CountAlwaysOutrankers contract).
+  struct UpdateSeed {
+    /// Version token of the new dataset state; must be assigned().
+    DatasetVersion version;
+    std::unique_ptr<data::ColumnBlocks> blocks;
+    size_t counts_cap = 0;
+    std::shared_ptr<const std::vector<uint32_t>> counts;
+  };
+
   /// Validates `dataset` (non-empty, every cell finite — InvalidArgument
   /// otherwise) and takes ownership. For d == 2 also builds the shared
   /// angular sweep (O(n log n)). Data is assumed already normalized
-  /// higher-is-better, as every solver requires.
+  /// higher-is-better, as every solver requires. The prepared dataset gets
+  /// a fresh version token (its own lineage, ordinal 0).
   static Result<std::shared_ptr<const PreparedDataset>> Create(
       data::Dataset dataset, const Options& options);
   static Result<std::shared_ptr<const PreparedDataset>> Create(
@@ -177,9 +220,19 @@ class PreparedDataset {
     return Create(std::move(dataset), Options());
   }
 
+  /// Create for the dynamic-update layer: the new version carries the
+  /// token and the incrementally-maintained artifacts in `seed`. Identical
+  /// to Create in every query-visible way.
+  static Result<std::shared_ptr<const PreparedDataset>> CreateVersioned(
+      data::Dataset dataset, const Options& options, UpdateSeed seed);
+
   const data::Dataset& dataset() const { return data_; }
   size_t size() const { return data_.size(); }
   size_t dims() const { return data_.dims(); }
+
+  /// This dataset state's identity token — the engine's memo key
+  /// component. Distinct row states never share a token.
+  DatasetVersion version() const { return version_; }
 
   /// Shared sweep artifacts; non-null iff dims() == 2.
   const AngularSweep* sweep() const { return sweep_.get(); }
@@ -194,6 +247,22 @@ class PreparedDataset {
   Result<std::shared_ptr<const data::ColumnBlocks>> SharedColumnBlocks(
       size_t threads = 0, const ExecContext& ctx = {},
       bool* cache_hit = nullptr) const;
+
+  /// The shared mirror if some query already built it (or the update seed
+  /// carried it), else null — never builds. The dynamic-update layer peeks
+  /// so updates only maintain artifacts queries actually paid for.
+  std::shared_ptr<const data::ColumnBlocks> MaybeColumnBlocks() const {
+    return column_blocks_.Peek();
+  }
+
+  /// The cached always-outranker counts and their cap (0 when no candidate
+  /// build has computed counts yet). The dynamic-update layer reads these
+  /// to maintain them incrementally across versions.
+  std::pair<size_t, std::shared_ptr<const std::vector<uint32_t>>>
+  CandidateCountsSnapshot() const {
+    std::lock_guard<std::mutex> lock(candidate_counts_mu_);
+    return {candidate_counts_.cap, candidate_counts_.counts};
+  }
 
   /// Skyline ids (lazy, memoized; the prefilter for the convex-maxima
   /// solve and a useful standalone summary).
@@ -279,10 +348,12 @@ class PreparedDataset {
     std::shared_ptr<const std::vector<uint32_t>> counts;
   };
 
-  PreparedDataset(data::Dataset dataset, const Options& options);
+  PreparedDataset(data::Dataset dataset, const Options& options,
+                  DatasetVersion version);
 
   data::Dataset data_;
   Options options_;
+  DatasetVersion version_;
   std::unique_ptr<AngularSweep> sweep_;  // d == 2 only
   std::unique_ptr<CornerTopKCache> corner_cache_;
   mutable internal::LazyCell<data::ColumnBlocks> column_blocks_;

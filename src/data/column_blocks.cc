@@ -1,11 +1,36 @@
 #include "data/column_blocks.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstring>
 
+#include "common/logging.h"
 #include "common/parallel.h"
 
 namespace rrr {
 namespace data {
+
+namespace {
+
+constexpr size_t kBlockRows = ColumnBlocks::kBlockRows;
+
+/// Transposes rows [row_begin, row_end) of `dataset` into physical lanes
+/// [lane_begin, lane_begin + (row_end - row_begin)) of `cells`.
+void TransposeInto(const Dataset& dataset, size_t row_begin, size_t row_end,
+                   size_t lane_begin, size_t d, std::vector<double>* cells) {
+  for (size_t r = row_begin; r < row_end; ++r) {
+    const size_t lane = lane_begin + (r - row_begin);
+    const size_t b = lane / kBlockRows;
+    const size_t l = lane % kBlockRows;
+    double* out = cells->data() + b * d * kBlockRows;
+    const double* row = dataset.row(r);
+    for (size_t j = 0; j < d; ++j) {
+      out[j * kBlockRows + l] = row[j];
+    }
+  }
+}
+
+}  // namespace
 
 Result<ColumnBlocks> ColumnBlocks::Build(const Dataset& dataset,
                                          size_t threads,
@@ -13,7 +38,11 @@ Result<ColumnBlocks> ColumnBlocks::Build(const Dataset& dataset,
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   const size_t n = dataset.size();
   const size_t d = dataset.dims();
-  if (n == 0) return ColumnBlocks(&dataset, 0, d, 0, {});
+  if (n == 0) {
+    return ColumnBlocks(&dataset, 0, 0, d, 0,
+                        std::make_shared<const std::vector<double>>(),
+                        nullptr, nullptr);
+  }
   const size_t num_blocks = (n + kBlockRows - 1) / kBlockRows;
 
   std::vector<double> cells(num_blocks * d * kBlockRows, 0.0);
@@ -43,7 +72,152 @@ Result<ColumnBlocks> ColumnBlocks::Build(const Dataset& dataset,
     if (cause.ok()) cause = Status::Cancelled("column mirror build preempted");
     return cause;
   }
-  return ColumnBlocks(&dataset, n, d, num_blocks, std::move(cells));
+  return ColumnBlocks(
+      &dataset, n, n, d, num_blocks,
+      std::make_shared<const std::vector<double>>(std::move(cells)), nullptr,
+      nullptr);
+}
+
+Result<ColumnBlocks> ColumnBlocks::BuildAppended(const ColumnBlocks& base,
+                                                 const Dataset& grown,
+                                                 const ExecContext& ctx) {
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+  if (grown.dims() != base.d_) {
+    return Status::InvalidArgument(
+        "BuildAppended: grown dataset dimension mismatches the base mirror");
+  }
+  if (grown.size() < base.live_) {
+    return Status::InvalidArgument(
+        "BuildAppended: grown dataset is smaller than the base mirror");
+  }
+  if (base.live_ == 0) return Build(grown, 1, ctx);
+  const size_t d = base.d_;
+  const size_t appended = grown.size() - base.live_;
+#ifndef NDEBUG
+  // The appended-tile contract: grown's first live_ rows ARE the base's
+  // mirrored live rows. Spot-check the first and last of them.
+  for (size_t probe : {size_t{0}, base.live_ - 1}) {
+    const size_t lane = base.PhysicalOfLive(probe);
+    const double* row = grown.row(probe);
+    for (size_t j = 0; j < d; ++j) {
+      RRR_DCHECK(base.column(lane / kBlockRows, j)[lane % kBlockRows] ==
+                 row[j])
+          << "BuildAppended: grown does not extend the base mirror";
+    }
+  }
+#endif
+  const size_t physical = base.physical_ + appended;
+  const size_t num_blocks = (physical + kBlockRows - 1) / kBlockRows;
+
+  std::vector<double> cells(num_blocks * d * kBlockRows, 0.0);
+  std::memcpy(cells.data(), base.cell_base_,
+              base.num_blocks_ * d * kBlockRows * sizeof(double));
+  TransposeInto(grown, base.live_, grown.size(), base.physical_, d, &cells);
+  RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+
+  std::shared_ptr<const std::vector<uint64_t>> mask;
+  std::shared_ptr<const std::vector<uint32_t>> prefix;
+  if (base.mask_ != nullptr) {
+    // Extend the base's validity bookkeeping: appended lanes are all live.
+    std::vector<uint64_t> grown_mask(num_blocks, 0);
+    std::copy(base.mask_->begin(), base.mask_->end(), grown_mask.begin());
+    for (size_t lane = base.physical_; lane < physical; ++lane) {
+      grown_mask[lane / kBlockRows] |= uint64_t{1} << (lane % kBlockRows);
+    }
+    std::vector<uint32_t> grown_prefix(num_blocks, 0);
+    uint32_t live = 0;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      grown_prefix[b] = live;
+      live += static_cast<uint32_t>(__builtin_popcountll(grown_mask[b]));
+    }
+    mask = std::make_shared<const std::vector<uint64_t>>(
+        std::move(grown_mask));
+    prefix = std::make_shared<const std::vector<uint32_t>>(
+        std::move(grown_prefix));
+  }
+  return ColumnBlocks(
+      &grown, physical, grown.size(), d, num_blocks,
+      std::make_shared<const std::vector<double>>(std::move(cells)),
+      std::move(mask), std::move(prefix));
+}
+
+size_t ColumnBlocks::PhysicalOfLive(size_t live_index) const {
+  RRR_DCHECK(live_index < live_) << "PhysicalOfLive: index out of range";
+  if (mask_ == nullptr) return live_index;
+  // Find the block by its live prefix, then select the (live_index -
+  // prefix)-th set bit of its mask.
+  size_t b = 0;
+  for (; b + 1 < num_blocks_; ++b) {
+    if ((*live_prefix_)[b + 1] > live_index) break;
+  }
+  uint64_t m = (*mask_)[b];
+  size_t remaining = live_index - (*live_prefix_)[b];
+  for (size_t lane = 0; lane < kBlockRows; ++lane) {
+    if (!((m >> lane) & 1)) continue;
+    if (remaining == 0) return b * kBlockRows + lane;
+    --remaining;
+  }
+  RRR_CHECK(false) << "PhysicalOfLive: live prefix and mask disagree";
+  return 0;
+}
+
+Result<ColumnBlocks> ColumnBlocks::WithoutRow(const Dataset* compacted_source,
+                                              size_t live_index) const {
+  if (compacted_source == nullptr) {
+    return Status::InvalidArgument("WithoutRow: null compacted source");
+  }
+  if (live_ < 2) {
+    return Status::InvalidArgument(
+        "WithoutRow: cannot delete from a mirror with fewer than two rows");
+  }
+  if (live_index >= live_) {
+    return Status::InvalidArgument("WithoutRow: row index out of range");
+  }
+  if (compacted_source->size() != live_ - 1 ||
+      compacted_source->dims() != d_) {
+    return Status::InvalidArgument(
+        "WithoutRow: compacted source shape mismatch");
+  }
+  const size_t lane = PhysicalOfLive(live_index);
+
+  std::vector<uint64_t> mask(num_blocks_, 0);
+  if (mask_ != nullptr) {
+    std::copy(mask_->begin(), mask_->end(), mask.begin());
+  } else {
+    for (size_t b = 0; b < num_blocks_; ++b) mask[b] = block_mask(b);
+  }
+  mask[lane / kBlockRows] &= ~(uint64_t{1} << (lane % kBlockRows));
+
+  std::vector<uint32_t> prefix(num_blocks_, 0);
+  uint32_t live = 0;
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    prefix[b] = live;
+    live += static_cast<uint32_t>(__builtin_popcountll(mask[b]));
+  }
+  RRR_DCHECK(live == live_ - 1) << "WithoutRow: mask bookkeeping broke";
+  return ColumnBlocks(
+      compacted_source, physical_, live_ - 1, d_, num_blocks_, cells_,
+      std::make_shared<const std::vector<uint64_t>>(std::move(mask)),
+      std::make_shared<const std::vector<uint32_t>>(std::move(prefix)));
+}
+
+void ColumnBlocks::RebindSource(const Dataset* source) {
+  RRR_CHECK(source != nullptr) << "RebindSource: null source";
+  RRR_CHECK(source->size() == live_ && source->dims() == d_)
+      << "RebindSource: source shape mismatches the mirror";
+#ifndef NDEBUG
+  if (live_ > 0) {
+    for (size_t probe : {size_t{0}, live_ - 1}) {
+      const size_t lane = PhysicalOfLive(probe);
+      const double* row = source->row(probe);
+      for (size_t j = 0; j < d_; ++j) {
+        RRR_DCHECK(column(lane / kBlockRows, j)[lane % kBlockRows] == row[j])
+            << "RebindSource: source values mismatch the mirror";
+      }
+    }
+  }
+#endif
+  source_ = source;
 }
 
 }  // namespace data

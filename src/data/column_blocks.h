@@ -2,6 +2,8 @@
 #define RRR_DATA_COLUMN_BLOCKS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/exec_context.h"
@@ -27,17 +29,35 @@ namespace data {
 /// block_rows() to ignore the padding lanes (their scores are computed and
 /// discarded, never surfaced).
 ///
+/// \par Derived mirrors for versioned datasets
+/// Two construction paths let the dynamic-update layer (core/
+/// dataset_updates.h) maintain a version's mirror incrementally instead of
+/// re-transposing n rows per update:
+///  - BuildAppended reuses the base mirror's tiles wholesale and transposes
+///    only the appended rows (new rows fill the last partial tile, then
+///    open fresh ones);
+///  - WithoutRow shares the base mirror's tile storage outright and marks
+///    the deleted row's lane dead in a per-block validity mask.
+/// A masked mirror's lanes therefore carry *physical* positions that no
+/// longer equal source() row ids; the kernel entry points
+/// (ScoreAll/TopKScan/MaxScore/CountOutranking) honor the mask — dead lanes
+/// are scored and discarded exactly like padding, and live lanes map to ids
+/// through the compacted order — so a masked mirror is bit-identical in
+/// every kernel result to a fresh dense mirror of the same source dataset.
+/// Code that walks blocks directly must consult block_mask()/live_before()
+/// instead of assuming lane == id (dense mirrors keep that equality).
+///
 /// Build cost is one O(n d) transpose pass (parallel over blocks,
 /// ExecContext-cancellable); PreparedDataset builds the mirror lazily and
 /// shares it across every query. The source Dataset must outlive the mirror
-/// (block data is copied, but consumers identity-check source()).
+/// (block data is copied or shared, but consumers identity-check source()).
 class ColumnBlocks {
  public:
   /// Rows per block. 64 keeps a block's column (512 bytes) a small whole
   /// number of cache lines and a d <= 16 block inside L1.
   static constexpr size_t kBlockRows = 64;
 
-  /// Builds the mirror. `threads` follows the library convention
+  /// Builds a dense mirror. `threads` follows the library convention
   /// (0 = hardware concurrency, 1 = serial; the mirror is identical for
   /// every thread count); `ctx` can preempt the transpose with
   /// Cancelled/DeadlineExceeded.
@@ -45,26 +65,40 @@ class ColumnBlocks {
                                     size_t threads = 0,
                                     const ExecContext& ctx = {});
 
+  /// \brief Appendable-tile path: mirrors `grown` by reusing every tile of
+  /// `base` (whose mirrored rows must be exactly the first base.rows() rows
+  /// of `grown`, value-identical) and transposing only the appended tail.
+  ///
+  /// Cost is O(copy of base tiles + appended * d) instead of O(n d)
+  /// transpose work; the result is bit-identical to Build(grown). Works on
+  /// masked bases too — appended rows occupy fresh physical lanes after the
+  /// base's, which is exactly their compacted position since appends take
+  /// the largest ids. Fails with InvalidArgument on shape mismatch.
+  static Result<ColumnBlocks> BuildAppended(const ColumnBlocks& base,
+                                            const Dataset& grown,
+                                            const ExecContext& ctx = {});
+
   ColumnBlocks() = default;
 
-  /// Mirrored (unpadded) row count — equals source()->size().
-  size_t rows() const { return n_; }
+  /// Mirrored live (source-visible) row count — equals source()->size().
+  size_t rows() const { return live_; }
   size_t dims() const { return d_; }
-  bool empty() const { return n_ == 0; }
+  bool empty() const { return live_ == 0; }
 
-  /// Number of kBlockRows-row tiles (ceil(rows / kBlockRows)).
+  /// Number of kBlockRows-row tiles over the physical lanes.
   size_t num_blocks() const { return num_blocks_; }
 
-  /// Valid rows in block `b`: kBlockRows except possibly for the last
-  /// block. Lanes >= block_rows(b) are zero padding.
+  /// Physical lanes in block `b`: kBlockRows except possibly for the last
+  /// block. Lanes >= block_rows(b) are zero padding; for a masked mirror
+  /// some lanes below it are dead too — consult block_mask().
   size_t block_rows(size_t b) const {
-    return b + 1 < num_blocks_ ? kBlockRows : n_ - b * kBlockRows;
+    return b + 1 < num_blocks_ ? kBlockRows : physical_ - b * kBlockRows;
   }
 
   /// The dims() * kBlockRows doubles of block `b`; column j starts at
   /// offset j * kBlockRows.
   const double* block(size_t b) const {
-    return cells_.data() + b * d_ * kBlockRows;
+    return cell_base_ + b * d_ * kBlockRows;
   }
 
   /// Column j of block b (kBlockRows contiguous doubles, padded).
@@ -72,24 +106,91 @@ class ColumnBlocks {
     return block(b) + j * kBlockRows;
   }
 
+  /// True when some physical lanes are dead (rows deleted after the mirror
+  /// was built). Dense mirrors (every build path except WithoutRow) are
+  /// unmasked and keep lane == source row id.
+  bool masked() const { return mask_ != nullptr; }
+
+  /// Live-lane bitmap of block `b` (bit l set iff lane l holds a live
+  /// row). For dense mirrors this is every lane below block_rows(b).
+  uint64_t block_mask(size_t b) const {
+    if (mask_ != nullptr) return (*mask_)[b];
+    const size_t rows = block_rows(b);
+    return rows >= 64 ? ~uint64_t{0} : (uint64_t{1} << rows) - 1;
+  }
+
+  /// Live lanes strictly before block `b` — the source row id of block
+  /// b's first live lane (ids are compacted over live lanes in physical
+  /// order).
+  size_t live_before(size_t b) const {
+    return mask_ != nullptr ? (*live_prefix_)[b] : b * kBlockRows;
+  }
+
+  /// Dead fraction of the physical lanes (0 for dense mirrors) — the
+  /// dynamic layer's compaction trigger: past a threshold, scans waste
+  /// enough work on dead lanes that a dense rebuild pays for itself.
+  double dead_fraction() const {
+    return physical_ == 0
+               ? 0.0
+               : static_cast<double>(physical_ - live_) /
+                     static_cast<double>(physical_);
+  }
+
+  /// \brief Masked-delete path: a mirror of `compacted_source` (this
+  /// mirror's source minus the row at `live_index`) sharing this mirror's
+  /// tile storage — O(num_blocks) mask bookkeeping, no cell copies.
+  ///
+  /// Every kernel result over the derived mirror is bit-identical to a
+  /// fresh Build over `compacted_source`. Fails with InvalidArgument on
+  /// shape mismatch (compacted_source must hold exactly rows() - 1 rows).
+  Result<ColumnBlocks> WithoutRow(const Dataset* compacted_source,
+                                  size_t live_index) const;
+
+  /// \brief Rebinds source() to `source`, which must hold exactly the
+  /// mirrored live rows, in order, value-identical (checked in debug
+  /// builds).
+  ///
+  /// Needed by the versioned-update layer: a derived mirror is built
+  /// against a staging Dataset whose final resting address — inside the
+  /// new PreparedDataset — exists only after construction.
+  void RebindSource(const Dataset* source);
+
   /// The dataset this mirror was built from (identity-checked by
   /// consumers that take both).
   const Dataset* source() const { return source_; }
 
  private:
-  ColumnBlocks(const Dataset* source, size_t n, size_t d, size_t num_blocks,
-               std::vector<double> cells)
+  ColumnBlocks(const Dataset* source, size_t physical, size_t live, size_t d,
+               size_t num_blocks,
+               std::shared_ptr<const std::vector<double>> cells,
+               std::shared_ptr<const std::vector<uint64_t>> mask,
+               std::shared_ptr<const std::vector<uint32_t>> live_prefix)
       : source_(source),
-        n_(n),
+        physical_(physical),
+        live_(live),
         d_(d),
         num_blocks_(num_blocks),
-        cells_(std::move(cells)) {}
+        cells_(std::move(cells)),
+        cell_base_(cells_ == nullptr ? nullptr : cells_->data()),
+        mask_(std::move(mask)),
+        live_prefix_(std::move(live_prefix)) {}
+
+  /// Physical lane (global, block-major) of the live row `live_index`.
+  size_t PhysicalOfLive(size_t live_index) const;
 
   const Dataset* source_ = nullptr;
-  size_t n_ = 0;
+  size_t physical_ = 0;  // mirrored lanes, dead ones included
+  size_t live_ = 0;      // live lanes == source()->size()
   size_t d_ = 0;
   size_t num_blocks_ = 0;
-  std::vector<double> cells_;  // num_blocks_ * d_ * kBlockRows, zero padded
+  /// num_blocks_ * d_ * kBlockRows doubles, zero padded; shared so derived
+  /// mirrors (WithoutRow) cost no copies.
+  std::shared_ptr<const std::vector<double>> cells_;
+  const double* cell_base_ = nullptr;
+  /// Per-block live bitmaps; null for dense mirrors.
+  std::shared_ptr<const std::vector<uint64_t>> mask_;
+  /// Per-block live-lane prefix sums; set iff mask_ is.
+  std::shared_ptr<const std::vector<uint32_t>> live_prefix_;
 };
 
 }  // namespace data

@@ -136,6 +136,22 @@ void ScoreAll(const LinearFunction& f, const data::ColumnBlocks& blocks,
   const size_t d = blocks.dims();
   const size_t num_blocks = blocks.num_blocks();
   double buf[kBlockRows];
+  if (blocks.masked()) {
+    // Dead lanes are scored like padding and dropped in the compaction
+    // copy; live lanes land at their compacted ids. Each surviving score
+    // went through the same per-lane arithmetic as in a dense mirror, so
+    // the output is bit-identical to ScoreAll over a fresh dense build.
+    for (size_t b = 0; b < num_blocks; ++b) {
+      ScoreBlock(w, d, blocks.block(b), buf);
+      const uint64_t mask = blocks.block_mask(b);
+      const size_t rows = blocks.block_rows(b);
+      double* dst = out + blocks.live_before(b);
+      for (size_t lane = 0; lane < rows; ++lane) {
+        if ((mask >> lane) & 1) *dst++ = buf[lane];
+      }
+    }
+    return;
+  }
   for (size_t b = 0; b < num_blocks; ++b) {
     const size_t rows = blocks.block_rows(b);
     if (rows == kBlockRows) {
@@ -173,19 +189,24 @@ std::vector<int32_t> TopKScan(const data::ColumnBlocks& blocks,
 
   double buf[kBlockRows];
   const size_t num_blocks = blocks.num_blocks();
+  const bool masked = blocks.masked();
   for (size_t b = 0; b < num_blocks; ++b) {
     ScoreBlock(w, d, blocks.block(b), buf);
     const size_t rows = blocks.block_rows(b);
-    const int32_t base = static_cast<int32_t>(b * kBlockRows);
+    const uint64_t mask = blocks.block_mask(b);
+    // Live lanes in physical order carry consecutive compacted ids; for
+    // dense mirrors that degenerates to base + lane.
+    int32_t id = static_cast<int32_t>(blocks.live_before(b));
     for (size_t lane = 0; lane < rows; ++lane) {
+      if (masked && !((mask >> lane) & 1)) continue;
       const double score = buf[lane];
-      const int32_t id = base + static_cast<int32_t>(lane);
       if (best.size() < k) {
         best.push(Entry{score, id});
       } else if (Outranks(score, id, best.top().score, best.top().id)) {
         best.pop();
         best.push(Entry{score, id});
       }
+      ++id;
     }
   }
 
@@ -212,10 +233,13 @@ double MaxScore(const data::ColumnBlocks& blocks, const LinearFunction& f) {
   // poisoned max. All-NaN input yields -infinity.
   double best = -std::numeric_limits<double>::infinity();
   const size_t num_blocks = blocks.num_blocks();
+  const bool masked = blocks.masked();
   for (size_t b = 0; b < num_blocks; ++b) {
     ScoreBlock(w, d, blocks.block(b), buf);
     const size_t rows = blocks.block_rows(b);
+    const uint64_t mask = blocks.block_mask(b);
     for (size_t lane = 0; lane < rows; ++lane) {
+      if (masked && !((mask >> lane) & 1)) continue;
       if (buf[lane] > best) best = buf[lane];
     }
   }
@@ -231,19 +255,23 @@ int64_t CountOutranking(const data::ColumnBlocks& blocks,
   double buf[kBlockRows];
   int64_t count = 0;
   const size_t num_blocks = blocks.num_blocks();
+  const bool masked = blocks.masked();
   for (size_t b = 0; b < num_blocks; ++b) {
     ScoreBlock(w, d, blocks.block(b), buf);
     const size_t rows = blocks.block_rows(b);
-    const int32_t base = static_cast<int32_t>(b * kBlockRows);
+    const uint64_t mask = blocks.block_mask(b);
+    int32_t row_id = static_cast<int32_t>(blocks.live_before(b));
     for (size_t lane = 0; lane < rows; ++lane) {
+      if (masked && !((mask >> lane) & 1)) continue;
       const double s = buf[lane];
-      // Outranks(s, base + lane, score, id), branch-light: the strict
-      // score comparison almost always decides.
+      // Outranks(s, row_id, score, id), branch-light: the strict score
+      // comparison almost always decides.
       if (s > score) {
         ++count;
-      } else if (s == score && base + static_cast<int32_t>(lane) < id) {
+      } else if (s == score && row_id < id) {
         ++count;
       }
+      ++row_id;
     }
   }
   return count;

@@ -62,7 +62,11 @@ void ScoreBlock(const double* weights, size_t d, const double* cols,
                 double* out);
 
 /// Scores every mirrored row: out[i] = f.Score(row i) for i in
-/// [0, blocks.rows()), bit-identically.
+/// [0, blocks.rows()), bit-identically. Masked mirrors (rows deleted after
+/// the mirror was built — see data::ColumnBlocks::WithoutRow) are honored
+/// here and in every entry point below: dead lanes are skipped and live
+/// lanes map to compacted ids, so results stay bit-identical to a fresh
+/// dense mirror of the same source.
 void ScoreAll(const LinearFunction& f, const data::ColumnBlocks& blocks,
               double* out);
 

@@ -1,0 +1,217 @@
+// Property tests for the incremental k-skyband count maintenance in
+// isolation: after ANY sequence of appends and deletes, the maintained
+// always-outranker counts must be bit-identical to a fresh
+// CountAlwaysOutrankers over the current rows, band classification must
+// equal a fresh CandidateIndex::Create, monotone-in-k slicing must hold,
+// and the delete path's locality bound must fall back cleanly.
+#include "core/dataset_updates.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/candidate_index.h"
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace rrr {
+namespace core {
+namespace {
+
+using rrr::testing::DataFamily;
+using rrr::testing::FamilyRows;
+using rrr::testing::MakeDataset;
+
+std::vector<uint32_t> FreshCounts(const data::Dataset& dataset, size_t cap) {
+  Result<std::vector<uint32_t>> counts =
+      CandidateIndex::CountAlwaysOutrankers(dataset, cap, /*threads=*/1);
+  RRR_CHECK(counts.ok()) << counts.status().ToString();
+  return *counts;
+}
+
+CandidateIndexOptions ForcedBuild() {
+  CandidateIndexOptions options;
+  options.min_dataset_size = 0;
+  options.max_band_fraction = 1.0;
+  options.precheck_sample = 0;
+  options.budget_slack_per_tuple = 0;
+  return options;
+}
+
+TEST(CandidateMaintenanceTest, ExtendMatchesFreshCountsAfterEveryAppend) {
+  for (DataFamily family : rrr::testing::AllDataFamilies()) {
+    SCOPED_TRACE(rrr::testing::DataFamilyName(family));
+    for (size_t d : {size_t{2}, size_t{4}}) {
+      for (size_t cap : {size_t{1}, size_t{3}, size_t{8}, size_t{1000}}) {
+        SCOPED_TRACE("d=" + std::to_string(d) + " cap=" + std::to_string(cap));
+        std::vector<std::vector<double>> rows = FamilyRows(family, 40, d, 5);
+        std::vector<uint32_t> counts = FreshCounts(MakeDataset(rows), cap);
+        for (size_t batch = 0; batch < 6; ++batch) {
+          const size_t old_rows = rows.size();
+          const std::vector<std::vector<double>> appended =
+              FamilyRows(family, 1 + batch % 4, d, 100 + batch);
+          rows.insert(rows.end(), appended.begin(), appended.end());
+          const data::Dataset grown = MakeDataset(rows);
+          Result<std::vector<uint32_t>> extended =
+              ExtendOutrankerCountsForAppend(grown, old_rows, cap, counts);
+          ASSERT_TRUE(extended.ok()) << extended.status().ToString();
+          EXPECT_EQ(*extended, FreshCounts(grown, cap)) << "batch " << batch;
+          counts = std::move(*extended);
+        }
+      }
+    }
+  }
+}
+
+TEST(CandidateMaintenanceTest, ShrinkMatchesFreshCountsAfterEveryDelete) {
+  for (DataFamily family : rrr::testing::AllDataFamilies()) {
+    SCOPED_TRACE(rrr::testing::DataFamilyName(family));
+    for (size_t cap : {size_t{1}, size_t{4}, size_t{1000}}) {
+      SCOPED_TRACE("cap=" + std::to_string(cap));
+      std::vector<std::vector<double>> rows = FamilyRows(family, 48, 3, 9);
+      std::vector<uint32_t> counts = FreshCounts(MakeDataset(rows), cap);
+      Rng rng(13);
+      for (size_t step = 0; step < 12; ++step) {
+        const size_t deleted = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1));
+        const data::Dataset old_data = MakeDataset(rows);
+        // An unbounded recount budget: maintenance must always succeed and
+        // must be exact.
+        Result<ShrinkCountsOutcome> shrunk = ShrinkOutrankerCountsForDelete(
+            old_data, deleted, cap, counts, /*max_recounts=*/rows.size());
+        ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+        ASSERT_TRUE(shrunk->maintained);
+        rows.erase(rows.begin() + static_cast<int64_t>(deleted));
+        EXPECT_EQ(shrunk->counts, FreshCounts(MakeDataset(rows), cap))
+            << "step " << step << " deleted " << deleted;
+        counts = std::move(shrunk->counts);
+      }
+    }
+  }
+}
+
+TEST(CandidateMaintenanceTest, MixedUpdateSequenceStaysExact) {
+  for (DataFamily family : rrr::testing::AllDataFamilies()) {
+    SCOPED_TRACE(rrr::testing::DataFamilyName(family));
+    const size_t cap = 5;
+    std::vector<std::vector<double>> rows = FamilyRows(family, 24, 2, 21);
+    std::vector<uint32_t> counts = FreshCounts(MakeDataset(rows), cap);
+    Rng rng(17);
+    for (size_t step = 0; step < 20; ++step) {
+      if (rows.size() > 2 && rng.Bernoulli(0.5)) {
+        const size_t deleted = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1));
+        Result<ShrinkCountsOutcome> shrunk = ShrinkOutrankerCountsForDelete(
+            MakeDataset(rows), deleted, cap, counts,
+            /*max_recounts=*/rows.size());
+        ASSERT_TRUE(shrunk.ok());
+        ASSERT_TRUE(shrunk->maintained);
+        rows.erase(rows.begin() + static_cast<int64_t>(deleted));
+        counts = std::move(shrunk->counts);
+      } else {
+        const size_t old_rows = rows.size();
+        const std::vector<std::vector<double>> appended =
+            FamilyRows(family, 1 + step % 3, 2, 300 + step);
+        rows.insert(rows.end(), appended.begin(), appended.end());
+        Result<std::vector<uint32_t>> extended = ExtendOutrankerCountsForAppend(
+            MakeDataset(rows), old_rows, cap, counts);
+        ASSERT_TRUE(extended.ok());
+        counts = std::move(*extended);
+      }
+      EXPECT_EQ(counts, FreshCounts(MakeDataset(rows), cap))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(CandidateMaintenanceTest, MaintainedCountsSliceMonotonicallyInK) {
+  // The cache contract SharedCandidateIndex relies on: counts capped at a
+  // larger cap slice down to any smaller cap by min(), and band membership
+  // derived from maintained counts matches a fresh forced Create per k.
+  const size_t big_cap = 9;
+  std::vector<std::vector<double>> rows =
+      FamilyRows(DataFamily::kAnticorrelated, 36, 3, 31);
+  std::vector<uint32_t> counts = FreshCounts(MakeDataset(rows), big_cap);
+  const size_t old_rows = rows.size();
+  const std::vector<std::vector<double>> appended =
+      FamilyRows(DataFamily::kAnticorrelated, 10, 3, 32);
+  rows.insert(rows.end(), appended.begin(), appended.end());
+  const data::Dataset grown = MakeDataset(rows);
+  Result<std::vector<uint32_t>> extended =
+      ExtendOutrankerCountsForAppend(grown, old_rows, big_cap, counts);
+  ASSERT_TRUE(extended.ok());
+
+  for (size_t small_cap : {size_t{1}, size_t{3}, size_t{6}, big_cap}) {
+    SCOPED_TRACE("cap " + std::to_string(small_cap));
+    const std::vector<uint32_t> fresh_small = FreshCounts(grown, small_cap);
+    for (size_t i = 0; i < extended->size(); ++i) {
+      EXPECT_EQ(std::min((*extended)[i], static_cast<uint32_t>(small_cap)),
+                fresh_small[i])
+          << "row " << i;
+    }
+    // Band classification: a row is in the k-skyband iff it has fewer than
+    // k always-outrankers.
+    Result<CandidateIndex::Outcome> outcome =
+        CandidateIndex::Create(grown, small_cap, ForcedBuild());
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_NE(outcome->index, nullptr);
+    std::vector<int32_t> expected_band;
+    for (size_t i = 0; i < extended->size(); ++i) {
+      if ((*extended)[i] < small_cap) {
+        expected_band.push_back(static_cast<int32_t>(i));
+      }
+    }
+    EXPECT_EQ(outcome->index->band_ids(), expected_band);
+  }
+}
+
+TEST(CandidateMaintenanceTest, DeleteRecountLimitFallsBackToRebuild) {
+  // A row dominating everything saturates every other row's count at
+  // cap=1; deleting it forces a recount of every survivor, which must
+  // abort at the locality bound with maintained == false and no counts.
+  std::vector<std::vector<double>> rows = FamilyRows(DataFamily::kUniform,
+                                                     30, 2, 41);
+  for (std::vector<double>& row : rows) {
+    for (double& v : row) v = std::min(v, 0.9);
+  }
+  rows.push_back({1.0, 1.0});
+  const int32_t king = static_cast<int32_t>(rows.size()) - 1;
+  const data::Dataset old_data = MakeDataset(rows);
+  const std::vector<uint32_t> counts = FreshCounts(old_data, 1);
+
+  Result<ShrinkCountsOutcome> bounded = ShrinkOutrankerCountsForDelete(
+      old_data, static_cast<size_t>(king), 1, counts, /*max_recounts=*/2);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_FALSE(bounded->maintained);
+  EXPECT_TRUE(bounded->counts.empty());
+
+  // With enough budget the same delete maintains exactly.
+  Result<ShrinkCountsOutcome> unbounded = ShrinkOutrankerCountsForDelete(
+      old_data, static_cast<size_t>(king), 1, counts,
+      /*max_recounts=*/rows.size());
+  ASSERT_TRUE(unbounded.ok());
+  ASSERT_TRUE(unbounded->maintained);
+  std::vector<std::vector<double>> survivors(rows.begin(), rows.end() - 1);
+  EXPECT_EQ(unbounded->counts, FreshCounts(MakeDataset(survivors), 1));
+}
+
+TEST(CandidateMaintenanceTest, PrimitivesValidateTheirArguments) {
+  const data::Dataset ds =
+      MakeDataset(FamilyRows(DataFamily::kUniform, 8, 2, 51));
+  const std::vector<uint32_t> counts = FreshCounts(ds, 3);
+  EXPECT_FALSE(ExtendOutrankerCountsForAppend(ds, 9, 3, counts).ok());
+  EXPECT_FALSE(ExtendOutrankerCountsForAppend(ds, 4, 3, counts).ok());
+  EXPECT_FALSE(ExtendOutrankerCountsForAppend(ds, 8, 0, counts).ok());
+  EXPECT_FALSE(ShrinkOutrankerCountsForDelete(ds, 8, 3, counts, 4).ok());
+  EXPECT_FALSE(ShrinkOutrankerCountsForDelete(ds, 0, 0, counts, 4).ok());
+  const std::vector<uint32_t> short_counts(4, 0);
+  EXPECT_FALSE(ShrinkOutrankerCountsForDelete(ds, 0, 3, short_counts, 4).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rrr

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <functional>
+#include <sstream>
 
+#include "common/random.h"
 #include "core/find_ranges.h"
+#include "data/generators.h"
 #include "geometry/angles.h"
 
 namespace rrr {
@@ -50,6 +53,179 @@ int64_t BruteForceOptimalRrrSize2D(const data::Dataset& dataset, size_t k) {
     if (found) return static_cast<int64_t>(r);
   }
   return static_cast<int64_t>(candidates.size());
+}
+
+const std::vector<DataFamily>& AllDataFamilies() {
+  static const std::vector<DataFamily> families = {
+      DataFamily::kUniform, DataFamily::kCorrelated,
+      DataFamily::kAnticorrelated, DataFamily::kDuplicateHeavy,
+      DataFamily::kConstantColumn};
+  return families;
+}
+
+const char* DataFamilyName(DataFamily family) {
+  switch (family) {
+    case DataFamily::kUniform:
+      return "uniform";
+    case DataFamily::kCorrelated:
+      return "correlated";
+    case DataFamily::kAnticorrelated:
+      return "anticorrelated";
+    case DataFamily::kDuplicateHeavy:
+      return "duplicate-heavy";
+    case DataFamily::kConstantColumn:
+      return "constant-column";
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<double>> FamilyRows(DataFamily family, size_t n,
+                                            size_t d, uint64_t seed) {
+  data::Dataset base;
+  switch (family) {
+    case DataFamily::kUniform:
+    case DataFamily::kDuplicateHeavy:
+    case DataFamily::kConstantColumn:
+      base = data::GenerateUniform(n, d, seed);
+      break;
+    case DataFamily::kCorrelated:
+      base = data::GenerateCorrelated(n, d, seed);
+      break;
+    case DataFamily::kAnticorrelated:
+      base = data::GenerateAnticorrelated(n, d, seed);
+      break;
+  }
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = base.row(i);
+    std::vector<double> row(r, r + d);
+    if (family == DataFamily::kDuplicateHeavy) {
+      // Quantized coordinates: heavy ties and exact duplicates.
+      for (double& v : row) v = std::round(v * 8.0) / 8.0;
+    } else if (family == DataFamily::kConstantColumn) {
+      row[0] = 0.5;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string DynamicSchedule::ToString() const {
+  std::ostringstream out;
+  out << "schedule{family=" << DataFamilyName(family) << " seed=" << seed
+      << " d=" << dims << " n0=" << initial_rows.size() << " ops=[";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out << " ";
+    const DynamicOp& op = ops[i];
+    switch (op.kind) {
+      case DynamicOp::Kind::kInsert:
+        out << "I";
+        break;
+      case DynamicOp::Kind::kBatchAppend:
+        out << "B" << op.rows.size();
+        break;
+      case DynamicOp::Kind::kDelete:
+        out << "D" << op.delete_id;
+        break;
+      case DynamicOp::Kind::kSolve:
+        out << "S(k=" << op.k << ")";
+        break;
+      case DynamicOp::Kind::kSolveDual:
+        out << "SD(m=" << op.max_size << ")";
+        break;
+      case DynamicOp::Kind::kEvaluate:
+        out << "E";
+        break;
+      case DynamicOp::Kind::kSnapshotPin:
+        out << "P(k=" << op.k << ")";
+        break;
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+DynamicSchedule MakeDynamicSchedule(DataFamily family, uint64_t seed,
+                                    size_t dims, size_t num_ops) {
+  DynamicSchedule schedule;
+  schedule.seed = seed;
+  schedule.family = family;
+  schedule.dims = dims;
+  // Distinct streams per (family, seed): ops, payload rows, and the initial
+  // dataset must not alias across families sharing a seed.
+  const uint64_t stream =
+      seed * 1000003u + static_cast<uint64_t>(family) * 7919u;
+  Rng rng(stream);
+  const size_t n0 = 16 + static_cast<size_t>(rng.UniformInt(0, 32));
+  schedule.initial_rows = FamilyRows(family, n0, dims, stream + 1);
+
+  size_t size = n0;       // tracked so every delete id is valid at replay
+  bool solved = false;    // Evaluate needs an earlier Solve
+  uint64_t payload = 0;   // per-op payload seed counter
+
+  // Forced prefix: every schedule exercises every mutation kind plus one
+  // query, in a seed-dependent order.
+  std::vector<DynamicOp::Kind> kinds = {
+      DynamicOp::Kind::kSolve, DynamicOp::Kind::kInsert,
+      DynamicOp::Kind::kDelete, DynamicOp::Kind::kBatchAppend};
+  rng.Shuffle(&kinds);
+  while (kinds.size() < num_ops) {
+    const int64_t roll = rng.UniformInt(0, 99);
+    DynamicOp::Kind kind;
+    if (roll < 15) {
+      kind = DynamicOp::Kind::kInsert;
+    } else if (roll < 27) {
+      kind = DynamicOp::Kind::kBatchAppend;
+    } else if (roll < 42) {
+      kind = DynamicOp::Kind::kDelete;
+    } else if (roll < 67) {
+      kind = DynamicOp::Kind::kSolve;
+    } else if (roll < 77) {
+      kind = DynamicOp::Kind::kSolveDual;
+    } else if (roll < 88) {
+      kind = DynamicOp::Kind::kEvaluate;
+    } else {
+      kind = DynamicOp::Kind::kSnapshotPin;
+    }
+    kinds.push_back(kind);
+  }
+
+  for (DynamicOp::Kind kind : kinds) {
+    DynamicOp op;
+    op.kind = kind;
+    switch (kind) {
+      case DynamicOp::Kind::kInsert:
+        op.rows = FamilyRows(family, 1, dims, stream + 100 + payload++);
+        ++size;
+        break;
+      case DynamicOp::Kind::kBatchAppend: {
+        const size_t count = 2 + static_cast<size_t>(rng.UniformInt(0, 4));
+        op.rows = FamilyRows(family, count, dims, stream + 100 + payload++);
+        size += count;
+        break;
+      }
+      case DynamicOp::Kind::kDelete:
+        if (size < 2) continue;  // Delete refuses to empty the dataset
+        op.delete_id = static_cast<int32_t>(
+            rng.UniformInt(0, static_cast<int64_t>(size) - 1));
+        --size;
+        break;
+      case DynamicOp::Kind::kSolve:
+      case DynamicOp::Kind::kSnapshotPin:
+        op.k = 1 + static_cast<size_t>(rng.UniformInt(0, 7));
+        solved = solved || kind == DynamicOp::Kind::kSolve;
+        break;
+      case DynamicOp::Kind::kSolveDual:
+        op.max_size = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+        break;
+      case DynamicOp::Kind::kEvaluate:
+        if (!solved) continue;
+        break;
+    }
+    schedule.ops.push_back(std::move(op));
+  }
+  return schedule;
 }
 
 std::vector<double> AngleGrid(size_t count) {

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
@@ -52,6 +53,69 @@ int64_t BruteForceOptimalRrrSize2D(const data::Dataset& dataset, size_t k);
 
 /// Evenly spaced angles in [0, pi/2] including both endpoints.
 std::vector<double> AngleGrid(size_t count);
+
+/// Synthetic data families exercised by the dynamic-data differential
+/// suite: the classic distribution shapes plus two degenerate stressors
+/// (tie-saturated duplicates and a zero-information column).
+enum class DataFamily {
+  kUniform,
+  kCorrelated,
+  kAnticorrelated,
+  kDuplicateHeavy,
+  kConstantColumn,
+};
+
+const std::vector<DataFamily>& AllDataFamilies();
+const char* DataFamilyName(DataFamily family);
+
+/// `n` rows of `d` dims drawn from the family, deterministic in `seed`.
+/// All values are finite in [0, 1], higher-is-better (the library's data
+/// contract).
+std::vector<std::vector<double>> FamilyRows(DataFamily family, size_t n,
+                                            size_t d, uint64_t seed);
+
+/// One step of a recorded dynamic-data schedule. Mutations carry their
+/// payload (rows to append, the id to delete) resolved at generation time
+/// against the tracked dataset size, so a recorded schedule replays
+/// identically no matter what the driver observed on a previous run.
+struct DynamicOp {
+  enum class Kind {
+    kInsert,       // append rows[0]
+    kBatchAppend,  // append all of rows as one version
+    kDelete,       // delete delete_id (valid for the size at this step)
+    kSolve,        // Solve(min(k, size))
+    kSolveDual,    // SolveDual(max_size)
+    kEvaluate,     // Evaluate(last Solve representative, its k)
+    kSnapshotPin,  // pin Snapshot(), Solve against it now and at the end
+  };
+  Kind kind = Kind::kSolve;
+  std::vector<std::vector<double>> rows;
+  int32_t delete_id = 0;
+  size_t k = 1;
+  size_t max_size = 1;
+};
+
+/// A replayable interleaving of updates and queries over one family. The
+/// whole schedule is a pure function of (family, seed, dims, num_ops);
+/// ToString() renders everything a human needs to replay a failure.
+struct DynamicSchedule {
+  uint64_t seed = 0;
+  DataFamily family = DataFamily::kUniform;
+  size_t dims = 2;
+  std::vector<std::vector<double>> initial_rows;
+  std::vector<DynamicOp> ops;
+
+  std::string ToString() const;
+};
+
+/// Generates a random schedule: 16-48 initial rows, then `num_ops` steps.
+/// The first steps always cover {Solve, Insert, Delete, BatchAppend} (in a
+/// seed-dependent order) so every schedule exercises every mutation kind;
+/// the rest are drawn from a mixed distribution. Delete ids are drawn
+/// against the size the dataset will have at that step, and Evaluate is
+/// only emitted after at least one Solve.
+DynamicSchedule MakeDynamicSchedule(DataFamily family, uint64_t seed,
+                                    size_t dims, size_t num_ops);
 
 }  // namespace testing
 }  // namespace rrr
