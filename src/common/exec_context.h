@@ -34,6 +34,7 @@ class CancellationToken {
   explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
       : flag_(std::move(flag)) {}
 
+  // rrr-lockfree: read-only view of the source's sticky flag
   std::shared_ptr<const std::atomic<bool>> flag_;
 };
 
@@ -57,6 +58,7 @@ class CancellationSource {
   CancellationToken token() const { return CancellationToken(flag_); }
 
  private:
+  // rrr-lockfree: sticky one-way cancel flag, release store / acquire load
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 

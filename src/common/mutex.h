@@ -1,0 +1,97 @@
+#ifndef RRR_COMMON_MUTEX_H_
+#define RRR_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace rrr {
+
+/// \brief Annotated exclusive mutex: std::mutex wrapped so clang's
+/// thread-safety analysis (common/thread_annotations.h) can track it.
+///
+/// libstdc++'s std::mutex carries no capability annotations, so
+/// `RRR_GUARDED_BY(some_std_mutex)` would warn on every correctly-locked
+/// access — the analysis never learns that std::lock_guard acquired
+/// anything. Every lock-protected structure in src/ therefore uses this
+/// wrapper plus MutexLock/CondVar below; rrr_lint rule `unguarded-sync`
+/// rejects new std::mutex / std::lock_guard / std::unique_lock /
+/// std::scoped_lock uses in src/ so the discipline cannot erode.
+///
+/// The method names are std-style (lock/unlock/try_lock) so Mutex models
+/// BasicLockable — which is what lets CondVar wait on it directly via
+/// std::condition_variable_any.
+class RRR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RRR_ACQUIRE() { mu_.lock(); }
+  void unlock() RRR_RELEASE() { mu_.unlock(); }
+  bool try_lock() RRR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over Mutex, carrying the scoped-capability annotation
+/// that std::scoped_lock cannot (it is not annotated for our Mutex).
+///
+/// The analysis treats construction as acquiring `mu` and destruction as
+/// releasing it, so guarded members are accessible exactly within the
+/// lexical scope of a MutexLock — the std::lock_guard usage pattern,
+/// checked at compile time.
+class RRR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RRR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RRR_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable paired with Mutex.
+///
+/// Wait/WaitFor require the caller to hold `mu` (annotated REQUIRES): the
+/// capability is held on entry and again on exit, while the internal
+/// unlock-during-wait happens inside std::condition_variable_any, out of
+/// the analysis's sight — exactly the contract a condition wait has.
+///
+/// There is deliberately no predicate-lambda overload: a lambda body is
+/// analyzed as its own unannotated function, so a predicate reading
+/// guarded state would (correctly) fail the analysis. Write the standard
+/// `while (!condition) cv.Wait(mu);` loop instead — the analysis then sees
+/// the guarded reads under the lock they require.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  void Wait(Mutex& mu) RRR_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Wait with a timeout; returns with `mu` held whether or not notified.
+  template <class Rep, class Period>
+  void WaitFor(Mutex& mu,
+               const std::chrono::duration<Rep, Period>& timeout)
+      RRR_REQUIRES(mu) {
+    cv_.wait_for(mu, timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rrr
+
+#endif  // RRR_COMMON_MUTEX_H_

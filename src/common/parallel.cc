@@ -30,22 +30,26 @@ size_t ResolveThreads(size_t threads_option) {
 ThreadPool::ThreadPool(size_t num_threads) { EnsureWorkers(num_threads); }
 
 ThreadPool::~ThreadPool() {
+  // Swap the workers out under the lock, then join them unlocked: joining
+  // while holding mu_ would deadlock against WorkerLoop's queue waits.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    workers.swap(workers_);
   }
-  cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  cv_.NotifyAll();
+  for (std::thread& w : workers) w.join();
 }
 
 size_t ThreadPool::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return workers_.size();
 }
 
 void ThreadPool::EnsureWorkers(size_t n) {
   n = std::min(n, kMaxWorkers);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RRR_CHECK(!stop_) << "EnsureWorkers on a stopped pool";
   while (workers_.size() < n) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -54,11 +58,11 @@ void ThreadPool::EnsureWorkers(size_t n) {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     RRR_CHECK(!stop_) << "Submit on a stopped pool";
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
@@ -73,8 +77,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -88,14 +92,15 @@ namespace {
 /// Shared state of one ParallelForChunked call: a chunk cursor plus a
 /// countdown latch so the caller can wait for exactly its own helpers.
 struct ParallelForState {
+  // rrr-lockfree: dynamic chunk cursor, fetch_add is the whole protocol
   std::atomic<size_t> next{0};
   size_t n = 0;
   size_t grain = 1;
   const std::function<void(size_t, size_t)>* body = nullptr;
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t helpers_active = 0;
+  Mutex mu;
+  CondVar done_cv;
+  size_t helpers_active RRR_GUARDED_BY(mu) = 0;
 
   void RunChunks() {
     while (true) {
@@ -126,21 +131,24 @@ void ParallelForChunked(size_t threads, size_t n, size_t grain,
   state->n = n;
   state->grain = grain;
   state->body = &body;
-  state->helpers_active = helpers;
+  {
+    MutexLock lock(state->mu);
+    state->helpers_active = helpers;
+  }
 
   ThreadPool& pool = ThreadPool::Shared();
   pool.EnsureWorkers(helpers);
   for (size_t h = 0; h < helpers; ++h) {
     pool.Submit([state] {
       state->RunChunks();
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (--state->helpers_active == 0) state->done_cv.notify_all();
+      MutexLock lock(state->mu);
+      if (--state->helpers_active == 0) state->done_cv.NotifyAll();
     });
   }
 
   state->RunChunks();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->helpers_active == 0; });
+  MutexLock lock(state->mu);
+  while (state->helpers_active != 0) state->done_cv.Wait(state->mu);
 }
 
 void ParallelFor(size_t threads, size_t n,

@@ -1,13 +1,14 @@
 #ifndef RRR_COMMON_PARALLEL_H_
 #define RRR_COMMON_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace rrr {
 
@@ -63,11 +64,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ RRR_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ RRR_GUARDED_BY(mu_);
+  bool stop_ RRR_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Runs body(begin, end) over disjoint chunks covering [0, n),

@@ -1,0 +1,94 @@
+#ifndef RRR_COMMON_THREAD_ANNOTATIONS_H_
+#define RRR_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety capability annotations (no-ops on GCC/MSVC).
+///
+/// These macros attach compile-time locking contracts to data and
+/// functions: which mutex guards which member, which capabilities a
+/// function requires, acquires, releases, or must not hold. Clang's
+/// -Wthread-safety analysis (the `thread-safety` CI job builds with
+/// -Werror=thread-safety) then rejects code that touches guarded state
+/// without the right lock held — moving the repo's locking discipline
+/// from review convention into the compiler.
+///
+/// The annotations only carry the analysis when the lock types are
+/// themselves annotated, which libstdc++'s std::mutex is not; use
+/// rrr::Mutex / rrr::MutexLock / rrr::CondVar (common/mutex.h) instead of
+/// the std primitives everywhere in src/ (rrr_lint rule `unguarded-sync`
+/// enforces this mechanically).
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define RRR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define RRR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op: GCC/MSVC
+#endif
+
+/// Declares a type to be a capability ("mutex" in diagnostics).
+#define RRR_CAPABILITY(x) RRR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define RRR_SCOPED_CAPABILITY \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define RRR_GUARDED_BY(x) RRR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself is
+/// not).
+#define RRR_PT_GUARDED_BY(x) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering edges, checked under -Wthread-safety-beta.
+#define RRR_ACQUIRED_BEFORE(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define RRR_ACQUIRED_AFTER(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities held on entry (and still held
+/// on exit).
+#define RRR_REQUIRES(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define RRR_REQUIRES_SHARED(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on exit, not on entry).
+#define RRR_ACQUIRE(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define RRR_ACQUIRE_SHARED(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define RRR_RELEASE(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define RRR_RELEASE_SHARED(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire and reports success as `ret`.
+#define RRR_TRY_ACQUIRE(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the listed capabilities held (deadlock
+/// guard for self-locking public entry points).
+#define RRR_EXCLUDES(...) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code reachable only
+/// under a lock taken elsewhere).
+#define RRR_ASSERT_CAPABILITY(x) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the capability named `x`.
+#define RRR_RETURN_CAPABILITY(x) \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: suppress the analysis for one function. Every use must
+/// carry a comment explaining why the function is correct anyway (see
+/// docs/ARCHITECTURE.md, "Invariants & enforcement").
+#define RRR_NO_THREAD_SAFETY_ANALYSIS \
+  RRR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // RRR_COMMON_THREAD_ANNOTATIONS_H_

@@ -45,6 +45,7 @@ struct DatasetVersion {
 /// Fresh lineage: a token with a never-before-seen origin, ordinal 0.
 /// Thread-safe; every call returns a distinct origin.
 inline DatasetVersion NewDatasetOrigin() {
+  // rrr-lockfree: process-wide origin counter, fetch_add is the protocol
   static std::atomic<uint64_t> next{1};
   return DatasetVersion{next.fetch_add(1, std::memory_order_relaxed), 0};
 }

@@ -273,6 +273,7 @@ Result<CandidateIndex::Outcome> CandidateIndex::Create(
   }
 
   std::vector<int32_t> band_ids;
+  band_ids.reserve(n);
   std::vector<char> in_band(n, 0);
   for (size_t i = 0; i < n; ++i) {
     if ((*counts)[i] < kk) {

@@ -1,7 +1,6 @@
 #ifndef RRR_CORE_CANDIDATE_INDEX_H_
 #define RRR_CORE_CANDIDATE_INDEX_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "core/candidate_index.h"
 #include "data/column_blocks.h"
 
@@ -144,7 +145,7 @@ Result<std::shared_ptr<DynamicDataset>> DynamicDataset::Create(
 }
 
 std::shared_ptr<const PreparedDataset> DynamicDataset::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
@@ -156,7 +157,7 @@ Result<DatasetVersion> DynamicDataset::Insert(const std::vector<double>& row,
 Result<DatasetVersion> DynamicDataset::BatchAppend(
     const std::vector<std::vector<double>>& rows, const ExecContext& ctx) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   const std::shared_ptr<const PreparedDataset> base = Snapshot();
   if (rows.empty()) return base->version();
   const size_t d = base->dims();
@@ -180,7 +181,7 @@ Result<DatasetVersion> DynamicDataset::BatchAppend(
 Result<DatasetVersion> DynamicDataset::Delete(int32_t id,
                                               const ExecContext& ctx) {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   const std::shared_ptr<const PreparedDataset> base = Snapshot();
   const size_t n = base->size();
   if (id < 0 || static_cast<size_t>(id) >= n) {
@@ -283,7 +284,7 @@ Result<DatasetVersion> DynamicDataset::PublishNext(
                                              options_.prepared,
                                              std::move(seed)));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     current_ = std::move(next);
   }
   return version;

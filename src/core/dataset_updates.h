@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/version.h"
 #include "core/engine.h"
 #include "core/prepared_dataset.h"
@@ -136,19 +137,21 @@ class DynamicDataset {
   /// InvalidArgument on dimension mismatch or non-finite values, in which
   /// case the current version is unchanged.
   Result<DatasetVersion> Insert(const std::vector<double>& row,
-                                const ExecContext& ctx = {});
+                                const ExecContext& ctx = {})
+      RRR_EXCLUDES(writer_mu_);
 
   /// Appends `rows` in order (ids = size(), size()+1, ...) as ONE new
   /// version. An empty batch publishes nothing and returns the current
   /// version.
   Result<DatasetVersion> BatchAppend(
       const std::vector<std::vector<double>>& rows,
-      const ExecContext& ctx = {});
+      const ExecContext& ctx = {}) RRR_EXCLUDES(writer_mu_);
 
   /// Deletes row `id` of the current version; higher ids shift down by
   /// one. InvalidArgument when out of range or when the delete would empty
   /// the dataset.
-  Result<DatasetVersion> Delete(int32_t id, const ExecContext& ctx = {});
+  Result<DatasetVersion> Delete(int32_t id, const ExecContext& ctx = {})
+      RRR_EXCLUDES(writer_mu_);
 
  private:
   DynamicDataset(std::shared_ptr<const PreparedDataset> initial,
@@ -161,12 +164,16 @@ class DynamicDataset {
   Result<DatasetVersion> PublishNext(
       const std::shared_ptr<const PreparedDataset>& base,
       std::vector<double> cells, size_t new_rows, size_t appended_from,
-      size_t deleted_id, const ExecContext& ctx);
+      size_t deleted_id, const ExecContext& ctx) RRR_REQUIRES(writer_mu_);
 
   DynamicDatasetOptions options_;
-  std::mutex writer_mu_;       // serializes update builders
-  mutable std::mutex mu_;      // guards current_
-  std::shared_ptr<const PreparedDataset> current_;
+  /// Serializes update builders: held across the whole build-and-publish
+  /// of a new version, guarding no data itself (the build works on local
+  /// state; publication takes mu_ at the very end). RRR_REQUIRES on
+  /// PublishNext is what ties the capability to the builders' contract.
+  Mutex writer_mu_ RRR_ACQUIRED_BEFORE(mu_);
+  mutable Mutex mu_;
+  std::shared_ptr<const PreparedDataset> current_ RRR_GUARDED_BY(mu_);
 };
 
 /// \brief Dynamic engine over `source`: every Solve/SolveDual/Evaluate

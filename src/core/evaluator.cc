@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <set>
 
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/random.h"
 #include "core/candidate_index.h"
@@ -152,7 +152,7 @@ Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
         rng.UnitWeightVector(static_cast<int>(dataset.dims())));
   }
   std::vector<int64_t> per_chunk_worst;
-  std::mutex mu;
+  Mutex mu;
   std::atomic<bool> preempted{false};
   ParallelForChunked(
       threads, funcs.size(), 16, [&](size_t begin, size_t end) {
@@ -165,7 +165,7 @@ Result<int64_t> SampledRankRegretEstimate(const data::Dataset& dataset,
         for (size_t s = begin; s < end; ++s) {
           local = std::max(local, min_rank(funcs[s]));
         }
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         per_chunk_worst.push_back(local);
       });
   if (preempted.load()) {

@@ -40,6 +40,7 @@ Result<KSetCollection> EnumerateKSetsGraph(const data::Dataset& dataset,
   // make an axis top-k non-separable, so validate the seed and fall back to
   // the other axes and the diagonal before giving up.
   std::vector<geometry::Vec> seed_functions;
+  seed_functions.reserve(d + 1);
   for (size_t axis = 0; axis < d; ++axis) {
     geometry::Vec w(d, 0.0);
     w[axis] = 1.0;

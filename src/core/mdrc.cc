@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "core/candidate_index.h"
 #include "geometry/angles.h"
@@ -106,7 +107,7 @@ std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
   std::shared_ptr<Entry> entry;
   bool existed = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       entry = it->second;
@@ -137,7 +138,7 @@ std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
 size_t CornerTopKCache::entries() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;

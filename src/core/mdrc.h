@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "data/column_blocks.h"
 #include "data/dataset.h"
 #include "geometry/vec.h"
@@ -111,6 +113,7 @@ class CornerTopKCache {
   /// Per-call hit/miss counters (per solve, not per cache — a shared cache
   /// serves many solves, each wanting its own Diagnostics).
   struct Counters {
+    // rrr-lockfree: per-solve tallies, relaxed increments summed after join
     std::atomic<size_t> evals{0};
     std::atomic<size_t> hits{0};
   };
@@ -157,8 +160,9 @@ class CornerTopKCache {
     size_t operator()(const Key& key) const;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> map;
+    mutable Mutex mu;
+    std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> map
+        RRR_GUARDED_BY(mu);
   };
 
   std::vector<int32_t> Evaluate(size_t k, const geometry::Vec& angles,

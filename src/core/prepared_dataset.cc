@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "geometry/convex_hull.h"
 #include "geometry/dominance.h"
 #include "topk/score_kernel.h"
@@ -70,6 +71,9 @@ Result<std::shared_ptr<const PreparedDataset>> PreparedDataset::CreateVersioned(
     prepared->column_blocks_.Put(std::move(*seed.blocks));
   }
   if (seed.counts != nullptr) {
+    // Uncontended (the object is not yet published), but the counts are
+    // guarded state: take the lock so the write is annotation-clean.
+    MutexLock lock(prepared->candidate_counts_mu_);
     prepared->candidate_counts_.cap = std::min(seed.counts_cap, n);
     prepared->candidate_counts_.counts = std::move(seed.counts);
   }
@@ -197,7 +201,7 @@ PreparedDataset::SharedCandidateIndex(size_t k, size_t threads,
   for (;;) {
     std::shared_ptr<const std::vector<uint32_t>> counts;
     {
-      std::lock_guard<std::mutex> lock(candidate_counts_mu_);
+      MutexLock lock(candidate_counts_mu_);
       if (candidate_counts_.cap >= kk) counts = candidate_counts_.counts;
     }
     std::shared_ptr<const CandidateSlot> slot;
@@ -219,7 +223,7 @@ PreparedDataset::SharedCandidateIndex(size_t k, size_t threads,
                                                   counts.get(),
                                                   blocks.get()));
               if (outcome.counts != nullptr) {
-                std::lock_guard<std::mutex> lock(candidate_counts_mu_);
+                MutexLock lock(candidate_counts_mu_);
                 if (kk > candidate_counts_.cap) {
                   candidate_counts_.cap = kk;
                   candidate_counts_.counts = outcome.counts;
@@ -237,7 +241,7 @@ PreparedDataset::SharedCandidateIndex(size_t k, size_t threads,
       return slot->index;
     }
     if (counts == nullptr) {
-      std::lock_guard<std::mutex> lock(candidate_counts_mu_);
+      MutexLock lock(candidate_counts_mu_);
       if (candidate_counts_.cap < kk) return slot->index;
     }
     retried = true;

@@ -2,17 +2,17 @@
 #define RRR_CORE_PREPARED_DATASET_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/exec_context.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/version.h"
 #include "core/candidate_index.h"
 #include "core/kset_sampler.h"
@@ -44,19 +44,19 @@ class LazyCell {
   /// (the versioned-update path seeds incrementally-maintained artifacts
   /// at construction, when the cell is necessarily idle).
   void Put(V value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     RRR_CHECK(state_ == State::kIdle)
         << "LazyCell::Put on a cell that already computed";
     value_ = std::make_shared<const V>(std::move(value));
     state_ = State::kReady;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   /// The value if already computed (or Put), else null — never triggers or
   /// waits for a compute. The dynamic-update layer peeks so an update only
   /// maintains artifacts that some query actually paid for.
   std::shared_ptr<const V> Peek() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return state_ == State::kReady ? value_ : nullptr;
   }
 
@@ -64,40 +64,53 @@ class LazyCell {
   Result<std::shared_ptr<const V>> GetOrCompute(const ExecContext& ctx,
                                                 bool* cache_hit,
                                                 Fn&& compute) {
-    std::unique_lock<std::mutex> lock(mu_);
+    // Explicitly balanced lock/unlock rather than RAII: the capability
+    // must be dropped across the compute() call, which a scoped lock
+    // cannot express to the analysis.
+    mu_.lock();
     for (;;) {
       if (state_ == State::kReady) {
+        std::shared_ptr<const V> value = value_;
+        mu_.unlock();
         if (cache_hit != nullptr) *cache_hit = true;
-        return value_;
+        return value;
       }
       if (state_ == State::kIdle) break;
       // Someone else is computing: wait for them, but keep honoring our
       // own cancellation/deadline (they may be laxer than ours).
-      cv_.wait_for(lock, std::chrono::milliseconds(10));
-      RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
+      cv_.WaitFor(mu_, std::chrono::milliseconds(10));
+      const Status preempted = ctx.CheckPreempted();
+      if (!preempted.ok()) {
+        mu_.unlock();
+        return preempted;
+      }
     }
     state_ = State::kComputing;
-    lock.unlock();
+    mu_.unlock();
     Result<V> computed = compute();
-    lock.lock();
+    mu_.lock();
     if (!computed.ok()) {
       state_ = State::kIdle;  // let a later (or concurrent) caller retry
-      cv_.notify_all();
+      cv_.NotifyAll();
+      mu_.unlock();
       return computed.status();
     }
-    value_ = std::make_shared<const V>(std::move(computed).value());
+    std::shared_ptr<const V> value =
+        std::make_shared<const V>(std::move(computed).value());
+    value_ = value;
     state_ = State::kReady;
-    cv_.notify_all();
+    cv_.NotifyAll();
+    mu_.unlock();
     if (cache_hit != nullptr) *cache_hit = false;
-    return value_;
+    return value;
   }
 
  private:
   enum class State { kIdle, kComputing, kReady };
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  State state_ = State::kIdle;
-  std::shared_ptr<const V> value_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  State state_ RRR_GUARDED_BY(mu_) = State::kIdle;
+  std::shared_ptr<const V> value_ RRR_GUARDED_BY(mu_);
 };
 
 /// \brief Keyed collection of LazyCells with an entry cap: past the cap,
@@ -114,7 +127,7 @@ class KeyedLazyCache {
                                                 Fn&& compute) {
     std::shared_ptr<LazyCell<V>> cell;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = map_.find(key);
       if (it != map_.end()) {
         cell = it->second;
@@ -133,7 +146,7 @@ class KeyedLazyCache {
   }
 
   size_t entries() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return map_.size();
   }
 
@@ -141,14 +154,15 @@ class KeyedLazyCache {
   /// Callers already waiting on the dropped cell finish against it
   /// unaffected; they just no longer share with future callers.
   void Invalidate(const K& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     map_.erase(key);
   }
 
  private:
-  mutable std::mutex mu_;
-  size_t max_entries_;
-  std::unordered_map<K, std::shared_ptr<LazyCell<V>>, Hash> map_;
+  mutable Mutex mu_;
+  size_t max_entries_;  // immutable after construction
+  std::unordered_map<K, std::shared_ptr<LazyCell<V>>, Hash> map_
+      RRR_GUARDED_BY(mu_);
 };
 
 }  // namespace internal
@@ -260,7 +274,7 @@ class PreparedDataset {
   /// to maintain them incrementally across versions.
   std::pair<size_t, std::shared_ptr<const std::vector<uint32_t>>>
   CandidateCountsSnapshot() const {
-    std::lock_guard<std::mutex> lock(candidate_counts_mu_);
+    MutexLock lock(candidate_counts_mu_);
     return {candidate_counts_.cap, candidate_counts_.counts};
   }
 
@@ -362,8 +376,9 @@ class PreparedDataset {
   mutable internal::KeyedLazyCache<KSetKey, KSetSampleResult, KSetKeyHash>
       kset_cache_;
   mutable internal::KeyedLazyCache<size_t, CandidateSlot> candidate_cache_;
-  mutable std::mutex candidate_counts_mu_;
-  mutable CandidateCounts candidate_counts_;
+  mutable Mutex candidate_counts_mu_;
+  mutable CandidateCounts candidate_counts_
+      RRR_GUARDED_BY(candidate_counts_mu_);
 };
 
 }  // namespace core

@@ -109,6 +109,7 @@ size_t AngularSweep::Run(const SweepCallback& cb) const {
   for (size_t i = 0; i + 1 < n; ++i) push_pair(i);
 
   size_t exchanges = 0;
+  // rrr-lint: disable(missing-preemption-gate) reason=cancellable through the callback protocol: cb returning false stops the sweep, and every engine-path caller checks its ExecContext inside cb
   while (!heap.empty()) {
     const Event ev = heap.top();
     heap.pop();

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "topk/score_kernel.h"
 
 namespace rrr {
@@ -26,7 +27,7 @@ ThresholdAlgorithmIndex::ScratchLease::ScratchLease(
     const ThresholdAlgorithmIndex* index)
     : index_(index) {
   {
-    std::lock_guard<std::mutex> lock(index->scratch_mu_);
+    MutexLock lock(index->scratch_mu_);
     if (!index->scratch_pool_.empty()) {
       scratch_ = std::move(index->scratch_pool_.back());
       index->scratch_pool_.pop_back();
@@ -43,7 +44,7 @@ ThresholdAlgorithmIndex::ScratchLease::ScratchLease(
 }
 
 ThresholdAlgorithmIndex::ScratchLease::~ScratchLease() {
-  std::lock_guard<std::mutex> lock(index_->scratch_mu_);
+  MutexLock lock(index_->scratch_mu_);
   index_->scratch_pool_.push_back(std::move(scratch_));
 }
 

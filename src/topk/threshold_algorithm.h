@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "data/column_blocks.h"
 #include "data/dataset.h"
 #include "topk/scoring.h"
@@ -97,9 +98,15 @@ class ThresholdAlgorithmIndex {
   /// columns_[j] holds tuple ids sorted by attribute j descending
   /// (ties by id ascending, consistent with the library order).
   std::vector<std::vector<int32_t>> columns_;
+  // rrr-lockfree: observability counter, relaxed store per query
   mutable std::atomic<size_t> last_scan_depth_{0};
-  mutable std::mutex scratch_mu_;
-  mutable std::vector<std::unique_ptr<Scratch>> scratch_pool_;
+  /// Pooled per-query scratch: TopK/TopKSet are const and run concurrently
+  /// (the parallel K-SETr sampler), so the mutable pool is explicitly
+  /// mutex-guarded — touched once per query at lease checkout/return,
+  /// never inside the scan loop.
+  mutable Mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<Scratch>> scratch_pool_
+      RRR_GUARDED_BY(scratch_mu_);
 };
 
 }  // namespace topk

@@ -1,0 +1,5 @@
+# Fixture: a build file overriding the global contraction setting. Must
+# trip fp-contract; the commented flag below must NOT (comments are
+# stripped before matching).
+# add_compile_options(-ffp-contract=fast)
+add_compile_options(-ffp-contract=fast)

@@ -1,0 +1,28 @@
+// Fixture: clean counterpart of unguarded_sync_bad.h — annotated Mutex
+// guarding a member, and a justified lock-free atomic. Must trip no rule.
+#ifndef FIXTURE_GUARDED_SYNC_CLEAN_H_
+#define FIXTURE_GUARDED_SYNC_CLEAN_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace rrr {
+
+class GoodSync {
+ public:
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<int> values_ RRR_GUARDED_BY(mu_);
+  // rrr-lockfree: observability counter, single writer, relaxed reads
+  std::atomic<size_t> hits_{0};
+};
+
+}  // namespace rrr
+
+#endif  // FIXTURE_GUARDED_SYNC_CLEAN_H_

@@ -1,0 +1,31 @@
+// Fixture: all three unguarded-sync shapes — a raw std primitive, a Mutex
+// member that guards nothing, and an undocumented std::atomic member.
+// Must trip unguarded-sync (three findings) and nothing else. Scanned
+// only, never compiled.
+#ifndef FIXTURE_UNGUARDED_SYNC_BAD_H_
+#define FIXTURE_UNGUARDED_SYNC_BAD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+namespace rrr {
+
+class BadSync {
+ public:
+  size_t count() const { return count_.load(); }
+
+ private:
+  std::mutex raw_mu_;
+  std::atomic<size_t> count_{0};
+};
+
+class OrphanMutex {
+ private:
+  Mutex lonely_mu_;
+  size_t value_ = 0;
+};
+
+}  // namespace rrr
+
+#endif  // FIXTURE_UNGUARDED_SYNC_BAD_H_

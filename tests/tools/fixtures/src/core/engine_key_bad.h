@@ -1,0 +1,26 @@
+// Fixture: an engine memo key struct with no DatasetVersion member. Must
+// trip memo-version-key and nothing else. The filename contains "engine"
+// to land in the rule's scope.
+#ifndef FIXTURE_ENGINE_KEY_BAD_H_
+#define FIXTURE_ENGINE_KEY_BAD_H_
+
+#include <cstddef>
+#include <string>
+
+namespace rrr {
+namespace core {
+
+struct StaleResultKey {
+  std::string function_fingerprint;
+  size_t k = 0;
+
+  bool operator==(const StaleResultKey& other) const {
+    return function_fingerprint == other.function_fingerprint &&
+           k == other.k;
+  }
+};
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // FIXTURE_ENGINE_KEY_BAD_H_

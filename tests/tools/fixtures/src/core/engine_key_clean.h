@@ -1,0 +1,29 @@
+// Fixture: clean counterpart of engine_key_bad.h — the memo key carries
+// the DatasetVersion it was computed against. Must trip no rule.
+#ifndef FIXTURE_ENGINE_KEY_CLEAN_H_
+#define FIXTURE_ENGINE_KEY_CLEAN_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/version.h"
+
+namespace rrr {
+namespace core {
+
+struct VersionedResultKey {
+  DatasetVersion version;
+  std::string function_fingerprint;
+  size_t k = 0;
+
+  bool operator==(const VersionedResultKey& other) const {
+    return version == other.version &&
+           function_fingerprint == other.function_fingerprint &&
+           k == other.k;
+  }
+};
+
+}  // namespace core
+}  // namespace rrr
+
+#endif  // FIXTURE_ENGINE_KEY_CLEAN_H_

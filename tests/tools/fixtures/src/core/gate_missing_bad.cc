@@ -1,0 +1,57 @@
+// Fixture: a long compute loop in src/core with no preemption reference.
+// Must trip missing-preemption-gate and nothing else.
+#include <cstddef>
+#include <vector>
+
+namespace rrr {
+namespace core {
+
+size_t LongUngatedLoop(std::vector<double>& cells, size_t rounds) {
+  size_t work = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    double acc = 0.0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      acc = acc + cells[i];
+    }
+    if (acc > 0.0) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        cells[i] = cells[i] / 2.0;
+      }
+    } else {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        cells[i] = cells[i] * 2.0;
+      }
+    }
+    double lo = 0.0;
+    double hi = 0.0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i] < lo) {
+        lo = cells[i];
+      }
+      if (cells[i] > hi) {
+        hi = cells[i];
+      }
+    }
+    if (hi - lo < 1e-12) {
+      break;
+    }
+    work += cells.size();
+    cells.push_back(hi - lo);
+    cells.push_back(lo - hi);
+    if (cells.size() > rounds * 64) {
+      cells.resize(rounds);
+    }
+    double mean = 0.0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      mean = mean + cells[i] / static_cast<double>(cells.size());
+    }
+    if (mean > hi) {
+      work += 2;
+    }
+    work += 1;
+  }
+  return work;
+}
+
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,64 @@
+// Fixture: clean counterpart of gate_missing_bad.cc — the same long-loop
+// shape, but pumping a PreemptionGate each round. Must trip no rule.
+#include <cstddef>
+#include <vector>
+
+namespace rrr {
+namespace core {
+
+struct FakeStatus {
+  bool ok = true;
+};
+
+struct FakeGate {
+  FakeStatus Check() { return FakeStatus{}; }
+};
+
+size_t LongGatedLoop(std::vector<double>& cells, size_t rounds) {
+  FakeGate gate;  // stands in for PreemptionGate gate(ctx);
+  size_t work = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    const FakeStatus preempted = gate.Check();
+    if (!preempted.ok) {
+      break;
+    }
+    double acc = 0.0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      acc = acc + cells[i];
+    }
+    if (acc > 0.0) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        cells[i] = cells[i] / 2.0;
+      }
+    } else {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        cells[i] = cells[i] * 2.0;
+      }
+    }
+    double lo = 0.0;
+    double hi = 0.0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i] < lo) {
+        lo = cells[i];
+      }
+      if (cells[i] > hi) {
+        hi = cells[i];
+      }
+    }
+    if (hi - lo < 1e-12) {
+      break;
+    }
+    double mean = 0.0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      mean = mean + cells[i] / static_cast<double>(cells.size());
+    }
+    if (mean > hi) {
+      work += 2;
+    }
+    work += cells.size() + 1;
+  }
+  return work;
+}
+
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,17 @@
+// Fixture: a hand-rolled dot-product fold outside the audited allowlist.
+// Must trip scoring-loop and nothing else.
+#include <cstddef>
+
+namespace rrr {
+namespace core {
+
+double HandRolledScore(const double* w, const double* row, size_t d) {
+  double s = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    s += w[j] * row[j];
+  }
+  return s;
+}
+
+}  // namespace core
+}  // namespace rrr

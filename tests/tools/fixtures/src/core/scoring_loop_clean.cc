@@ -1,0 +1,23 @@
+// Fixture: clean counterpart of scoring_loop_bad.cc — scoring routed
+// through the kernel API, plus compound-adds that are NOT fold-shaped
+// (no subscript adjacent to the multiply). Must trip no rule.
+#include <cstddef>
+#include <vector>
+
+namespace rrr {
+namespace core {
+
+double KernelRoutedScore(const std::vector<double>& scores, size_t i) {
+  // ScoreAll(blocks, f, &scores) would have filled `scores` upstream.
+  return scores[i];
+}
+
+size_t StrideArithmetic(size_t i, size_t stride, size_t width) {
+  size_t offset = 0;
+  offset += i * stride;  // scalar * scalar: not a fold
+  offset += width * 2;
+  return offset;
+}
+
+}  // namespace core
+}  // namespace rrr

@@ -1,0 +1,19 @@
+// Fixture: a disable marker with no reason= clause. Must trip
+// bad-suppression (the scoring-loop finding itself is suppressed, but a
+// reasonless escape hatch is a violation in its own right).
+#include <cstddef>
+
+namespace rrr {
+namespace core {
+
+double UnjustifiedFold(const double* w, const double* row, size_t d) {
+  double s = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    // rrr-lint: disable(scoring-loop)
+    s += w[j] * row[j];
+  }
+  return s;
+}
+
+}  // namespace core
+}  // namespace rrr

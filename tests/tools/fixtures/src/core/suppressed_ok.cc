@@ -1,0 +1,18 @@
+// Fixture: a scoring-shaped fold carrying a well-formed disable marker.
+// Must report zero violations and exactly one counted suppression.
+#include <cstddef>
+
+namespace rrr {
+namespace core {
+
+double JustifiedFold(const double* w, const double* row, size_t d) {
+  double s = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    // rrr-lint: disable(scoring-loop) reason=fixture demonstrating the audited escape hatch
+    s += w[j] * row[j];
+  }
+  return s;
+}
+
+}  // namespace core
+}  // namespace rrr

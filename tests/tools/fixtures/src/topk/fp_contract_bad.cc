@@ -1,0 +1,13 @@
+// Fixture: explicit fused multiply-add in library code. Must trip
+// fp-contract and nothing else.
+#include <cmath>
+
+namespace rrr {
+namespace topk {
+
+double FusedScore(double w, double v, double acc) {
+  return std::fma(w, v, acc);
+}
+
+}  // namespace topk
+}  // namespace rrr

@@ -1,0 +1,11 @@
+// Fixture: FP_CONTRACT pragma re-enabling contraction. Must trip
+// fp-contract (pragma form) and nothing else.
+#pragma STDC FP_CONTRACT ON
+
+namespace rrr {
+namespace topk {
+
+double MulAdd(double a, double b, double c) { return a * b + c; }
+
+}  // namespace topk
+}  // namespace rrr
