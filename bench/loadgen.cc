@@ -1,0 +1,295 @@
+// rrr_loadgen: burst load generator for rrr_serverd. Registers a generated
+// dataset, then drives three phases against a running daemon:
+//
+//   mixed    — N client threads issue a SOLVE/DUAL/EVAL mix back to back
+//   deadline — queries carrying a ~1ms deadline behind a slow SLEEP, so
+//              some must surface ERR code=deadline_exceeded
+//   busy     — more concurrent SLEEPs than workers + queue_depth, so some
+//              must surface the typed ERR code=busy rejection
+//
+// Per-phase counts and latency percentiles go to stdout as CSV and to
+// BENCH_service.json via the shared BenchJson sink. Exit code is 0 only if
+// every phase behaved (mixed saw no errors; deadline saw >=1
+// deadline_exceeded; busy saw >=1 busy) — CI's smoke job keys off it.
+//
+// Usage:
+//   rrr_loadgen --port=N [--host=127.0.0.1] [--clients=4] [--requests=40]
+//               [--rows=2000] [--dims=3]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/mutex.h"
+#include "service/client.h"
+
+namespace {
+
+using rrr::service::LineClient;
+using rrr::service::Reply;
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  size_t port = 0;
+  size_t clients = 4;
+  size_t requests = 40;  // per client, mixed phase
+  size_t rows = 2000;
+  size_t dims = 3;
+};
+
+/// Outcome tallies for one phase; merged across client threads.
+struct Tally {
+  size_t ok = 0;
+  size_t busy = 0;
+  size_t deadline = 0;
+  size_t errors = 0;
+  std::vector<double> latencies_ms;
+
+  void Absorb(const Tally& other) {
+    ok += other.ok;
+    busy += other.busy;
+    deadline += other.deadline;
+    errors += other.errors;
+    latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(),
+                        other.latencies_ms.end());
+  }
+};
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const size_t idx = static_cast<size_t>(p * (values->size() - 1) + 0.5);
+  return (*values)[std::min(idx, values->size() - 1)];
+}
+
+/// Sends one request and folds the outcome into `tally`.
+void RunOne(LineClient* client, const std::string& line, Tally* tally) {
+  const auto start = std::chrono::steady_clock::now();
+  rrr::Result<Reply> reply = client->Request(line);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  tally->latencies_ms.push_back(ms);
+  if (!reply.ok()) {
+    ++tally->errors;
+    return;
+  }
+  if (reply.value().ok) {
+    ++tally->ok;
+  } else if (reply.value().code == "busy") {
+    ++tally->busy;
+  } else if (reply.value().code == "deadline_exceeded") {
+    ++tally->deadline;
+  } else {
+    ++tally->errors;
+    std::fprintf(stderr, "rrr_loadgen: unexpected ERR code=%s msg=%s\n",
+                 reply.value().code.c_str(), reply.value().msg.c_str());
+  }
+}
+
+/// Runs `fn(client_index, per-thread tally)` on `threads` connections and
+/// merges the tallies.
+template <typename Fn>
+Tally FanOut(const Flags& flags, size_t threads, Fn fn) {
+  Tally merged;
+  rrr::Mutex mu;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    pool.emplace_back([&, i] {
+      LineClient client;
+      if (!client.Connect(flags.host, static_cast<uint16_t>(flags.port))
+               .ok()) {
+        rrr::MutexLock lock(mu);
+        ++merged.errors;
+        return;
+      }
+      Tally local;
+      fn(i, &client, &local);
+      rrr::MutexLock lock(mu);
+      merged.Absorb(local);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return merged;
+}
+
+void Report(const std::string& phase, size_t requests, Tally* tally,
+            double seconds) {
+  const double p50 = Percentile(&tally->latencies_ms, 0.50);
+  const double p95 = Percentile(&tally->latencies_ms, 0.95);
+  const double qps = seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  char p50s[32], p95s[32], secs[32], qpss[32];
+  std::snprintf(p50s, sizeof(p50s), "%.3f", p50);
+  std::snprintf(p95s, sizeof(p95s), "%.3f", p95);
+  std::snprintf(secs, sizeof(secs), "%.3f", seconds);
+  std::snprintf(qpss, sizeof(qpss), "%.1f", qps);
+  std::printf("%s,%zu,%zu,%zu,%zu,%zu,%s,%s,%s,%s\n", phase.c_str(),
+              requests, tally->ok, tally->busy, tally->deadline,
+              tally->errors, p50s, p95s, secs, qpss);
+  rrr::bench::BenchJson::Global().AddRow(
+      {phase, std::to_string(requests), std::to_string(tally->ok),
+       std::to_string(tally->busy), std::to_string(tally->deadline),
+       std::to_string(tally->errors), p50s, p95s, secs, qpss});
+}
+
+bool ParseSizeFlag(const char* arg, const char* name, size_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = static_cast<size_t>(std::strtoull(arg + len + 1, nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      flags.host = arg + 7;
+      continue;
+    }
+    if (ParseSizeFlag(arg, "--port", &flags.port) ||
+        ParseSizeFlag(arg, "--clients", &flags.clients) ||
+        ParseSizeFlag(arg, "--requests", &flags.requests) ||
+        ParseSizeFlag(arg, "--rows", &flags.rows) ||
+        ParseSizeFlag(arg, "--dims", &flags.dims)) {
+      continue;
+    }
+    std::fprintf(stderr, "rrr_loadgen: unknown flag: %s\n", arg);
+    return 2;
+  }
+  if (flags.port == 0 || flags.port > 65535) {
+    std::fprintf(stderr, "rrr_loadgen: --port=N required\n");
+    return 2;
+  }
+
+  rrr::bench::BenchJson::Global().Begin(
+      "service", "rrr_serverd load burst (mixed / deadline / busy phases)");
+  rrr::bench::BenchJson::Global().SetColumns(
+      {"phase", "requests", "ok", "busy", "deadline_exceeded", "errors",
+       "p50_ms", "p95_ms", "total_sec", "qps"});
+  std::printf(
+      "phase,requests,ok,busy,deadline_exceeded,errors,p50_ms,p95_ms,"
+      "total_sec,qps\n");
+
+  // Control connection: register the dataset and wait for READY.
+  LineClient control;
+  if (!control.Connect(flags.host, static_cast<uint16_t>(flags.port)).ok()) {
+    std::fprintf(stderr, "rrr_loadgen: cannot connect to %s:%zu\n",
+                 flags.host.c_str(), flags.port);
+    return 1;
+  }
+  const std::string dataset = "loadgen";
+  control.Request("REGISTER name=" + dataset +
+                  " gen=uniform n=" + std::to_string(flags.rows) +
+                  " d=" + std::to_string(flags.dims) + " seed=7");
+  bool ready = false;
+  for (int i = 0; i < 600 && !ready; ++i) {
+    rrr::Result<Reply> status = control.Request("STATUS name=" + dataset);
+    if (!status.ok()) break;
+    const std::string* state = status.value().Find("state");
+    if (state != nullptr && *state == "READY") ready = true;
+    if (state != nullptr && *state == "FAILED") break;
+    if (!ready) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (!ready) {
+    std::fprintf(stderr, "rrr_loadgen: dataset never became READY\n");
+    return 1;
+  }
+
+  // Phase 1: mixed SOLVE/DUAL/EVAL burst.
+  const auto mixed_start = std::chrono::steady_clock::now();
+  Tally mixed = FanOut(
+      flags, flags.clients, [&](size_t who, LineClient* client, Tally* out) {
+        for (size_t r = 0; r < flags.requests; ++r) {
+          const size_t k = 2 + (who + r) % 5;
+          switch (r % 3) {
+            case 0:
+              RunOne(client,
+                     "SOLVE name=" + dataset + " k=" + std::to_string(k),
+                     out);
+              break;
+            case 1:
+              RunOne(client, "DUAL name=" + dataset + " max_size=8", out);
+              break;
+            default:
+              RunOne(client,
+                     "EVAL name=" + dataset +
+                         " ids=0,1,2,3 k=" + std::to_string(k),
+                     out);
+              break;
+          }
+        }
+      });
+  const double mixed_sec = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - mixed_start)
+                               .count();
+  Report("mixed", flags.clients * flags.requests, &mixed, mixed_sec);
+
+  // Phase 2: deadline pressure. A long SLEEP occupies workers while short
+  // deadlines queue behind it; the deadline clock starts at admission, so
+  // the queued queries expire.
+  const size_t deadline_reqs = 8;
+  const auto deadline_start = std::chrono::steady_clock::now();
+  Tally deadline = FanOut(
+      flags, deadline_reqs, [&](size_t who, LineClient* client, Tally* out) {
+        if (who == 0) {
+          RunOne(client, "SLEEP ms=400", out);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+          RunOne(client, "SLEEP ms=300 deadline_ms=1", out);
+        }
+      });
+  const double deadline_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    deadline_start)
+          .count();
+  Report("deadline", deadline_reqs, &deadline, deadline_sec);
+
+  // Phase 3: admission overload. Far more concurrent SLEEPs than workers +
+  // queue slots; the excess must get the typed busy rejection.
+  const size_t busy_reqs = 64;
+  const auto busy_start = std::chrono::steady_clock::now();
+  Tally busy = FanOut(flags, busy_reqs,
+                      [&](size_t, LineClient* client, Tally* out) {
+                        RunOne(client, "SLEEP ms=250", out);
+                      });
+  const double busy_sec = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - busy_start)
+                              .count();
+  Report("busy", busy_reqs, &busy, busy_sec);
+
+  // Final STATS snapshot for the log.
+  rrr::Result<std::map<std::string, std::string>> stats =
+      control.RequestStats();
+  if (stats.ok()) {
+    for (const char* key :
+         {"queries_total", "memo_hits", "deadline_exceeded", "cancelled",
+          "busy_rejections", "cache_bytes", "evictions"}) {
+      const auto it = stats.value().find(key);
+      if (it != stats.value().end()) {
+        std::printf("# stats %s=%s\n", key, it->second.c_str());
+      }
+    }
+  }
+  rrr::Result<std::string> json =
+      rrr::bench::BenchJson::Global().WriteFile();
+  if (json.ok()) std::printf("# wrote %s\n", json.value().c_str());
+
+  const bool healthy = mixed.errors == 0 && mixed.busy + mixed.ok > 0 &&
+                       deadline.deadline >= 1 && busy.busy >= 1 &&
+                       deadline.errors == 0 && busy.errors == 0;
+  if (!healthy) {
+    std::fprintf(stderr, "rrr_loadgen: phase expectations not met\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,9 +1,55 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <memory>
+
+#include "common/mutex.h"
 
 namespace rrr {
+
+namespace {
+
+// The installed sink, shared so an emit can keep invoking a sink that a
+// concurrent SetLogSink is swapping out. Function-local static (leaked)
+// so logging works during static destruction.
+Mutex& SinkMutex() {
+  static Mutex* mu = new Mutex;
+  return *mu;
+}
+
+std::shared_ptr<const LogSink>& SinkSlot() {
+  static auto* slot = new std::shared_ptr<const LogSink>();
+  return *slot;
+}
+
+std::shared_ptr<const LogSink> CurrentSink() {
+  MutexLock lock(SinkMutex());
+  return SinkSlot();
+}
+
+/// Small dense per-thread id for log prefixes: assigned on a thread's
+/// first log line, far more readable than pthread handles.
+size_t ThreadLogId() {
+  // rrr-lockfree: monotone id allocator, one fetch_add per thread lifetime
+  static std::atomic<size_t> next{1};
+  thread_local size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+void SetLogSink(LogSink sink) {
+  std::shared_ptr<const LogSink> installed =
+      sink == nullptr ? nullptr
+                      : std::make_shared<const LogSink>(std::move(sink));
+  MutexLock lock(SinkMutex());
+  SinkSlot() = std::move(installed);
+}
+
 namespace internal {
 
 namespace {
@@ -47,15 +93,35 @@ void SetLogThreshold(LogLevel level) { MutableThreshold() = level; }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  // Keep only the basename to keep lines short.
+  // Structured prefix: level, UTC wall time to the millisecond, dense
+  // thread id, basename:line. One line per message, greppable by field.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char stamp[40];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
   const char* base = std::strrchr(file, '/');
-  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":"
-          << line << "] ";
+  stream_ << "[" << LevelName(level) << " " << stamp << " t" << ThreadLogId()
+          << " " << (base ? base + 1 : file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogThreshold() || level_ == LogLevel::kFatal) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    const std::string line = stream_.str();
+    std::shared_ptr<const LogSink> sink = CurrentSink();
+    if (sink != nullptr && level_ != LogLevel::kFatal) {
+      (*sink)(level_, line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::fflush(stderr);

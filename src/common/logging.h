@@ -2,6 +2,7 @@
 #define RRR_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +16,21 @@ enum class LogLevel : int {
   kError = 3,
   kFatal = 4,
 };
+
+/// \brief Destination override for emitted log lines.
+///
+/// The sink receives each line fully formatted — the
+/// "[LEVEL date time tid file:line]" prefix included, no trailing
+/// newline — *after* the threshold filter, and must be safe to invoke
+/// from any thread (the logger serializes nothing beyond its own sink
+/// lookup). Tests install a capturing sink; the server routes lines to
+/// its own stream. kFatal lines still go to stderr (and abort) even with
+/// a sink installed, so crash context is never lost in a sink buffer.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Installs `sink` as the log destination; a null sink restores the
+/// default (stderr). Thread-safe; affects lines emitted after the call.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

@@ -381,5 +381,15 @@ int64_t CandidateIndex::MinRankOfSubset(
   return topk::MinRankOfSubset(full, f, subset, full_blocks);
 }
 
+size_t CandidateIndex::ApproxBytes() const {
+  size_t bytes = band_.size() * band_.dims() * sizeof(double);
+  bytes += band_ids_.capacity() * sizeof(int32_t);
+  bytes += in_band_.capacity() * sizeof(char);
+  if (band_blocks_ != nullptr) bytes += band_blocks_->ApproxBytes();
+  if (ta_ != nullptr) bytes += ta_->ApproxBytes();
+  if (band_sweep_ != nullptr) bytes += band_sweep_->ApproxBytes();
+  return bytes;
+}
+
 }  // namespace core
 }  // namespace rrr

@@ -192,6 +192,12 @@ class CandidateIndex {
                           const data::ColumnBlocks* full_blocks =
                               nullptr) const;
 
+  /// Approximate heap footprint in bytes: the band dataset, its id maps,
+  /// the band's columnar mirror, the Threshold Algorithm index, and the 2D
+  /// band sweep. The service layer's eviction budget reads this; it is an
+  /// estimate, not an allocation census.
+  size_t ApproxBytes() const;
+
  private:
   CandidateIndex(const data::Dataset& full, size_t k, data::Dataset band,
                  std::vector<int32_t> band_ids, std::vector<char> in_band);

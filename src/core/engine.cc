@@ -419,5 +419,21 @@ Result<EvalReport> RrrEngine::Evaluate(
   return report;
 }
 
+size_t RrrEngine::ApproxMemoBytes() const {
+  size_t bytes = 0;
+  result_cache_.ForEachReady(
+      [&bytes](const ResultKey&, const QueryResult& result) {
+        bytes += sizeof(ResultKey) + sizeof(QueryResult) +
+                 result.representative.capacity() * sizeof(int32_t);
+      });
+  return bytes;
+}
+
+size_t RrrEngine::EvictMemos() const {
+  const size_t freed = ApproxMemoBytes();
+  result_cache_.Clear();
+  return freed;
+}
+
 }  // namespace core
 }  // namespace rrr

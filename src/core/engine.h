@@ -217,6 +217,17 @@ class RrrEngine {
   Result<EvalReport> Evaluate(const std::vector<int32_t>& representative,
                               size_t k, const QueryOptions& query = {}) const;
 
+  /// Approximate heap footprint of the per-(version, k, algorithm) result
+  /// memo in bytes — the engine's slice of the service layer's memory
+  /// budget. An estimate, not an allocation census.
+  size_t ApproxMemoBytes() const;
+
+  /// Drops every memoized result (evictable-cell protocol); the next query
+  /// per key recomputes, bit-identically by the determinism guarantee.
+  /// Returns the approximate bytes freed. Shared prepared-dataset
+  /// artifacts are not touched — evict those via the PreparedDataset.
+  size_t EvictMemos() const;
+
  private:
   /// Memo key: the dataset version is part of the identity, so an entry
   /// computed against one row-state can never answer for another — the

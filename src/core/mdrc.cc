@@ -144,6 +144,31 @@ size_t CornerTopKCache::entries() const {
   return total;
 }
 
+size_t CornerTopKCache::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& kv : shard.map) {
+      bytes += sizeof(Key) + kv.first.angles.size() * sizeof(double);
+      bytes += sizeof(Entry) + kv.second->topk.capacity() * sizeof(int32_t);
+      bytes += 2 * sizeof(void*);  // map-node overhead, roughly
+    }
+  }
+  return bytes;
+}
+
+void CornerTopKCache::Clear() {
+  for (Shard& shard : shards_) {
+    // Swap the map out under the lock and destroy it outside: in-flight
+    // TopKAt callers hold their Entry by shared_ptr and are unaffected.
+    std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> dropped;
+    {
+      MutexLock lock(shard.mu);
+      dropped.swap(shard.map);
+    }
+  }
+}
+
 std::vector<int32_t> CornerTopKCache::Evaluate(
     size_t k, const geometry::Vec& angles, const CandidateIndex* candidates,
     const data::ColumnBlocks* blocks) const {

@@ -143,6 +143,17 @@ class CornerTopKCache {
   /// Corners currently memoized (across every k).
   size_t entries() const;
 
+  /// Approximate heap footprint of the memoized corners in bytes (keys,
+  /// stored top-k id lists, and map-node overhead) — the eviction-budget
+  /// signal for the service layer. An estimate, not an allocation census.
+  size_t ApproxBytes() const;
+
+  /// Drops every memoized corner, so later TopKAt calls recompute.
+  /// Thread-safe and race-free against in-flight TopKAt calls: a computing
+  /// thread holds its entry by shared_ptr and finishes against it
+  /// unaffected — it just no longer shares with future callers.
+  void Clear();
+
  private:
   static constexpr size_t kShards = 32;
   struct Entry {

@@ -249,5 +249,73 @@ PreparedDataset::SharedCandidateIndex(size_t k, size_t threads,
   }
 }
 
+namespace {
+
+size_t IdVectorBytes(const std::vector<int32_t>& ids) {
+  return ids.capacity() * sizeof(int32_t);
+}
+
+size_t KSetSampleBytes(const KSetSampleResult& sample) {
+  size_t bytes = 0;
+  for (const KSet& set : sample.ksets.sets()) {
+    bytes += sizeof(KSet) + set.ids.capacity() * sizeof(int32_t);
+  }
+  // The collection's dedup hash holds one copy of every set's id vector.
+  return 2 * bytes;
+}
+
+}  // namespace
+
+PreparedDataset::ArtifactBytes PreparedDataset::ApproxArtifactBytes() const {
+  ArtifactBytes bytes;
+  bytes.dataset = data_.size() * data_.dims() * sizeof(double);
+  if (sweep_ != nullptr) bytes.dataset += sweep_->ApproxBytes();
+  if (std::shared_ptr<const data::ColumnBlocks> blocks =
+          column_blocks_.Peek()) {
+    bytes.column_blocks = blocks->ApproxBytes();
+  }
+  if (std::shared_ptr<const std::vector<int32_t>> sky = skyline_.Peek()) {
+    bytes.skyline = IdVectorBytes(*sky);
+  }
+  if (std::shared_ptr<const std::vector<int32_t>> maxima =
+          convex_maxima_.Peek()) {
+    bytes.convex_maxima = IdVectorBytes(*maxima);
+  }
+  kset_cache_.ForEachReady(
+      [&bytes](const KSetKey&, const KSetSampleResult& sample) {
+        bytes.ksets += sizeof(KSetKey) + KSetSampleBytes(sample);
+      });
+  candidate_cache_.ForEachReady(
+      [&bytes](const size_t&, const CandidateSlot& slot) {
+        bytes.candidates += sizeof(CandidateSlot);
+        if (slot.index != nullptr) bytes.candidates += slot.index->ApproxBytes();
+      });
+  bytes.corner_topk = corner_cache_->ApproxBytes();
+  {
+    MutexLock lock(candidate_counts_mu_);
+    if (candidate_counts_.counts != nullptr) {
+      bytes.candidate_counts =
+          candidate_counts_.counts->capacity() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+size_t PreparedDataset::EvictSharedArtifacts() const {
+  const size_t freed = ApproxArtifactBytes().evictable();
+  column_blocks_.Evict();
+  skyline_.Evict();
+  convex_maxima_.Evict();
+  kset_cache_.Clear();
+  candidate_cache_.Clear();
+  corner_cache_->Clear();
+  {
+    MutexLock lock(candidate_counts_mu_);
+    candidate_counts_.cap = 0;
+    candidate_counts_.counts.reset();
+  }
+  return freed;
+}
+
 }  // namespace core
 }  // namespace rrr

@@ -60,6 +60,23 @@ class LazyCell {
     return state_ == State::kReady ? value_ : nullptr;
   }
 
+  /// \brief Evictable-cell protocol: drops a ready value so the next
+  /// GetOrCompute recomputes it. Returns true iff a value was dropped.
+  ///
+  /// Safe against in-flight readers — they hold the value by shared_ptr,
+  /// so eviction only severs the cell's reference; the artifact stays
+  /// alive until the last query using it finishes. A kComputing cell is
+  /// left alone (the computing caller will publish into it normally); an
+  /// idle cell has nothing to drop. Deterministic compute makes the
+  /// recompute bit-identical to the evicted value.
+  bool Evict() {
+    MutexLock lock(mu_);
+    if (state_ != State::kReady) return false;
+    value_.reset();
+    state_ = State::kIdle;
+    return true;
+  }
+
   template <typename Fn>
   Result<std::shared_ptr<const V>> GetOrCompute(const ExecContext& ctx,
                                                 bool* cache_hit,
@@ -156,6 +173,31 @@ class KeyedLazyCache {
   void Invalidate(const K& key) {
     MutexLock lock(mu_);
     map_.erase(key);
+  }
+
+  /// Drops every cell (the keyed form of LazyCell::Evict); in-flight
+  /// callers keep their cells by shared_ptr and finish unaffected.
+  void Clear() {
+    std::unordered_map<K, std::shared_ptr<LazyCell<V>>, Hash> dropped;
+    MutexLock lock(mu_);
+    dropped.swap(map_);
+  }
+
+  /// Invokes `fn(key, value)` for every cell whose value is ready —
+  /// the size-accounting walk. Cells are snapshotted under the lock and
+  /// peeked outside it, so fn never runs while the map mutex is held.
+  template <typename Fn>
+  void ForEachReady(Fn&& fn) const {
+    std::vector<std::pair<K, std::shared_ptr<LazyCell<V>>>> cells;
+    {
+      MutexLock lock(mu_);
+      cells.reserve(map_.size());
+      for (const auto& kv : map_) cells.emplace_back(kv.first, kv.second);
+    }
+    for (const auto& kv : cells) {
+      std::shared_ptr<const V> value = kv.second->Peek();
+      if (value != nullptr) fn(kv.first, *value);
+    }
   }
 
  private:
@@ -323,6 +365,42 @@ class PreparedDataset {
   Result<std::shared_ptr<const CandidateIndex>> SharedCandidateIndex(
       size_t k, size_t threads = 0, const ExecContext& ctx = {},
       bool* cache_hit = nullptr) const;
+
+  /// \brief Approximate heap footprint of the dataset and its shared
+  /// artifact caches, broken down per artifact family — the size signal
+  /// behind the service layer's memory budget. Estimates (capacity-based
+  /// upper bounds), not an allocation census.
+  struct ArtifactBytes {
+    size_t dataset = 0;        // the validated rows themselves
+    size_t column_blocks = 0;  // lazy columnar mirror
+    size_t skyline = 0;
+    size_t convex_maxima = 0;
+    size_t ksets = 0;           // K-SETr sample cache, every key
+    size_t candidates = 0;      // per-k candidate indexes, every key
+    size_t corner_topk = 0;     // MDRC corner memo
+    size_t candidate_counts = 0;
+
+    /// Bytes EvictSharedArtifacts can free (everything but the dataset).
+    size_t evictable() const {
+      return column_blocks + skyline + convex_maxima + ksets + candidates +
+             corner_topk + candidate_counts;
+    }
+    size_t total() const { return dataset + evictable(); }
+  };
+
+  /// Current footprint snapshot; safe to call concurrently with queries.
+  ArtifactBytes ApproxArtifactBytes() const;
+
+  /// \brief Sheds every shared artifact cache (evictable-cell protocol):
+  /// ready lazy cells revert to idle, keyed caches and the corner memo are
+  /// emptied, cached candidate counts are dropped. The dataset itself (and
+  /// the d == 2 sweep, which is construction-owned) stay.
+  ///
+  /// Returns the approximate bytes freed. Never races an in-flight query:
+  /// queries hold artifacts by shared_ptr, so eviction only severs the
+  /// cache references — the next query recomputes, bit-identically (every
+  /// artifact is a deterministic pure function of the data).
+  size_t EvictSharedArtifacts() const;
 
  private:
   struct KSetKey {

@@ -88,6 +88,11 @@ class AngularSweep {
   /// handled inside Run, which knows the ids.
   static double ExchangeAngle(const double* a, const double* b);
 
+  /// Approximate heap footprint in bytes (the ranked initial order).
+  size_t ApproxBytes() const {
+    return initial_order_.capacity() * sizeof(int32_t);
+  }
+
  private:
   const data::Dataset& dataset_;
   std::vector<int32_t> initial_order_;

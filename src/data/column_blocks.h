@@ -159,6 +159,20 @@ class ColumnBlocks {
   /// consumers that take both).
   const Dataset* source() const { return source_; }
 
+  /// Approximate heap footprint of the mirror in bytes. Derived mirrors
+  /// (WithoutRow) share their base's tile storage, so summing ApproxBytes
+  /// over related mirrors over-counts — this is an eviction-budget signal
+  /// (upper bound per mirror), not an allocation census.
+  size_t ApproxBytes() const {
+    size_t bytes = 0;
+    if (cells_ != nullptr) bytes += cells_->size() * sizeof(double);
+    if (mask_ != nullptr) bytes += mask_->size() * sizeof(uint64_t);
+    if (live_prefix_ != nullptr) {
+      bytes += live_prefix_->size() * sizeof(uint32_t);
+    }
+    return bytes;
+  }
+
  private:
   ColumnBlocks(const Dataset* source, size_t physical, size_t live, size_t d,
                size_t num_blocks,

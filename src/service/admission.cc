@@ -1,0 +1,72 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rrr {
+namespace service {
+
+AdmissionQueue::AdmissionQueue(const Options& options) : options_(options) {
+  const size_t workers = std::max<size_t>(1, options.workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AdmissionQueue::~AdmissionQueue() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+    cv_.NotifyAll();
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Status AdmissionQueue::TrySubmit(std::function<void()> job) {
+  MutexLock lock(mu_);
+  if (shutdown_) return Status::Cancelled("server shutting down");
+  if (queue_.size() >= options_.queue_depth &&
+      active_ >= workers_.size()) {
+    ++rejected_busy_;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.size()) +
+        " queued, " + std::to_string(active_) + " active)");
+  }
+  queue_.push_back(std::move(job));
+  ++accepted_;
+  cv_.NotifyOne();
+  return Status::OK();
+}
+
+void AdmissionQueue::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !shutdown_) cv_.Wait(mu_);
+      if (queue_.empty()) return;  // shutdown_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    MutexLock lock(mu_);
+    --active_;
+    ++completed_;
+  }
+}
+
+AdmissionQueue::Stats AdmissionQueue::GetStats() const {
+  MutexLock lock(mu_);
+  Stats stats;
+  stats.accepted = accepted_;
+  stats.rejected_busy = rejected_busy_;
+  stats.completed = completed_;
+  stats.queued = queue_.size();
+  stats.active = active_;
+  return stats;
+}
+
+}  // namespace service
+}  // namespace rrr

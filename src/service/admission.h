@@ -1,0 +1,79 @@
+#ifndef RRR_SERVICE_ADMISSION_H_
+#define RRR_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace rrr {
+namespace service {
+
+/// \brief Bounded query-dispatch pool: the server's admission-control
+/// layer. A fixed worker set drains a FIFO whose depth is capped; once
+/// `queue_depth` jobs are waiting, TrySubmit rejects with
+/// ResourceExhausted (surfaced on the wire as the typed `busy` code)
+/// instead of queuing unboundedly.
+///
+/// Deliberately separate from common/parallel.h's ThreadPool: that pool
+/// is an unbounded compute fan-out helper, while admission control needs
+/// exact queued/active accounting and rejection semantics. Jobs carry
+/// their own cancellation/deadline (the server builds an ExecContext per
+/// query); the queue never preempts a running job.
+class AdmissionQueue {
+ public:
+  struct Options {
+    size_t workers = 4;
+    /// Max jobs waiting (excluding the ones running). 0 means every
+    /// submission must find an idle worker or be rejected.
+    size_t queue_depth = 16;
+  };
+
+  struct Stats {
+    size_t accepted = 0;
+    size_t rejected_busy = 0;
+    size_t completed = 0;
+    size_t queued = 0;  // waiting now
+    size_t active = 0;  // running now
+  };
+
+  explicit AdmissionQueue(const Options& options);
+
+  /// Stops accepting, drains every already-accepted job, joins workers.
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits `job` unless the wait queue is full (ResourceExhausted) or the
+  /// queue is shutting down (Cancelled). An admitted job ALWAYS runs —
+  /// shutdown drains the queue — so submitters may block on its
+  /// completion signal unconditionally.
+  Status TrySubmit(std::function<void()> job);
+
+  Stats GetStats() const;
+
+ private:
+  void WorkerLoop();
+
+  Options options_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ RRR_GUARDED_BY(mu_);
+  bool shutdown_ RRR_GUARDED_BY(mu_) = false;
+  size_t active_ RRR_GUARDED_BY(mu_) = 0;
+  size_t accepted_ RRR_GUARDED_BY(mu_) = 0;
+  size_t rejected_busy_ RRR_GUARDED_BY(mu_) = 0;
+  size_t completed_ RRR_GUARDED_BY(mu_) = 0;
+  std::vector<std::thread> workers_;  // set in ctor, joined in dtor
+};
+
+}  // namespace service
+}  // namespace rrr
+
+#endif  // RRR_SERVICE_ADMISSION_H_

@@ -1,0 +1,150 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <sstream>
+
+namespace rrr {
+namespace service {
+
+const std::string* Reply::Find(const std::string& key) const {
+  const std::string* found = nullptr;
+  for (const auto& field : fields) {
+    if (field.first == key) found = &field.second;
+  }
+  return found;
+}
+
+LineClient::~LineClient() { Close(); }
+
+Status LineClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect failed to " + host + ":" +
+                           std::to_string(port));
+  }
+  fd_ = fd;
+  buffer_.clear();
+  return Status::OK();
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t wrote = ::send(fd_, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("send failed");
+    }
+    sent += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got == 0) return Status::IoError("connection closed by server");
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("recv failed");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+Result<Reply> LineClient::Request(const std::string& line) {
+  Status sent = SendLine(line);
+  if (!sent.ok()) return sent;
+  Result<std::string> raw = ReadLine();
+  if (!raw.ok()) return raw.status();
+  return ParseReply(raw.value());
+}
+
+Result<std::map<std::string, std::string>> LineClient::RequestStats() {
+  Status sent = SendLine("STATS");
+  if (!sent.ok()) return sent;
+  std::map<std::string, std::string> stats;
+  for (;;) {
+    Result<std::string> raw = ReadLine();
+    if (!raw.ok()) return raw.status();
+    const std::string& line = raw.value();
+    if (line == "END") return stats;
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Status::IoError("malformed STATS line: " + line);
+    }
+    stats[line.substr(0, space)] = line.substr(space + 1);
+  }
+}
+
+Result<Reply> ParseReply(const std::string& line) {
+  Reply reply;
+  std::istringstream in(line);
+  std::string leader;
+  in >> leader;
+  if (leader == "OK") {
+    reply.ok = true;
+    std::string token;
+    while (in >> token) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return Status::IoError("malformed OK field: " + token);
+      }
+      reply.fields.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+    return reply;
+  }
+  if (leader == "ERR") {
+    reply.ok = false;
+    std::string token;
+    if (in >> token && token.rfind("code=", 0) == 0) {
+      reply.code = token.substr(5);
+    } else {
+      return Status::IoError("ERR reply missing code=: " + line);
+    }
+    // msg= is last and may contain spaces: take the raw remainder.
+    const size_t msg_at = line.find(" msg=");
+    if (msg_at != std::string::npos) reply.msg = line.substr(msg_at + 5);
+    return reply;
+  }
+  return Status::IoError("unrecognized reply leader: " + line);
+}
+
+}  // namespace service
+}  // namespace rrr

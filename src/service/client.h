@@ -1,0 +1,72 @@
+#ifndef RRR_SERVICE_CLIENT_H_
+#define RRR_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rrr {
+namespace service {
+
+/// A parsed single-line response. `ok` mirrors the OK/ERR leader; ERR
+/// responses carry `code` (wire snake_case) and `msg`.
+struct Reply {
+  bool ok = false;
+  std::string code;  // ERR only
+  std::string msg;   // ERR only
+  std::vector<std::pair<std::string, std::string>> fields;  // OK only
+
+  /// The value for `key` among the OK fields, or null when absent.
+  const std::string* Find(const std::string& key) const;
+};
+
+/// \brief Minimal blocking client for the rrr_serverd line protocol —
+/// shared by the test suites and rrr_loadgen. One TCP connection, one
+/// outstanding request at a time.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects to host:port (host is a dotted quad, e.g. "127.0.0.1").
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Severs the connection (safe to call repeatedly). A server-side query
+  /// in flight on this connection observes the disconnect and cancels.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one raw request line (newline appended here).
+  Status SendLine(const std::string& line);
+
+  /// Reads one response line (newline stripped).
+  Result<std::string> ReadLine();
+
+  /// SendLine + ReadLine + parse. IoError on transport failure; protocol
+  /// ERRs come back as an ok() Result whose Reply has ok=false.
+  Result<Reply> Request(const std::string& line);
+
+  /// Sends STATS and reads `key value` lines until END into a map.
+  Result<std::map<std::string, std::string>> RequestStats();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+/// Parses one response line into a Reply (see protocol.h grammar).
+Result<Reply> ParseReply(const std::string& line);
+
+}  // namespace service
+}  // namespace rrr
+
+#endif  // RRR_SERVICE_CLIENT_H_

@@ -1,0 +1,354 @@
+#include "service/registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "data/csv.h"
+#include "data/generators.h"
+
+namespace rrr {
+namespace service {
+
+const char* DatasetStateName(DatasetState state) {
+  switch (state) {
+    case DatasetState::kLoading:
+      return "LOADING";
+    case DatasetState::kReady:
+      return "READY";
+    case DatasetState::kFailed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+Result<DatasetSpec> DatasetSpec::FromCommand(const Command& cmd) {
+  DatasetSpec spec;
+  const std::string* csv = cmd.Find("csv");
+  const std::string* gen = cmd.Find("gen");
+  if ((csv == nullptr) == (gen == nullptr)) {
+    return Status::InvalidArgument(
+        "REGISTER: exactly one of csv= / gen= required");
+  }
+  if (csv != nullptr) {
+    spec.csv_path = *csv;
+  } else {
+    spec.generator = *gen;
+    uint64_t n;
+    RRR_ASSIGN_OR_RETURN(n, cmd.GetUint("n"));
+    spec.n = static_cast<size_t>(n);
+    uint64_t d;
+    RRR_ASSIGN_OR_RETURN(d, cmd.GetUintOr("d", 2));
+    spec.d = static_cast<size_t>(d);
+    RRR_ASSIGN_OR_RETURN(spec.seed, cmd.GetUintOr("seed", 1));
+  }
+  uint64_t dynamic;
+  RRR_ASSIGN_OR_RETURN(dynamic, cmd.GetUintOr("dynamic", 0));
+  spec.dynamic = dynamic != 0;
+  return spec;
+}
+
+DatasetRegistry::DatasetRegistry(const Options& options)
+    : options_(options),
+      loader_pool_(std::max<size_t>(1, options.loader_threads)) {}
+
+DatasetRegistry::~DatasetRegistry() = default;
+
+Result<data::Dataset> DatasetRegistry::Materialize(const DatasetSpec& spec) {
+  if (!spec.csv_path.empty()) return data::ReadCsv(spec.csv_path);
+  if (spec.n == 0) return Status::InvalidArgument("generator needs n >= 1");
+  if (spec.generator == "uniform") {
+    return data::GenerateUniform(spec.n, spec.d, spec.seed);
+  }
+  if (spec.generator == "correlated") {
+    return data::GenerateCorrelated(spec.n, spec.d, spec.seed);
+  }
+  if (spec.generator == "anticorrelated") {
+    return data::GenerateAnticorrelated(spec.n, spec.d, spec.seed);
+  }
+  if (spec.generator == "clustered") {
+    return data::GenerateClustered(spec.n, spec.d, spec.seed);
+  }
+  if (spec.generator == "dot") return data::GenerateDotLike(spec.n, spec.seed);
+  if (spec.generator == "bn") return data::GenerateBnLike(spec.n, spec.seed);
+  return Status::InvalidArgument("unknown generator: " + spec.generator);
+}
+
+Status DatasetRegistry::Register(const std::string& name, DatasetSpec spec) {
+  if (name.empty() || name.find(' ') != std::string::npos ||
+      name.find('.') != std::string::npos) {
+    return Status::InvalidArgument(
+        "dataset names must be non-empty, space-free, and dot-free");
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->dynamic_spec = spec.dynamic;
+  {
+    MutexLock lock(mu_);
+    if (!entries_.emplace(name, entry).second) {
+      return Status::InvalidArgument("dataset already registered: " + name);
+    }
+  }
+  RRR_LOG(INFO) << "registry: accepted " << name << " ("
+                << (spec.csv_path.empty() ? "gen=" + spec.generator
+                                          : "csv=" + spec.csv_path)
+                << (spec.dynamic ? ", dynamic" : "") << ")";
+  loader_pool_.Submit([this, entry, spec = std::move(spec)]() {
+    LoadEntry(entry, spec);
+  });
+  return Status::OK();
+}
+
+void DatasetRegistry::LoadEntry(std::shared_ptr<Entry> entry,
+                                DatasetSpec spec) {
+  Result<data::Dataset> dataset = Materialize(spec);
+  std::shared_ptr<core::RrrEngine> engine;
+  std::shared_ptr<core::DynamicDataset> dynamic;
+  std::shared_ptr<const core::PreparedDataset> fixed;
+  Status failure = Status::OK();
+  if (!dataset.ok()) {
+    failure = dataset.status();
+  } else if (spec.dynamic) {
+    Result<std::shared_ptr<core::DynamicDataset>> built =
+        core::DynamicDataset::Create(std::move(dataset).value());
+    if (built.ok()) {
+      dynamic = std::move(built).value();
+      Result<std::shared_ptr<core::RrrEngine>> bound =
+          core::NewDynamicEngine(dynamic);
+      if (bound.ok()) {
+        engine = std::move(bound).value();
+      } else {
+        failure = bound.status();
+        dynamic.reset();
+      }
+    } else {
+      failure = built.status();
+    }
+  } else {
+    Result<std::shared_ptr<const core::PreparedDataset>> prepared =
+        core::PreparedDataset::Create(std::move(dataset).value());
+    if (prepared.ok()) {
+      fixed = std::move(prepared).value();
+      Result<std::shared_ptr<core::RrrEngine>> built =
+          core::RrrEngine::Create(fixed);
+      if (built.ok()) {
+        engine = std::move(built).value();
+      } else {
+        failure = built.status();
+        fixed.reset();
+      }
+    } else {
+      failure = prepared.status();
+    }
+  }
+  MutexLock lock(mu_);
+  if (failure.ok()) {
+    entry->engine = std::move(engine);
+    entry->dynamic = std::move(dynamic);
+    entry->fixed = std::move(fixed);
+    entry->state = DatasetState::kReady;
+  } else {
+    entry->error = failure.ToString();
+    entry->state = DatasetState::kFailed;
+    RRR_LOG(WARNING) << "registry: load failed: " << entry->error;
+  }
+}
+
+Result<DatasetRegistry::EntryReport> DatasetRegistry::Report(
+    const std::string& name) const {
+  MutexLock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown dataset: " + name);
+  }
+  const Entry& entry = *it->second;
+  EntryReport report;
+  report.state = entry.state;
+  report.error = entry.error;
+  report.dynamic = entry.dynamic_spec;
+  if (entry.state == DatasetState::kReady) {
+    const std::shared_ptr<const core::PreparedDataset> snapshot =
+        entry.dynamic != nullptr ? entry.dynamic->Snapshot() : entry.fixed;
+    report.version = snapshot->version();
+    report.rows = snapshot->size();
+    report.dims = snapshot->dims();
+  }
+  return report;
+}
+
+Result<DatasetRegistry::Acquired> DatasetRegistry::Acquire(
+    const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown dataset: " + name);
+  }
+  Entry& entry = *it->second;
+  if (entry.state == DatasetState::kLoading) {
+    return Status::FailedPrecondition("dataset still loading: " + name);
+  }
+  if (entry.state == DatasetState::kFailed) {
+    return Status::FailedPrecondition("dataset failed to load: " +
+                                      entry.error);
+  }
+  entry.last_touch = ++touch_clock_;
+  Acquired acquired;
+  acquired.engine = entry.engine;
+  acquired.snapshot =
+      entry.dynamic != nullptr ? entry.dynamic->Snapshot() : entry.fixed;
+  return acquired;
+}
+
+Result<DatasetVersion> DatasetRegistry::Append(
+    const std::string& name, const std::vector<std::vector<double>>& rows) {
+  std::shared_ptr<core::DynamicDataset> dynamic;
+  {
+    MutexLock lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("unknown dataset: " + name);
+    }
+    if (it->second->state != DatasetState::kReady) {
+      return Status::FailedPrecondition("dataset not READY: " + name);
+    }
+    dynamic = it->second->dynamic;
+  }
+  if (dynamic == nullptr) {
+    return Status::FailedPrecondition(
+        "dataset is not dynamic (REGISTER with dynamic=1): " + name);
+  }
+  // Outside the registry lock: writers serialize inside DynamicDataset,
+  // and the publish can do real work (incremental artifact maintenance).
+  return dynamic->BatchAppend(rows);
+}
+
+Result<DatasetVersion> DatasetRegistry::Delete(const std::string& name,
+                                               int32_t id) {
+  std::shared_ptr<core::DynamicDataset> dynamic;
+  {
+    MutexLock lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("unknown dataset: " + name);
+    }
+    if (it->second->state != DatasetState::kReady) {
+      return Status::FailedPrecondition("dataset not READY: " + name);
+    }
+    dynamic = it->second->dynamic;
+  }
+  if (dynamic == nullptr) {
+    return Status::FailedPrecondition(
+        "dataset is not dynamic (REGISTER with dynamic=1): " + name);
+  }
+  return dynamic->Delete(id);
+}
+
+Status DatasetRegistry::Unregister(const std::string& name) {
+  MutexLock lock(mu_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("unknown dataset: " + name);
+  }
+  return Status::OK();
+}
+
+size_t DatasetRegistry::EnforceBudget() {
+  if (options_.artifact_budget_bytes == 0) return 0;
+  // Snapshot the READY entries under the lock, size them outside it (the
+  // accounting walks cache-internal locks; keep the lock graph flat).
+  struct Candidate {
+    uint64_t last_touch;
+    std::shared_ptr<Entry> entry;
+    std::shared_ptr<const core::PreparedDataset> snapshot;
+    size_t bytes = 0;
+  };
+  std::vector<Candidate> candidates;
+  {
+    MutexLock lock(mu_);
+    for (const auto& kv : entries_) {
+      if (kv.second->state != DatasetState::kReady) continue;
+      Candidate c;
+      c.last_touch = kv.second->last_touch;
+      c.entry = kv.second;
+      c.snapshot = kv.second->dynamic != nullptr
+                       ? kv.second->dynamic->Snapshot()
+                       : kv.second->fixed;
+      candidates.push_back(std::move(c));
+    }
+  }
+  size_t total = 0;
+  for (Candidate& c : candidates) {
+    c.bytes = c.snapshot->ApproxArtifactBytes().evictable() +
+              c.entry->engine->ApproxMemoBytes();
+    total += c.bytes;
+  }
+  if (total <= options_.artifact_budget_bytes) return 0;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.last_touch < b.last_touch;
+            });
+  size_t evicted = 0;
+  for (const Candidate& c : candidates) {
+    if (total <= options_.artifact_budget_bytes) break;
+    const size_t freed = c.snapshot->EvictSharedArtifacts() +
+                         c.entry->engine->EvictMemos();
+    if (freed == 0) continue;
+    total -= std::min(freed, total);
+    ++evicted;
+    MutexLock lock(mu_);
+    ++evictions_;
+    evicted_bytes_ += freed;
+  }
+  if (evicted > 0) {
+    RRR_LOG(INFO) << "registry: evicted artifacts of " << evicted
+                  << " dataset(s); ~" << total << " evictable bytes remain";
+  }
+  return evicted;
+}
+
+DatasetRegistry::Stats DatasetRegistry::GetStats() const {
+  // Entry fields are guarded by mu_: copy state and the sizing handles out
+  // under the lock, then run the byte accounting (which takes the caches'
+  // own locks) outside it.
+  struct Sized {
+    std::string name;
+    DatasetState state;
+    std::shared_ptr<const core::PreparedDataset> snapshot;
+    std::shared_ptr<core::RrrEngine> engine;
+  };
+  std::vector<Sized> snapshot;
+  Stats stats;
+  {
+    MutexLock lock(mu_);
+    stats.datasets = entries_.size();
+    stats.evictions = evictions_;
+    stats.evicted_bytes = evicted_bytes_;
+    for (const auto& kv : entries_) {
+      Sized sized;
+      sized.name = kv.first;
+      sized.state = kv.second->state;
+      if (sized.state == DatasetState::kReady) {
+        sized.snapshot = kv.second->dynamic != nullptr
+                             ? kv.second->dynamic->Snapshot()
+                             : kv.second->fixed;
+        sized.engine = kv.second->engine;
+      }
+      snapshot.push_back(std::move(sized));
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const Sized& a, const Sized& b) { return a.name < b.name; });
+  for (const Sized& sized : snapshot) {
+    Stats::PerDataset per;
+    per.name = sized.name;
+    per.state = sized.state;
+    if (sized.state == DatasetState::kReady) {
+      ++stats.ready;
+      per.bytes = sized.snapshot->ApproxArtifactBytes().evictable() +
+                  sized.engine->ApproxMemoBytes();
+    }
+    stats.cache_bytes += per.bytes;
+    stats.per_dataset.push_back(std::move(per));
+  }
+  return stats;
+}
+
+}  // namespace service
+}  // namespace rrr

@@ -1,0 +1,173 @@
+#ifndef RRR_SERVICE_REGISTRY_H_
+#define RRR_SERVICE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/parallel.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "common/version.h"
+#include "core/dataset_updates.h"
+#include "core/engine.h"
+#include "service/protocol.h"
+
+namespace rrr {
+namespace service {
+
+/// How to materialize a registered dataset: a CSV path or a generator
+/// spec. Exactly one of csv_path / generator is set.
+struct DatasetSpec {
+  std::string csv_path;
+  /// One of: uniform | correlated | anticorrelated | clustered | dot | bn.
+  std::string generator;
+  size_t n = 0;  // generator rows
+  size_t d = 0;  // generator dims (dot/bn fix their own)
+  uint64_t seed = 1;
+  /// Dynamic datasets are CreateDynamic-backed and accept APPEND/DELETE.
+  bool dynamic = false;
+
+  /// Parses REGISTER arguments (csv= | gen= n= [d=] [seed=] [dynamic=1]).
+  static Result<DatasetSpec> FromCommand(const Command& cmd);
+};
+
+/// Lifecycle of a registry entry. REGISTER returns immediately with the
+/// entry LOADING; a background prepare moves it to READY or FAILED.
+enum class DatasetState { kLoading, kReady, kFailed };
+const char* DatasetStateName(DatasetState state);
+
+/// \brief Named-dataset registry with background preparation and a global
+/// artifact memory budget enforced by LRU eviction.
+///
+/// Thread-safe throughout. Entries hold an RrrEngine (dynamic ones a
+/// DynamicDataset too); Acquire pins the entry's current snapshot, so a
+/// caller's whole query runs against one immutable version no matter what
+/// APPEND/DELETE publish meanwhile.
+///
+/// \par Memory budget
+/// `artifact_budget_bytes` caps the *evictable* bytes across all entries:
+/// shared artifact caches (PreparedDataset::ApproxArtifactBytes().
+/// evictable()) plus engine result memos. Raw dataset rows are not
+/// evictable and do not count. EnforceBudget (called by the server after
+/// each query) evicts least-recently-acquired READY entries until under
+/// budget; evicted artifacts are rebuilt bit-identically on next touch
+/// (every artifact is a deterministic pure function of the data), and
+/// in-flight queries are unaffected — they hold artifacts by shared_ptr.
+class DatasetRegistry {
+ public:
+  struct Options {
+    /// Workers for background prepares (REGISTER returns before these run).
+    size_t loader_threads = 2;
+    /// Evictable-byte budget; 0 = unlimited (eviction never fires).
+    size_t artifact_budget_bytes = 0;
+  };
+
+  /// An acquired entry: the engine plus the snapshot pinned at acquire
+  /// time. Queries must pass `snapshot` via QueryOptions::snapshot.
+  struct Acquired {
+    std::shared_ptr<core::RrrEngine> engine;
+    std::shared_ptr<const core::PreparedDataset> snapshot;
+  };
+
+  struct EntryReport {
+    DatasetState state = DatasetState::kLoading;
+    std::string error;            // FAILED only
+    DatasetVersion version;       // READY only
+    size_t rows = 0;              // READY only
+    size_t dims = 0;              // READY only
+    bool dynamic = false;
+  };
+
+  struct Stats {
+    size_t datasets = 0;
+    size_t ready = 0;
+    /// Evictable artifact + memo bytes across READY entries (the budgeted
+    /// quantity).
+    size_t cache_bytes = 0;
+    size_t evictions = 0;
+    size_t evicted_bytes = 0;
+    /// Per-dataset (name, state, evictable bytes), name-sorted.
+    struct PerDataset {
+      std::string name;
+      DatasetState state = DatasetState::kLoading;
+      size_t bytes = 0;
+    };
+    std::vector<PerDataset> per_dataset;
+  };
+
+  explicit DatasetRegistry(const Options& options);
+  ~DatasetRegistry();
+
+  /// Registers `name` and queues its background prepare. AlreadyExists is
+  /// reported as InvalidArgument (re-REGISTER an existing name is a client
+  /// bug, not a race to tolerate silently).
+  Status Register(const std::string& name, DatasetSpec spec);
+
+  /// State snapshot for STATUS.
+  Result<EntryReport> Report(const std::string& name) const;
+
+  /// READY entry's engine + pinned snapshot; NotFound for unknown names,
+  /// FailedPrecondition while LOADING, the load error once FAILED. Bumps
+  /// the entry's LRU touch.
+  Result<Acquired> Acquire(const std::string& name);
+
+  /// Appends rows (dynamic entries only) and returns the published
+  /// version. Each row must have the entry's dims.
+  Result<DatasetVersion> Append(const std::string& name,
+                                const std::vector<std::vector<double>>& rows);
+
+  /// Deletes row `id` of the current version (dynamic entries only).
+  Result<DatasetVersion> Delete(const std::string& name, int32_t id);
+
+  /// Drops the entry. An in-flight background load publishes into a
+  /// dropped entry harmlessly (the shared_ptr keeps it alive, unreachable).
+  Status Unregister(const std::string& name);
+
+  /// Evicts least-recently-acquired entries until evictable bytes fit the
+  /// budget; returns evictions performed by this call. No-op when
+  /// unbudgeted or under budget.
+  size_t EnforceBudget();
+
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    DatasetState state = DatasetState::kLoading;
+    std::string error;
+    bool dynamic_spec = false;
+    /// READY: always set. Dynamic entries resolve snapshots through
+    /// `dynamic`; static ones pin `fixed`.
+    std::shared_ptr<core::RrrEngine> engine;
+    std::shared_ptr<core::DynamicDataset> dynamic;
+    std::shared_ptr<const core::PreparedDataset> fixed;
+    uint64_t last_touch = 0;
+  };
+
+  /// Builds the dataset named by `spec` (CSV read or generator run).
+  static Result<data::Dataset> Materialize(const DatasetSpec& spec);
+
+  /// The background prepare: materialize + engine build + publish.
+  void LoadEntry(std::shared_ptr<Entry> entry, DatasetSpec spec);
+
+  Options options_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_
+      RRR_GUARDED_BY(mu_);
+  uint64_t touch_clock_ RRR_GUARDED_BY(mu_) = 0;
+  size_t evictions_ RRR_GUARDED_BY(mu_) = 0;
+  size_t evicted_bytes_ RRR_GUARDED_BY(mu_) = 0;
+  /// Declared last so it is destroyed FIRST: the destructor drains queued
+  /// LoadEntry tasks, which lock mu_ and touch entries_ — both must still
+  /// be alive while the pool winds down.
+  ThreadPool loader_pool_;
+};
+
+}  // namespace service
+}  // namespace rrr
+
+#endif  // RRR_SERVICE_REGISTRY_H_

@@ -1,0 +1,127 @@
+#ifndef RRR_SERVICE_SERVER_H_
+#define RRR_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "service/admission.h"
+#include "service/registry.h"
+
+namespace rrr {
+namespace service {
+
+/// \brief rrr_serverd's long-lived core: a plain-TCP line-protocol server
+/// (service/protocol.h) over the dataset registry and the bounded query
+/// pool. Embeddable for tests; the binary is a thin main() around it.
+///
+/// \par Dispatch model
+/// One thread per connection reads requests. Control verbs (REGISTER,
+/// STATUS, APPEND, DELETE, UNREGISTER, STATS, PING, QUIT) execute inline —
+/// they are cheap and must stay responsive under query load. Query verbs
+/// (SOLVE, DUAL, EVAL, SLEEP) resolve their dataset snapshot at ADMISSION
+/// time — pinning the version before the job waits in queue, so an APPEND
+/// published while the query is queued or running never tears its result —
+/// then run on the admission pool; the connection thread waits, polling
+/// its socket so a client disconnect cancels the query's ExecContext.
+/// Per-query deadlines (`deadline_ms`) start at admission and cover queue
+/// wait; an expired deadline surfaces as ERR code=deadline_exceeded.
+class RrrServer {
+ public:
+  struct Options {
+    /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see port()).
+    uint16_t port = 0;
+    /// Query workers (concurrent SOLVE/DUAL/EVAL/SLEEP executions).
+    size_t workers = 4;
+    /// Bounded admission queue depth; past it, queries get ERR code=busy.
+    size_t queue_depth = 16;
+    /// Registry loader threads for background REGISTER prepares.
+    size_t loader_threads = 2;
+    /// Evictable artifact-byte budget across datasets; 0 = unlimited.
+    size_t artifact_budget_bytes = 0;
+  };
+
+  explicit RrrServer(const Options& options);
+
+  /// Stops and joins everything still running.
+  ~RrrServer();
+
+  RrrServer(const RrrServer&) = delete;
+  RrrServer& operator=(const RrrServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. IoError on bind failure.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, shut down client sockets (their
+  /// in-flight queries observe the disconnect and cancel), drain the
+  /// admission pool, join all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start; resolves ephemeral port 0 bindings).
+  uint16_t port() const { return port_; }
+
+  DatasetRegistry& registry() { return registry_; }
+
+ private:
+  /// One STATS-able counter block (guarded; workers and connection
+  /// threads update it concurrently).
+  struct Counters {
+    size_t queries_total = 0;
+    size_t memo_hits = 0;
+    size_t deadline_exceeded = 0;
+    size_t cancelled = 0;
+    size_t disconnect_cancels = 0;
+    size_t errors = 0;
+    size_t appended_rows = 0;
+    size_t connections_total = 0;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  /// Inline control verbs; returns the response line.
+  std::string HandleControl(const Command& cmd, bool* quit);
+
+  /// Query verbs: admission-time snapshot resolution, bounded dispatch,
+  /// disconnect-polling wait. Returns the response line.
+  std::string DispatchQuery(const Command& cmd, int fd);
+
+  /// Runs on the worker at query end: folds `status` into the counters,
+  /// enforces the artifact budget, and renders the reply line.
+  std::string FinishQuery(
+      const Status& status,
+      const std::vector<std::pair<std::string, std::string>>& fields,
+      bool memo_hit = false);
+
+  /// Renders the multi-line STATS body (terminated by END).
+  std::string RenderStats();
+
+  Options options_;
+  Mutex stats_mu_;
+  Counters counters_ RRR_GUARDED_BY(stats_mu_);
+  DatasetRegistry registry_;
+  AdmissionQueue admission_;
+
+  // rrr-lockfree: sticky shutdown flag, checked by accept/serve loops
+  std::atomic<bool> stopping_{false};
+  // rrr-lockfree: set once by Start before the accept thread launches
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+
+  Mutex conn_mu_;
+  std::unordered_set<int> conn_fds_ RRR_GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ RRR_GUARDED_BY(conn_mu_);
+  std::thread accept_thread_;  // started by Start, joined by Stop
+};
+
+}  // namespace service
+}  // namespace rrr
+
+#endif  // RRR_SERVICE_SERVER_H_

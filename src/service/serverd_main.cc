@@ -1,0 +1,87 @@
+// rrr_serverd: the RRR query daemon. Binds a loopback TCP port, serves the
+// line protocol (service/protocol.h) until SIGINT/SIGTERM, then shuts down
+// gracefully (drains admitted queries, joins every thread).
+//
+// Usage:
+//   rrr_serverd [--port=N] [--workers=N] [--queue-depth=N] [--loaders=N]
+//               [--budget-mb=N]
+//
+// --port=0 (default) binds an ephemeral port; the bound port is printed as
+// "listening port=N" on stdout either way, so wrappers can scrape it.
+// --budget-mb caps evictable artifact bytes across datasets (0 = no cap).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+#include "service/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
+
+bool ParseSizeFlag(const char* arg, const char* name, size_t* out) {
+  const size_t name_len = std::strlen(name);
+  if (std::strncmp(arg, name, name_len) != 0 || arg[name_len] != '=') {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(arg + name_len + 1, &end, 10);
+  if (end == arg + name_len + 1 || *end != '\0') {
+    std::fprintf(stderr, "rrr_serverd: bad value for %s: %s\n", name, arg);
+    std::exit(2);
+  }
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rrr::service::RrrServer::Options options;
+  size_t port = 0;
+  size_t budget_mb = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseSizeFlag(arg, "--port", &port) ||
+        ParseSizeFlag(arg, "--workers", &options.workers) ||
+        ParseSizeFlag(arg, "--queue-depth", &options.queue_depth) ||
+        ParseSizeFlag(arg, "--loaders", &options.loader_threads) ||
+        ParseSizeFlag(arg, "--budget-mb", &budget_mb)) {
+      continue;
+    }
+    std::fprintf(stderr, "rrr_serverd: unknown flag: %s\n", arg);
+    return 2;
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "rrr_serverd: --port out of range\n");
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.artifact_budget_bytes = budget_mb * 1024 * 1024;
+
+  rrr::service::RrrServer server(options);
+  const rrr::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "rrr_serverd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // Printed (and flushed) for wrappers that need the ephemeral port.
+  std::printf("listening port=%u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  RRR_LOG(INFO) << "rrr_serverd: stop signal received, shutting down";
+  server.Stop();
+  return 0;
+}

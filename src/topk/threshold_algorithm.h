@@ -55,6 +55,23 @@ class ThresholdAlgorithmIndex {
     return last_scan_depth_.load(std::memory_order_relaxed);
   }
 
+  /// Approximate heap footprint in bytes: the d sorted id columns plus the
+  /// pooled query scratch. An eviction-budget signal for the service-layer
+  /// memory accounting, not an exact allocation census.
+  size_t ApproxBytes() const {
+    size_t bytes = 0;
+    for (const std::vector<int32_t>& column : columns_) {
+      bytes += column.capacity() * sizeof(int32_t);
+    }
+    MutexLock lock(scratch_mu_);
+    for (const std::unique_ptr<Scratch>& scratch : scratch_pool_) {
+      if (scratch != nullptr) {
+        bytes += sizeof(Scratch) + scratch->stamp.capacity() * sizeof(uint32_t);
+      }
+    }
+    return bytes;
+  }
+
  private:
   /// \brief Reusable per-query "seen" marker: an epoch-stamped array
   /// instead of a per-call std::unordered_set, which used to dominate the

@@ -2,10 +2,41 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace rrr {
 namespace {
+
+/// Installs a capturing sink for the test's scope; restores stderr after.
+class ScopedCaptureSink {
+ public:
+  ScopedCaptureSink() {
+    SetLogSink([this](LogLevel level, const std::string& line) {
+      MutexLock lock(mu_);
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+  }
+  ~ScopedCaptureSink() { SetLogSink(nullptr); }
+
+  std::vector<std::string> lines() const {
+    MutexLock lock(mu_);
+    return lines_;
+  }
+  std::vector<LogLevel> levels() const {
+    MutexLock lock(mu_);
+    return levels_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+};
 
 TEST(LoggingTest, ThresholdCanBeOverridden) {
   const LogLevel original = internal::GetLogThreshold();
@@ -47,6 +78,52 @@ TEST(LoggingTest, CheckOkPassesOnOk) {
 TEST(LoggingTest, DcheckCompilesInBothModes) {
   RRR_DCHECK(true) << "unused";
   SUCCEED();
+}
+
+TEST(LoggingTest, SinkReceivesFormattedLinesAboveThreshold) {
+  const LogLevel original = internal::GetLogThreshold();
+  internal::SetLogThreshold(LogLevel::kInfo);
+  {
+    ScopedCaptureSink capture;
+    RRR_LOG(DEBUG) << "below threshold";
+    RRR_LOG(INFO) << "sink line " << 7;
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("sink line 7"), std::string::npos) << lines[0];
+    // Structured prefix: level tag, timestamp, thread id, file:line.
+    EXPECT_EQ(lines[0].rfind("[INFO ", 0), 0u) << lines[0];
+    EXPECT_NE(lines[0].find(" t"), std::string::npos) << lines[0];
+    EXPECT_NE(lines[0].find("logging_test.cc:"), std::string::npos)
+        << lines[0];
+    ASSERT_EQ(capture.levels().size(), 1u);
+    EXPECT_EQ(capture.levels()[0], LogLevel::kInfo);
+  }
+  internal::SetLogThreshold(original);
+}
+
+TEST(LoggingTest, NullSinkRestoresStderrWithoutCrashing) {
+  {
+    ScopedCaptureSink capture;
+    RRR_LOG(ERROR) << "captured";
+    ASSERT_EQ(capture.lines().size(), 1u);
+  }
+  RRR_LOG(ERROR) << "back on stderr";  // must not invoke the dead sink
+  SUCCEED();
+}
+
+TEST(LoggingTest, PrefixCarriesUtcTimestampShape) {
+  ScopedCaptureSink capture;
+  RRR_LOG(ERROR) << "stamp";
+  const std::vector<std::string> lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  // "[ERROR YYYY-MM-DD HH:MM:SS.mmm ..." — check the date separators.
+  const std::string& line = lines[0];
+  ASSERT_GT(line.size(), 26u) << line;
+  EXPECT_EQ(line[11], '-') << line;
+  EXPECT_EQ(line[14], '-') << line;
+  EXPECT_EQ(line[20], ':') << line;
+  EXPECT_EQ(line[23], ':') << line;
+  EXPECT_EQ(line[26], '.') << line;
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+#include "service/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "core/engine.h"
+
+namespace rrr {
+namespace service {
+namespace {
+
+/// Polls until the entry leaves LOADING (registry prepares run on
+/// background loader threads).
+DatasetState AwaitSettled(DatasetRegistry* registry,
+                          const std::string& name) {
+  for (int i = 0; i < 2000; ++i) {
+    Result<DatasetRegistry::EntryReport> report = registry->Report(name);
+    if (!report.ok()) return DatasetState::kFailed;
+    if (report.value().state != DatasetState::kLoading) {
+      return report.value().state;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return DatasetState::kLoading;
+}
+
+DatasetSpec UniformSpec(size_t n, size_t d, bool dynamic = false) {
+  DatasetSpec spec;
+  spec.generator = "uniform";
+  spec.n = n;
+  spec.d = d;
+  spec.seed = 11;
+  spec.dynamic = dynamic;
+  return spec;
+}
+
+TEST(Registry, GeneratorSpecBecomesReadyAndAcquirable) {
+  DatasetRegistry registry({});
+  ASSERT_TRUE(registry.Register("cars", UniformSpec(200, 3)).ok());
+  ASSERT_EQ(AwaitSettled(&registry, "cars"), DatasetState::kReady);
+
+  Result<DatasetRegistry::EntryReport> report = registry.Report("cars");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().rows, 200u);
+  EXPECT_EQ(report.value().dims, 3u);
+  EXPECT_FALSE(report.value().dynamic);
+
+  Result<DatasetRegistry::Acquired> acquired = registry.Acquire("cars");
+  ASSERT_TRUE(acquired.ok()) << acquired.status().ToString();
+  ASSERT_NE(acquired.value().engine, nullptr);
+  ASSERT_NE(acquired.value().snapshot, nullptr);
+  core::QueryOptions query;
+  query.snapshot = acquired.value().snapshot;
+  Result<core::QueryResult> result =
+      acquired.value().engine->Solve(3, query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().representative.empty());
+}
+
+TEST(Registry, CsvSpecLoads) {
+  const std::string path = "registry_test_rows.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,9\n2,8\n3,7\n4,6\n5,5\n";
+  }
+  DatasetRegistry registry({});
+  DatasetSpec spec;
+  spec.csv_path = path;
+  ASSERT_TRUE(registry.Register("csv", std::move(spec)).ok());
+  EXPECT_EQ(AwaitSettled(&registry, "csv"), DatasetState::kReady);
+  Result<DatasetRegistry::EntryReport> report = registry.Report("csv");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().rows, 5u);
+  EXPECT_EQ(report.value().dims, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Registry, BadGeneratorFailsWithErrorAndAcquireSurfacesIt) {
+  DatasetRegistry registry({});
+  DatasetSpec spec;
+  spec.generator = "nope";
+  spec.n = 10;
+  spec.d = 2;
+  ASSERT_TRUE(registry.Register("broken", std::move(spec)).ok());
+  EXPECT_EQ(AwaitSettled(&registry, "broken"), DatasetState::kFailed);
+  Result<DatasetRegistry::EntryReport> report = registry.Report("broken");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().error.empty());
+  EXPECT_FALSE(registry.Acquire("broken").ok());
+}
+
+TEST(Registry, NameRulesAndDuplicatesRejected) {
+  DatasetRegistry registry({});
+  EXPECT_FALSE(registry.Register("", UniformSpec(10, 2)).ok());
+  EXPECT_FALSE(registry.Register("has space", UniformSpec(10, 2)).ok());
+  EXPECT_FALSE(registry.Register("has.dot", UniformSpec(10, 2)).ok());
+  ASSERT_TRUE(registry.Register("ok", UniformSpec(10, 2)).ok());
+  EXPECT_FALSE(registry.Register("ok", UniformSpec(10, 2)).ok());
+  EXPECT_FALSE(registry.Acquire("never-registered").ok());
+}
+
+TEST(Registry, AppendPublishesNewVersionAndStaticRejects) {
+  DatasetRegistry registry({});
+  ASSERT_TRUE(registry.Register("dyn", UniformSpec(50, 2, true)).ok());
+  ASSERT_TRUE(registry.Register("fix", UniformSpec(50, 2, false)).ok());
+  ASSERT_EQ(AwaitSettled(&registry, "dyn"), DatasetState::kReady);
+  ASSERT_EQ(AwaitSettled(&registry, "fix"), DatasetState::kReady);
+
+  Result<DatasetRegistry::Acquired> before = registry.Acquire("dyn");
+  ASSERT_TRUE(before.ok());
+  const DatasetVersion v0 = before.value().snapshot->version();
+
+  Result<DatasetVersion> v1 =
+      registry.Append("dyn", {{0.5, 0.5}, {0.25, 0.75}});
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(v1.value().origin, v0.origin);
+  EXPECT_GT(v1.value().ordinal, v0.ordinal);
+
+  Result<DatasetRegistry::Acquired> after = registry.Acquire("dyn");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().snapshot->dataset().size(),
+            before.value().snapshot->dataset().size() + 2);
+  // The pinned pre-append snapshot is untouched.
+  EXPECT_EQ(before.value().snapshot->version(), v0);
+
+  EXPECT_FALSE(registry.Append("fix", {{0.1, 0.2}}).ok());
+  EXPECT_FALSE(registry.Delete("fix", 0).ok());
+}
+
+TEST(Registry, BudgetEvictsLeastRecentlyAcquiredFirst) {
+  DatasetRegistry::Options options;
+  options.artifact_budget_bytes = 1;  // anything evictable is over budget
+  DatasetRegistry registry(options);
+  ASSERT_TRUE(registry.Register("old", UniformSpec(300, 3)).ok());
+  ASSERT_TRUE(registry.Register("hot", UniformSpec(300, 3)).ok());
+  ASSERT_EQ(AwaitSettled(&registry, "old"), DatasetState::kReady);
+  ASSERT_EQ(AwaitSettled(&registry, "hot"), DatasetState::kReady);
+
+  // Touch "old" first, then "hot": LRU order is old < hot.
+  for (const char* name : {"old", "hot"}) {
+    Result<DatasetRegistry::Acquired> acquired = registry.Acquire(name);
+    ASSERT_TRUE(acquired.ok());
+    core::QueryOptions query;
+    query.snapshot = acquired.value().snapshot;
+    ASSERT_TRUE(acquired.value().engine->Solve(3, query).ok());
+  }
+  const size_t before = registry.GetStats().cache_bytes;
+  ASSERT_GT(before, 0u);
+
+  const size_t evicted = registry.EnforceBudget();
+  EXPECT_GE(evicted, 1u);
+  const DatasetRegistry::Stats stats = registry.GetStats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_GT(stats.evicted_bytes, 0u);
+  EXPECT_LT(stats.cache_bytes, before);
+
+  // Solving again after eviction reproduces the same representative.
+  Result<DatasetRegistry::Acquired> again = registry.Acquire("old");
+  ASSERT_TRUE(again.ok());
+  core::QueryOptions query;
+  query.snapshot = again.value().snapshot;
+  Result<core::QueryResult> rebuilt = again.value().engine->Solve(3, query);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt.value().representative.empty());
+}
+
+TEST(Registry, UnregisterDropsEntry) {
+  DatasetRegistry registry({});
+  ASSERT_TRUE(registry.Register("gone", UniformSpec(20, 2)).ok());
+  ASSERT_EQ(AwaitSettled(&registry, "gone"), DatasetState::kReady);
+  ASSERT_TRUE(registry.Unregister("gone").ok());
+  EXPECT_FALSE(registry.Report("gone").ok());
+  EXPECT_FALSE(registry.Unregister("gone").ok());
+}
+
+TEST(Registry, StatsCoverPerDatasetRows) {
+  DatasetRegistry registry({});
+  ASSERT_TRUE(registry.Register("a", UniformSpec(30, 2)).ok());
+  ASSERT_TRUE(registry.Register("b", UniformSpec(30, 2)).ok());
+  ASSERT_EQ(AwaitSettled(&registry, "a"), DatasetState::kReady);
+  ASSERT_EQ(AwaitSettled(&registry, "b"), DatasetState::kReady);
+  const DatasetRegistry::Stats stats = registry.GetStats();
+  EXPECT_EQ(stats.datasets, 2u);
+  EXPECT_EQ(stats.ready, 2u);
+  ASSERT_EQ(stats.per_dataset.size(), 2u);
+  EXPECT_EQ(stats.per_dataset[0].name, "a");
+  EXPECT_EQ(stats.per_dataset[1].name, "b");
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace rrr

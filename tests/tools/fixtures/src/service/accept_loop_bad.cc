@@ -1,0 +1,55 @@
+// Fixture: a server accept/dispatch loop that can never be told to stop —
+// no ExecContext, no shutdown flag, nothing the lint's gate regex accepts.
+// Must trip missing-preemption-gate (and nothing else).
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+int PollSocket();
+void HandleRequest(int fd);
+
+void AcceptForever() {
+  std::vector<int> backlog;
+  for (;;) {
+    const int fd = PollSocket();
+    if (fd < 0) {
+      continue;
+    }
+    backlog.push_back(fd);
+    if (backlog.size() < 4) {
+      continue;
+    }
+    for (const int pending : backlog) {
+      HandleRequest(pending);
+    }
+    backlog.clear();
+    // Filler so the loop body crosses the size threshold the lint uses
+    // to decide a loop is long-lived enough to need an exit signal.
+    std::size_t histogram[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    histogram[static_cast<std::size_t>(fd) % 8] += 1;
+    std::size_t total = 0;
+    total += histogram[0];
+    total += histogram[1];
+    total += histogram[2];
+    total += histogram[3];
+    total += histogram[4];
+    total += histogram[5];
+    total += histogram[6];
+    total += histogram[7];
+    if (total == 0) {
+      backlog.shrink_to_fit();
+    }
+    std::size_t widened = total;
+    widened = widened + histogram[0] + 2;
+    widened = widened + histogram[1] + 3;
+    widened = widened + histogram[2] + 5;
+    widened = widened + histogram[3] + 7;
+    if (widened > 100) {
+      backlog.reserve(widened);
+    }
+  }
+}
+
+}  // namespace fixture

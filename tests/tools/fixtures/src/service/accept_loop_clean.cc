@@ -1,0 +1,60 @@
+// Fixture: the same accept/dispatch loop shape as accept_loop_bad.cc, but
+// checking a shutdown flag every iteration — the pattern src/service/
+// loops must follow so Stop() can end them. Must lint clean.
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+int PollSocket();
+void HandleRequest(int fd);
+
+// rrr-lockfree: sticky stop flag set once by the shutdown path
+std::atomic<bool> stopping_{false};
+
+void AcceptUntilStopped() {
+  std::vector<int> backlog;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    const int fd = PollSocket();
+    if (fd < 0) {
+      continue;
+    }
+    backlog.push_back(fd);
+    if (backlog.size() < 4) {
+      continue;
+    }
+    for (const int pending : backlog) {
+      HandleRequest(pending);
+    }
+    backlog.clear();
+    std::size_t histogram[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    histogram[static_cast<std::size_t>(fd) % 8] += 1;
+    std::size_t total = 0;
+    total += histogram[0];
+    total += histogram[1];
+    total += histogram[2];
+    total += histogram[3];
+    total += histogram[4];
+    total += histogram[5];
+    total += histogram[6];
+    total += histogram[7];
+    if (total == 0) {
+      backlog.shrink_to_fit();
+    }
+    std::size_t widened = total;
+    widened = widened + histogram[0] + 2;
+    widened = widened + histogram[1] + 3;
+    widened = widened + histogram[2] + 5;
+    widened = widened + histogram[3] + 7;
+    if (widened > 100) {
+      backlog.reserve(widened);
+    }
+  }
+}
+
+}  // namespace fixture

@@ -120,6 +120,19 @@ TEST(RrrLintFixtures, PreemptionGateCleanWhenGatePumped) {
   ExpectClean(LintFixture("src/core/gate_present_clean.cc"));
 }
 
+TEST(RrrLintFixtures, PreemptionGateTripsOnServiceAcceptLoop) {
+  // src/service/ loops are covered too: a long-lived accept loop with no
+  // shutdown signal would make RrrServer::Stop hang forever.
+  ExpectOnlyRule(LintFixture("src/service/accept_loop_bad.cc"),
+                 "missing-preemption-gate");
+}
+
+TEST(RrrLintFixtures, PreemptionGateCleanWhenServiceLoopChecksShutdown) {
+  // A shutdown-flag check counts as a gate for service loops (they exit
+  // via Stop(), not via a per-query ExecContext).
+  ExpectClean(LintFixture("src/service/accept_loop_clean.cc"));
+}
+
 TEST(RrrLintFixtures, UnguardedSyncTripsOnAllThreeShapes) {
   // Raw std::mutex member, undocumented std::atomic member, and a Mutex
   // that guards nothing: three findings, all unguarded-sync.

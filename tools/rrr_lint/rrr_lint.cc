@@ -379,13 +379,18 @@ size_t Linter::MatchBraces(const FileText& file, size_t start_line) {
 }
 
 void Linter::CheckPreemptionGates(const FileText& file) {
-  if (!StartsWith(file.path, "src/core/") || !EndsWith(file.path, ".cc")) {
+  // src/service/ is covered too: its accept/serve/worker loops run for the
+  // server's whole life and must reference either an ExecContext-style gate
+  // or a shutdown flag, or Stop() hangs forever.
+  if ((!StartsWith(file.path, "src/core/") &&
+       !StartsWith(file.path, "src/service/")) ||
+      !EndsWith(file.path, ".cc")) {
     return;
   }
   static const std::regex kLoopHeader(R"(^\s*(for|while)\s*\()");
   static const std::regex kParallelFor(R"(\bParallelFor(Chunked)?\s*\()");
   static const std::regex kGateRef(
-      R"(\b(CheckPreempted|PreemptionGate|ExecContext|gate|ctx|preempted|cancelled)\b)");
+      R"(\b(CheckPreempted|PreemptionGate|ExecContext|gate|ctx|preempted|cancelled|shutdown_?|stopping_?|stop_requested|quit|done)\b)");
   for (size_t li = 0; li < file.code.size(); ++li) {
     const bool is_loop = std::regex_search(file.code[li], kLoopHeader);
     const bool is_pfor = std::regex_search(file.code[li], kParallelFor);
