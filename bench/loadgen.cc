@@ -6,11 +6,16 @@
 //              some must surface ERR code=deadline_exceeded
 //   busy     — more concurrent SLEEPs than workers + queue_depth, so some
 //              must surface the typed ERR code=busy rejection
+//   fault    — failpoints armed over the wire (artifact builds always
+//              fail, admission throws periodic io_errors); clients drive
+//              retried SOLVEs and record how many replies were degraded
+//              and how many retries the faults cost
 //
 // Per-phase counts and latency percentiles go to stdout as CSV and to
 // BENCH_service.json via the shared BenchJson sink. Exit code is 0 only if
 // every phase behaved (mixed saw no errors; deadline saw >=1
-// deadline_exceeded; busy saw >=1 busy) — CI's smoke job keys off it.
+// deadline_exceeded; busy saw >=1 busy; fault saw >=1 degraded reply,
+// >=1 retry, and no errors) — CI's smoke job keys off it.
 //
 // Usage:
 //   rrr_loadgen --port=N [--host=127.0.0.1] [--clients=4] [--requests=40]
@@ -49,6 +54,8 @@ struct Tally {
   size_t busy = 0;
   size_t deadline = 0;
   size_t errors = 0;
+  size_t retries = 0;   // fault phase: retries the retry policy performed
+  size_t degraded = 0;  // fault phase: OK replies flagged degraded=1
   std::vector<double> latencies_ms;
 
   void Absorb(const Tally& other) {
@@ -56,6 +63,8 @@ struct Tally {
     busy += other.busy;
     deadline += other.deadline;
     errors += other.errors;
+    retries += other.retries;
+    degraded += other.degraded;
     latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(),
                         other.latencies_ms.end());
   }
@@ -68,20 +77,15 @@ double Percentile(std::vector<double>* values, double p) {
   return (*values)[std::min(idx, values->size() - 1)];
 }
 
-/// Sends one request and folds the outcome into `tally`.
-void RunOne(LineClient* client, const std::string& line, Tally* tally) {
-  const auto start = std::chrono::steady_clock::now();
-  rrr::Result<Reply> reply = client->Request(line);
-  const double ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-  tally->latencies_ms.push_back(ms);
+void FoldReply(const rrr::Result<Reply>& reply, Tally* tally) {
   if (!reply.ok()) {
     ++tally->errors;
     return;
   }
   if (reply.value().ok) {
     ++tally->ok;
+    const std::string* degraded = reply.value().Find("degraded");
+    if (degraded != nullptr && *degraded == "1") ++tally->degraded;
   } else if (reply.value().code == "busy") {
     ++tally->busy;
   } else if (reply.value().code == "deadline_exceeded") {
@@ -91,6 +95,31 @@ void RunOne(LineClient* client, const std::string& line, Tally* tally) {
     std::fprintf(stderr, "rrr_loadgen: unexpected ERR code=%s msg=%s\n",
                  reply.value().code.c_str(), reply.value().msg.c_str());
   }
+}
+
+/// Sends one request and folds the outcome into `tally`.
+void RunOne(LineClient* client, const std::string& line, Tally* tally) {
+  const auto start = std::chrono::steady_clock::now();
+  rrr::Result<Reply> reply = client->Request(line);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  tally->latencies_ms.push_back(ms);
+  FoldReply(reply, tally);
+}
+
+/// RunOne through the client's retry policy, counting retries performed.
+void RunOneWithRetry(LineClient* client, const std::string& line,
+                     const rrr::service::RetryPolicy& policy, Tally* tally) {
+  const auto start = std::chrono::steady_clock::now();
+  size_t retries = 0;
+  rrr::Result<Reply> reply = client->RequestWithRetry(line, policy, &retries);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  tally->latencies_ms.push_back(ms);
+  tally->retries += retries;
+  FoldReply(reply, tally);
 }
 
 /// Runs `fn(client_index, per-thread tally)` on `threads` connections and
@@ -130,13 +159,15 @@ void Report(const std::string& phase, size_t requests, Tally* tally,
   std::snprintf(p95s, sizeof(p95s), "%.3f", p95);
   std::snprintf(secs, sizeof(secs), "%.3f", seconds);
   std::snprintf(qpss, sizeof(qpss), "%.1f", qps);
-  std::printf("%s,%zu,%zu,%zu,%zu,%zu,%s,%s,%s,%s\n", phase.c_str(),
+  std::printf("%s,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%s,%s,%s,%s\n", phase.c_str(),
               requests, tally->ok, tally->busy, tally->deadline,
-              tally->errors, p50s, p95s, secs, qpss);
+              tally->errors, tally->retries, tally->degraded, p50s, p95s,
+              secs, qpss);
   rrr::bench::BenchJson::Global().AddRow(
       {phase, std::to_string(requests), std::to_string(tally->ok),
        std::to_string(tally->busy), std::to_string(tally->deadline),
-       std::to_string(tally->errors), p50s, p95s, secs, qpss});
+       std::to_string(tally->errors), std::to_string(tally->retries),
+       std::to_string(tally->degraded), p50s, p95s, secs, qpss});
 }
 
 bool ParseSizeFlag(const char* arg, const char* name, size_t* out) {
@@ -175,10 +206,10 @@ int main(int argc, char** argv) {
       "service", "rrr_serverd load burst (mixed / deadline / busy phases)");
   rrr::bench::BenchJson::Global().SetColumns(
       {"phase", "requests", "ok", "busy", "deadline_exceeded", "errors",
-       "p50_ms", "p95_ms", "total_sec", "qps"});
+       "retries", "degraded", "p50_ms", "p95_ms", "total_sec", "qps"});
   std::printf(
-      "phase,requests,ok,busy,deadline_exceeded,errors,p50_ms,p95_ms,"
-      "total_sec,qps\n");
+      "phase,requests,ok,busy,deadline_exceeded,errors,retries,degraded,"
+      "p50_ms,p95_ms,total_sec,qps\n");
 
   // Control connection: register the dataset and wait for READY.
   LineClient control;
@@ -267,13 +298,65 @@ int main(int argc, char** argv) {
                               .count();
   Report("busy", busy_reqs, &busy, busy_sec);
 
+  // Phase 4: fault injection. A fresh dataset (so its artifacts are not
+  // already cached from the mixed phase), candidate-index builds that
+  // always fail (every-1 → every query degrades to the legacy path), and
+  // periodic io_errors from admission that the retry policy must absorb.
+  const std::string faultds = "loadgen_fault";
+  control.Request("REGISTER name=" + faultds +
+                  " gen=uniform n=" + std::to_string(flags.rows / 4 + 50) +
+                  " d=" + std::to_string(flags.dims) + " seed=11");
+  bool fault_ready = false;
+  for (int i = 0; i < 600 && !fault_ready; ++i) {
+    rrr::Result<Reply> status = control.Request("STATUS name=" + faultds);
+    if (!status.ok()) break;
+    const std::string* state = status.value().Find("state");
+    if (state != nullptr && *state == "READY") fault_ready = true;
+    if (state != nullptr && *state == "FAILED") break;
+    if (!fault_ready) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  Tally fault;
+  double fault_sec = 0;
+  const size_t fault_reqs = flags.clients * (flags.requests / 2 + 1);
+  if (fault_ready) {
+    control.Request(
+        "FAILPOINT site=core.artifact.candidate_index spec=every-1");
+    control.Request("FAILPOINT site=service.admission.submit spec=every-9");
+    rrr::service::RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.initial_backoff_ms = 2;
+    policy.max_backoff_ms = 40;
+    const auto fault_start = std::chrono::steady_clock::now();
+    fault = FanOut(flags, flags.clients,
+                   [&](size_t who, LineClient* client, Tally* out) {
+                     for (size_t r = 0; r < flags.requests / 2 + 1; ++r) {
+                       const size_t k = 2 + (who + r) % 5;
+                       RunOneWithRetry(client,
+                                       "SOLVE name=" + faultds +
+                                           " k=" + std::to_string(k),
+                                       policy, out);
+                     }
+                   });
+    fault_sec = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - fault_start)
+                    .count();
+    control.Request("FAILPOINT clear=1");
+  } else {
+    std::fprintf(stderr, "rrr_loadgen: fault dataset never became READY\n");
+    fault.errors = 1;
+  }
+  Report("fault", fault_reqs, &fault, fault_sec);
+
   // Final STATS snapshot for the log.
   rrr::Result<std::map<std::string, std::string>> stats =
       control.RequestStats();
   if (stats.ok()) {
     for (const char* key :
          {"queries_total", "memo_hits", "deadline_exceeded", "cancelled",
-          "busy_rejections", "cache_bytes", "evictions"}) {
+          "busy_rejections", "degraded_queries", "cache_bytes",
+          "evictions"}) {
       const auto it = stats.value().find(key);
       if (it != stats.value().end()) {
         std::printf("# stats %s=%s\n", key, it->second.c_str());
@@ -286,7 +369,9 @@ int main(int argc, char** argv) {
 
   const bool healthy = mixed.errors == 0 && mixed.busy + mixed.ok > 0 &&
                        deadline.deadline >= 1 && busy.busy >= 1 &&
-                       deadline.errors == 0 && busy.errors == 0;
+                       deadline.errors == 0 && busy.errors == 0 &&
+                       fault.errors == 0 && fault.degraded >= 1 &&
+                       fault.retries >= 1;
   if (!healthy) {
     std::fprintf(stderr, "rrr_loadgen: phase expectations not met\n");
     return 1;

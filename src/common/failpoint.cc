@@ -1,0 +1,280 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rrr {
+
+namespace {
+
+// Accepts both "io_error" and "io-error" spellings (the wire protocol is
+// snake_case, StatusCodeToString is dash-case).
+Result<StatusCode> ParseStatusCode(std::string_view name) {
+  std::string normalized(name);
+  std::replace(normalized.begin(), normalized.end(), '_', '-');
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kInvalidArgument,   StatusCode::kNotFound,
+      StatusCode::kOutOfRange,        StatusCode::kFailedPrecondition,
+      StatusCode::kResourceExhausted, StatusCode::kUnimplemented,
+      StatusCode::kInternal,          StatusCode::kIoError,
+      StatusCode::kCancelled,         StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : kCodes) {
+    if (normalized == StatusCodeToString(code)) return code;
+  }
+  return Status::InvalidArgument("unknown status code in failpoint spec: " +
+                                 std::string(name));
+}
+
+Result<uint64_t> ParseU64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number in failpoint spec: " +
+                                     std::string(s));
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+Status MakeInjected(StatusCode code, const char* site) {
+  return Status(code, std::string("failpoint ") + site);
+}
+
+}  // namespace
+
+std::atomic<bool> FailpointRegistry::any_armed_{false};
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("RRR_FAILPOINTS");
+  if (env != nullptr && *env != '\0') {
+    Status applied = ConfigureFromString(env);
+    if (!applied.ok()) {
+      RRR_LOG(WARNING) << "ignoring malformed RRR_FAILPOINTS: "
+                       << applied.ToString();
+    } else {
+      RRR_LOG(INFO) << "failpoints armed from RRR_FAILPOINTS: " << env;
+    }
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Result<FailpointRegistry::Policy> FailpointRegistry::ParsePolicy(
+    const std::string& spec) {
+  std::string body(Trim(spec));
+  Policy policy;
+  const size_t at = body.find('@');
+  if (at != std::string::npos) {
+    RRR_ASSIGN_OR_RETURN(policy.code, ParseStatusCode(body.substr(at + 1)));
+    body.resize(at);
+  }
+  if (body == "off") {
+    policy.kind = Policy::Kind::kOff;
+    return policy;
+  }
+  if (body == "once") {
+    policy.kind = Policy::Kind::kOnce;
+    return policy;
+  }
+  if (body.rfind("every-", 0) == 0) {
+    policy.kind = Policy::Kind::kEveryN;
+    RRR_ASSIGN_OR_RETURN(policy.every_n, ParseU64(body.substr(6)));
+    if (policy.every_n == 0) {
+      return Status::InvalidArgument("every-N requires N >= 1: " + spec);
+    }
+    return policy;
+  }
+  if (body.rfind("prob-", 0) == 0) {
+    policy.kind = Policy::Kind::kProbability;
+    std::string rest = body.substr(5);
+    const size_t seed_pos = rest.find("-seed-");
+    if (seed_pos != std::string::npos) {
+      RRR_ASSIGN_OR_RETURN(policy.seed, ParseU64(rest.substr(seed_pos + 6)));
+      rest.resize(seed_pos);
+    }
+    RRR_ASSIGN_OR_RETURN(policy.probability, ParseDouble(rest));
+    if (policy.probability < 0.0 || policy.probability > 1.0) {
+      return Status::InvalidArgument("prob-P requires P in [0,1]: " + spec);
+    }
+    return policy;
+  }
+  if (body.rfind("delay-", 0) == 0) {
+    if (at != std::string::npos) {
+      return Status::InvalidArgument("delay takes no status code: " + spec);
+    }
+    policy.kind = Policy::Kind::kDelay;
+    RRR_ASSIGN_OR_RETURN(policy.delay_ms, ParseU64(body.substr(6)));
+    return policy;
+  }
+  return Status::InvalidArgument("unrecognized failpoint spec: " + spec);
+}
+
+std::string FailpointRegistry::PolicyToString(const Policy& policy) {
+  std::string out;
+  switch (policy.kind) {
+    case Policy::Kind::kOff:
+      return "off";
+    case Policy::Kind::kOnce:
+      out = "once";
+      break;
+    case Policy::Kind::kEveryN:
+      out = StrFormat("every-%llu",
+                      static_cast<unsigned long long>(policy.every_n));
+      break;
+    case Policy::Kind::kProbability:
+      out = StrFormat("prob-%g-seed-%llu", policy.probability,
+                      static_cast<unsigned long long>(policy.seed));
+      break;
+    case Policy::Kind::kDelay:
+      return StrFormat("delay-%llu",
+                       static_cast<unsigned long long>(policy.delay_ms));
+  }
+  out += '@';
+  // Wire-friendly snake_case spelling.
+  std::string code(StatusCodeToString(policy.code));
+  std::replace(code.begin(), code.end(), '-', '_');
+  out += code;
+  return out;
+}
+
+Status FailpointRegistry::Arm(const std::string& site,
+                              const std::string& spec) {
+  Policy policy;
+  RRR_ASSIGN_OR_RETURN(policy, ParsePolicy(spec));
+  return Arm(site, policy);
+}
+
+Status FailpointRegistry::Arm(const std::string& site, const Policy& policy) {
+  if (site.empty() || site.find_first_of(" =;") != std::string::npos) {
+    return Status::InvalidArgument("bad failpoint site name: " + site);
+  }
+  MutexLock lock(mu_);
+  Site& state = sites_[site];
+  state.policy = policy;
+  if (policy.kind == Policy::Kind::kProbability) {
+    state.rng = Rng(policy.seed);
+  }
+  RecountArmed();
+  return Status::OK();
+}
+
+bool FailpointRegistry::Disarm(const std::string& site) {
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  const bool was_armed =
+      it != sites_.end() && it->second.policy.kind != Policy::Kind::kOff;
+  if (it != sites_.end()) {
+    it->second.policy = Policy{};
+  }
+  RecountArmed();
+  return was_armed;
+}
+
+void FailpointRegistry::DisarmAll() {
+  MutexLock lock(mu_);
+  sites_.clear();
+  RecountArmed();
+}
+
+Status FailpointRegistry::ConfigureFromString(const std::string& config) {
+  for (const std::string& part : Split(config, ';')) {
+    std::string_view entry = Trim(part);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("failpoint config entry needs site=spec: " +
+                                     std::string(entry));
+    }
+    RRR_RETURN_IF_ERROR(Arm(std::string(Trim(entry.substr(0, eq))),
+                            std::string(Trim(entry.substr(eq + 1)))));
+  }
+  return Status::OK();
+}
+
+std::vector<FailpointRegistry::SiteReport> FailpointRegistry::List() const {
+  std::vector<SiteReport> reports;
+  {
+    MutexLock lock(mu_);
+    reports.reserve(sites_.size());
+    for (const auto& [name, state] : sites_) {
+      SiteReport report;
+      report.site = name;
+      report.policy = PolicyToString(state.policy);
+      report.evaluations = state.evaluations;
+      report.injections = state.injections;
+      reports.push_back(std::move(report));
+    }
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const SiteReport& a, const SiteReport& b) {
+              return a.site < b.site;
+            });
+  return reports;
+}
+
+Status FailpointRegistry::Evaluate(const char* site) {
+  uint64_t sleep_ms = 0;
+  Status injected = Status::OK();
+  {
+    MutexLock lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return Status::OK();
+    Site& state = it->second;
+    if (state.policy.kind == Policy::Kind::kOff) return Status::OK();
+    ++state.evaluations;
+    switch (state.policy.kind) {
+      case Policy::Kind::kOff:
+        break;
+      case Policy::Kind::kOnce:
+        injected = MakeInjected(state.policy.code, site);
+        state.policy = Policy{};  // self-disarm
+        ++state.injections;
+        RecountArmed();
+        break;
+      case Policy::Kind::kEveryN:
+        if (state.evaluations % state.policy.every_n == 0) {
+          injected = MakeInjected(state.policy.code, site);
+          ++state.injections;
+        }
+        break;
+      case Policy::Kind::kProbability:
+        if (state.rng.Bernoulli(state.policy.probability)) {
+          injected = MakeInjected(state.policy.code, site);
+          ++state.injections;
+        }
+        break;
+      case Policy::Kind::kDelay:
+        sleep_ms = state.policy.delay_ms;
+        ++state.injections;
+        break;
+    }
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return injected;
+}
+
+void FailpointRegistry::RecountArmed() {
+  bool armed = false;
+  for (const auto& [name, state] : sites_) {
+    if (state.policy.kind != Policy::Kind::kOff) {
+      armed = true;
+      break;
+    }
+  }
+  any_armed_.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace rrr

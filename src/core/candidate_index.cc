@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/random.h"
@@ -298,6 +299,9 @@ Result<CandidateIndex::Outcome> CandidateIndex::Create(
   Result<data::Dataset> band =
       data::Dataset::FromFlat(std::move(cells), band_ids.size(), d);
   RRR_CHECK(band.ok()) << band.status().ToString();
+  // The constructor below builds the band mirror + TA index infallibly, so
+  // this is the last fallible point before they exist.
+  RRR_FAILPOINT("core.artifact.ta_index");
   out.index = std::shared_ptr<const CandidateIndex>(
       new CandidateIndex(dataset, kk, std::move(band).value(),
                          std::move(band_ids), std::move(in_band)));

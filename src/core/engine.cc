@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -36,6 +37,7 @@ std::string Diagnostics::ToString() const {
                      skyband_scan_rows_saved);
   }
   if (columnar_kernel) out += " kernel=columnar";
+  if (degraded) out += " degraded";
   if (dataset_version.assigned()) out += " " + dataset_version.ToString();
   return out;
 }
@@ -121,6 +123,70 @@ Result<Algorithm> RrrEngine::ResolveAlgorithm(const PreparedDataset& prepared,
   return algorithm;
 }
 
+bool RrrEngine::ArtifactInCooldown(ArtifactKind kind) const {
+  if (options_.artifact_failure_cooldown_ms == 0) return false;
+  MutexLock lock(degrade_mu_);
+  return std::chrono::steady_clock::now() <
+         artifact_retry_after_[static_cast<size_t>(kind)];
+}
+
+void RrrEngine::NoteArtifactFailure(ArtifactKind kind) const {
+  MutexLock lock(degrade_mu_);
+  artifact_retry_after_[static_cast<size_t>(kind)] =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.artifact_failure_cooldown_ms);
+}
+
+Result<std::shared_ptr<const CandidateIndex>>
+RrrEngine::DegradableCandidateIndex(const PreparedDataset& prepared, size_t k,
+                                    const ExecContext& ctx,
+                                    bool* degraded) const {
+  if (ArtifactInCooldown(ArtifactKind::kCandidates)) {
+    *degraded = true;
+    return std::shared_ptr<const CandidateIndex>();
+  }
+  Result<std::shared_ptr<const CandidateIndex>> built =
+      prepared.SharedCandidateIndex(
+          k, ResolveThreads(ctx.ThreadsOver(options_.defaults.threads)), ctx);
+  if (built.ok()) return built;
+  const StatusCode code = built.status().code();
+  if (code == StatusCode::kCancelled ||
+      code == StatusCode::kDeadlineExceeded) {
+    return built;
+  }
+  RRR_LOG(WARNING) << "candidate-index build failed ("
+                   << built.status().ToString()
+                   << "); query degrades to the unpruned path";
+  NoteArtifactFailure(ArtifactKind::kCandidates);
+  *degraded = true;
+  return std::shared_ptr<const CandidateIndex>();
+}
+
+Result<std::shared_ptr<const data::ColumnBlocks>>
+RrrEngine::DegradableColumnBlocks(const PreparedDataset& prepared,
+                                  const ExecContext& ctx,
+                                  bool* degraded) const {
+  if (ArtifactInCooldown(ArtifactKind::kBlocks)) {
+    *degraded = true;
+    return std::shared_ptr<const data::ColumnBlocks>();
+  }
+  Result<std::shared_ptr<const data::ColumnBlocks>> built =
+      prepared.SharedColumnBlocks(
+          ResolveThreads(ctx.ThreadsOver(options_.defaults.threads)), ctx);
+  if (built.ok()) return built;
+  const StatusCode code = built.status().code();
+  if (code == StatusCode::kCancelled ||
+      code == StatusCode::kDeadlineExceeded) {
+    return built;
+  }
+  RRR_LOG(WARNING) << "columnar-mirror build failed ("
+                   << built.status().ToString()
+                   << "); query degrades to the row-major scan";
+  NoteArtifactFailure(ArtifactKind::kBlocks);
+  *degraded = true;
+  return std::shared_ptr<const data::ColumnBlocks>();
+}
+
 Result<QueryResult> RrrEngine::RunAlgorithm(const PreparedDataset& prepared,
                                             size_t k, Algorithm algorithm,
                                             const ExecContext& ctx) const {
@@ -128,26 +194,26 @@ Result<QueryResult> RrrEngine::RunAlgorithm(const PreparedDataset& prepared,
   const data::Dataset& dataset = prepared.dataset();
   const size_t n = dataset.size();
 
+  QueryResult result;
+  result.diagnostics.algorithm_used = algorithm;
+  result.diagnostics.dataset_version = prepared.version();
+
   // Every top-k-driven path asks for the shared k-skyband index up front; a
-  // null result (declined build) just means the path runs unpruned. The
+  // null result (declined or failed build) just means the path runs
+  // unpruned — see DegradableCandidateIndex for the failure contract. The
   // convex-maxima path has its own skyline prefilter and skips the ask.
   auto shared_candidates =
       [&]() -> Result<std::shared_ptr<const CandidateIndex>> {
-    return prepared.SharedCandidateIndex(
-        k, ResolveThreads(ctx.ThreadsOver(defaults.threads)), ctx);
+    return DegradableCandidateIndex(prepared, k, ctx,
+                                    &result.diagnostics.degraded);
   };
   // Likewise the shared columnar mirror: every scan-shaped loop below runs
   // through the blocked scoring kernel with it (bit-identical results; the
   // one O(n d) transpose amortizes across all queries).
   auto shared_blocks =
       [&]() -> Result<std::shared_ptr<const data::ColumnBlocks>> {
-    return prepared.SharedColumnBlocks(
-        ResolveThreads(ctx.ThreadsOver(defaults.threads)), ctx);
+    return DegradableColumnBlocks(prepared, ctx, &result.diagnostics.degraded);
   };
-
-  QueryResult result;
-  result.diagnostics.algorithm_used = algorithm;
-  result.diagnostics.dataset_version = prepared.version();
   Stopwatch timer;
   switch (algorithm) {
     case Algorithm::k2dRrr: {
@@ -327,6 +393,7 @@ Result<DualResult> RrrEngine::SolveDual(size_t max_size,
     record.representative_size = res.representative.size();
     record.from_cache = res.diagnostics.result_from_cache;
     record.feasible = res.representative.size() <= max_size;
+    best.degraded |= res.diagnostics.degraded;
     best.probes.push_back(record);
     if (record.feasible) {
       best.k = mid;
@@ -381,16 +448,12 @@ Result<EvalReport> RrrEngine::Evaluate(
     std::shared_ptr<const CandidateIndex> candidates;
     RRR_ASSIGN_OR_RETURN(
         candidates,
-        snapshot->SharedCandidateIndex(
-            k,
-            ResolveThreads(query.exec.ThreadsOver(options_.defaults.threads)),
-            query.exec));
+        DegradableCandidateIndex(*snapshot, k, query.exec,
+                                 &report.diagnostics.degraded));
     std::shared_ptr<const data::ColumnBlocks> blocks;
     RRR_ASSIGN_OR_RETURN(
-        blocks,
-        snapshot->SharedColumnBlocks(
-            ResolveThreads(query.exec.ThreadsOver(options_.defaults.threads)),
-            query.exec));
+        blocks, DegradableColumnBlocks(*snapshot, query.exec,
+                                       &report.diagnostics.degraded));
     SampledRegretOptions sampled;
     sampled.num_functions = options_.eval_num_functions;
     sampled.seed = options_.eval_seed;

@@ -1,6 +1,8 @@
 #ifndef RRR_CORE_ENGINE_H_
 #define RRR_CORE_ENGINE_H_
 
+#include <array>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -8,7 +10,9 @@
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/version.h"
 #include "core/prepared_dataset.h"
 #include "core/solver.h"
@@ -61,6 +65,13 @@ struct Diagnostics {
   /// (topk/score_kernel.h). Throughput observability only — results are
   /// bit-identical with and without the mirror.
   bool columnar_kernel = false;
+  /// True when a shared-artifact build (candidate index / columnar mirror)
+  /// failed — or was in its failure cooldown — and the query proceeded on
+  /// the legacy unpruned path instead of erroring. The representative is
+  /// bit-identical to the artifact-assisted one (the null contracts those
+  /// paths already honor); only throughput degrades. Preemption
+  /// (Cancelled/DeadlineExceeded) is never degraded — it propagates.
+  bool degraded = false;
   /// The dataset version this query answered against (the pinned snapshot,
   /// or the current version at query start for a dynamic engine). Every
   /// reuse flag above is scoped to this version: a memo or artifact hit
@@ -132,6 +143,11 @@ struct EngineOptions {
   /// Evaluate's sampled-estimator protocol for d > 2 data.
   size_t eval_num_functions = 10000;
   uint64_t eval_seed = 23;
+  /// After a shared-artifact build failure, queries skip re-attempting
+  /// that artifact class for this long (running degraded instead) so a
+  /// persistently failing build is not hammered on every query. 0 retries
+  /// immediately.
+  uint64_t artifact_failure_cooldown_ms = 250;
   /// Shared-artifact caps for the underlying PreparedDataset.
   PreparedDataset::Options prepared;
 };
@@ -265,9 +281,39 @@ class RrrEngine {
                                    Algorithm algorithm,
                                    const ExecContext& ctx) const;
 
+  /// The two shared artifacts queries can survive without: both honor a
+  /// null contract (a null index/mirror means the unpruned legacy path
+  /// runs, bit-identically), so their build failures degrade instead of
+  /// erroring. The algorithm-defining artifacts (k-sets, convex maxima)
+  /// have no such fallback and keep their failures fatal.
+  enum class ArtifactKind { kCandidates = 0, kBlocks = 1 };
+
+  /// True while `kind` is inside its post-failure cooldown window (queries
+  /// then skip the build attempt entirely and run degraded).
+  bool ArtifactInCooldown(ArtifactKind kind) const;
+  /// Opens (or extends) `kind`'s cooldown window after a failed build.
+  void NoteArtifactFailure(ArtifactKind kind) const;
+
+  /// SharedCandidateIndex with graceful degradation: a build failure other
+  /// than preemption logs a warning, opens the cooldown, sets *degraded,
+  /// and returns null so the caller proceeds on the legacy path.
+  /// Cancelled/DeadlineExceeded propagate — preemption is the query's own
+  /// verdict, not an artifact fault.
+  Result<std::shared_ptr<const CandidateIndex>> DegradableCandidateIndex(
+      const PreparedDataset& prepared, size_t k, const ExecContext& ctx,
+      bool* degraded) const;
+  /// SharedColumnBlocks under the same degradation contract.
+  Result<std::shared_ptr<const data::ColumnBlocks>> DegradableColumnBlocks(
+      const PreparedDataset& prepared, const ExecContext& ctx,
+      bool* degraded) const;
+
   std::shared_ptr<const PreparedDataset> prepared_;
   SnapshotFn snapshot_source_;  // null for static engines
   EngineOptions options_;
+  mutable Mutex degrade_mu_;
+  /// Cooldown deadlines indexed by ArtifactKind.
+  mutable std::array<std::chrono::steady_clock::time_point, 2>
+      artifact_retry_after_ RRR_GUARDED_BY(degrade_mu_){};
   mutable internal::KeyedLazyCache<ResultKey, QueryResult, ResultKeyHash>
       result_cache_;
 };

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/mutex.h"
@@ -131,6 +132,7 @@ std::vector<int32_t> CornerTopKCache::TopKAt(size_t k,
       counters->evals.fetch_add(1, std::memory_order_relaxed);
     }
     entry->topk = Evaluate(k, angles, candidates, blocks);
+    entry->ready.store(true, std::memory_order_release);
   });
   return entry->topk;
 }
@@ -150,8 +152,13 @@ size_t CornerTopKCache::ApproxBytes() const {
     MutexLock lock(shard.mu);
     for (const auto& kv : shard.map) {
       bytes += sizeof(Key) + kv.first.angles.size() * sizeof(double);
-      bytes += sizeof(Entry) + kv.second->topk.capacity() * sizeof(int32_t);
-      bytes += 2 * sizeof(void*);  // map-node overhead, roughly
+      bytes += sizeof(Entry) + 2 * sizeof(void*);  // map-node overhead, roughly
+      // A mid-fill entry's vector belongs to the filling thread until the
+      // ready-release; count it only once published (acquire pairs with
+      // the store in TopKAt).
+      if (kv.second->ready.load(std::memory_order_acquire)) {
+        bytes += kv.second->topk.capacity() * sizeof(int32_t);
+      }
     }
   }
   return bytes;
@@ -213,6 +220,7 @@ Result<std::vector<int32_t>> SolveMdrc(const data::Dataset& dataset, size_t k,
     stats->skyband_size = candidates->band_size();
   }
 
+  RRR_FAILPOINT("core.artifact.corner_topk");
   std::unique_ptr<CornerTopKCache> own_cache;
   if (corner_cache == nullptr) {
     own_cache = std::make_unique<CornerTopKCache>(dataset,

@@ -159,6 +159,10 @@ class CornerTopKCache {
   struct Entry {
     std::once_flag once;
     std::vector<int32_t> topk;
+    // rrr-lockfree: entries hit the shard map *before* call_once fills
+    // `topk`; observers bypassing the once_flag (ApproxBytes) acquire
+    // `ready` before touching the vector, the filler store-releases it.
+    std::atomic<bool> ready{false};
   };
   struct Key {
     size_t k;

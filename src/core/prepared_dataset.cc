@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/mutex.h"
@@ -85,7 +86,9 @@ PreparedDataset::SharedColumnBlocks(size_t threads, const ExecContext& ctx,
                                     bool* cache_hit) const {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   return column_blocks_.GetOrCompute(
-      ctx, cache_hit, [this, threads, &ctx]() {
+      ctx, cache_hit,
+      [this, threads, &ctx]() -> Result<data::ColumnBlocks> {
+        RRR_FAILPOINT("core.artifact.column_blocks");
         return data::ColumnBlocks::Build(data_, threads, ctx);
       });
 }
@@ -95,6 +98,7 @@ PreparedDataset::SharedSkyline(const ExecContext& ctx, bool* cache_hit) const {
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   return skyline_.GetOrCompute(
       ctx, cache_hit, [this]() -> Result<std::vector<int32_t>> {
+        RRR_FAILPOINT("core.artifact.skyline");
         return geometry::Skyline(data_.flat(), data_.size(), data_.dims());
       });
 }
@@ -105,6 +109,7 @@ PreparedDataset::SharedConvexMaxima(size_t threads, const ExecContext& ctx,
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
   return convex_maxima_.GetOrCompute(
       ctx, cache_hit, [this, threads, &ctx]() -> Result<std::vector<int32_t>> {
+        RRR_FAILPOINT("core.artifact.convex_maxima");
         // Prefilter to the skyline: maxima are always Pareto-optimal, and
         // separation from the skyline implies separation from everything
         // it dominates.
@@ -170,6 +175,7 @@ Result<std::shared_ptr<const KSetSampleResult>> PreparedDataset::SharedKSets(
       key, ctx, cache_hit,
       [this, k, &options, &ctx,
        candidates]() -> Result<KSetSampleResult> {
+        RRR_FAILPOINT("core.artifact.ksets");
         // The draws scan the full dataset only without an index and
         // without the skyband prefilter's compaction; only then is the
         // shared columnar mirror fetched (bit-identical collection either
@@ -210,6 +216,7 @@ PreparedDataset::SharedCandidateIndex(size_t k, size_t threads,
         candidate_cache_.GetOrCompute(
             kk, ctx, cache_hit,
             [this, kk, threads, &counts, &ctx]() -> Result<CandidateSlot> {
+              RRR_FAILPOINT("core.artifact.candidate_index");
               CandidateIndexOptions build = options_.candidate;
               build.threads = threads != 0 ? threads : build.threads;
               // The shared mirror feeds the build's sort-by-sum pass (and

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/mutex.h"
 #include "common/result.h"
@@ -104,7 +105,14 @@ class LazyCell {
     }
     state_ = State::kComputing;
     mu_.unlock();
-    Result<V> computed = compute();
+    // The failpoint models compute() dying mid-build; it must sit inside
+    // the computing window so the failure path below restores kIdle and
+    // wakes waiters (an early return here would leave them polling a slot
+    // nobody owns).
+    Result<V> computed = [&]() -> Result<V> {
+      RRR_FAILPOINT("core.lazycell.compute");
+      return compute();
+    }();
     mu_.lock();
     if (!computed.ok()) {
       state_ = State::kIdle;  // let a later (or concurrent) caller retry

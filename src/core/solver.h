@@ -129,6 +129,10 @@ struct DualResult {
   /// Every oracle probe in execution order, with per-probe timing and the
   /// algorithm it resolved to.
   std::vector<DualProbe> probes;
+  /// True when any probe ran degraded (a shared-artifact build failed and
+  /// the probe fell back to the legacy unpruned path — results are
+  /// bit-identical, only throughput suffers; see Diagnostics::degraded).
+  bool degraded = false;
 };
 
 /// \brief The dual formulation (Section 2): given a maximum representative

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace rrr {
@@ -75,6 +76,7 @@ std::string QuoteField(std::string_view field) {
 }  // namespace
 
 Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
+  RRR_FAILPOINT("data.csv.read");
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IoError("cannot open for reading: " + path);
@@ -176,6 +178,7 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
 
 Status WriteCsv(const std::string& path, const Dataset& dataset,
                 const CsvOptions& options) {
+  RRR_FAILPOINT("data.csv.write");
   std::ofstream out(path);
   if (!out.is_open()) {
     return Status::IoError("cannot open for writing: " + path);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace rrr {
 namespace service {
 
@@ -24,6 +26,9 @@ AdmissionQueue::~AdmissionQueue() {
 }
 
 Status AdmissionQueue::TrySubmit(std::function<void()> job) {
+  // Injected as ResourceExhausted so the server maps it to the same typed
+  // `busy` the real queue-full path produces (and clients retry it).
+  RRR_FAILPOINT("service.admission.submit");
   MutexLock lock(mu_);
   if (shutdown_) return Status::Cancelled("server shutting down");
   if (queue_.size() >= options_.queue_depth &&

@@ -5,11 +5,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <sstream>
+#include <thread>
+
+#include "common/random.h"
 
 namespace rrr {
 namespace service {
+
+bool IsRetryableCode(const std::string& code) {
+  return code == "busy" || code == "io_error" || code == "unavailable";
+}
 
 const std::string* Reply::Find(const std::string& key) const {
   const std::string* found = nullptr;
@@ -40,6 +49,8 @@ Status LineClient::Connect(const std::string& host, uint16_t port) {
   }
   fd_ = fd;
   buffer_.clear();
+  host_ = host;
+  port_ = port;
   return Status::OK();
 }
 
@@ -94,6 +105,42 @@ Result<Reply> LineClient::Request(const std::string& line) {
   Result<std::string> raw = ReadLine();
   if (!raw.ok()) return raw.status();
   return ParseReply(raw.value());
+}
+
+Result<Reply> LineClient::RequestWithRetry(const std::string& line,
+                                           const RetryPolicy& policy,
+                                           size_t* retries) {
+  Rng jitter(policy.jitter_seed);
+  const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
+  Result<Reply> last = Status::FailedPrecondition("not connected");
+  for (size_t attempt = 1;; ++attempt) {
+    // A transport fault leaves the stream desynced (a half-written request
+    // or half-read reply), so retries only ever run on a fresh connection.
+    if (!connected() && !host_.empty()) {
+      const Status reconnected = Connect(host_, port_);
+      if (!reconnected.ok()) last = reconnected;
+    }
+    if (connected()) {
+      last = Request(line);
+      if (last.ok() &&
+          (last.value().ok || !IsRetryableCode(last.value().code))) {
+        return last;
+      }
+      if (!last.ok()) Close();
+    }
+    if (attempt >= max_attempts) return last;
+    if (retries != nullptr) ++*retries;
+    uint64_t backoff_ms =
+        std::min(policy.max_backoff_ms,
+                 policy.initial_backoff_ms << std::min<size_t>(attempt - 1, 20));
+    if (backoff_ms > 0) {
+      // Jitter down to [backoff/2, backoff] so synchronized clients do not
+      // re-dogpile an overloaded server on the same tick.
+      backoff_ms -= static_cast<uint64_t>(jitter.Uniform() *
+                                          static_cast<double>(backoff_ms / 2));
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+  }
 }
 
 Result<std::map<std::string, std::string>> LineClient::RequestStats() {

@@ -25,6 +25,28 @@ struct Reply {
   const std::string* Find(const std::string& key) const;
 };
 
+/// \brief Retry discipline for LineClient::RequestWithRetry: capped
+/// exponential backoff with seeded jitter, applied ONLY to typed-retryable
+/// failures — the server's admission `busy` rejection and transport-level
+/// I/O faults (broken/refused connection; the client reconnects first).
+/// Semantic rejections (`invalid_argument`, `not_found`, ...) and spent
+/// budgets (`deadline_exceeded`, `cancelled`) are never retried: repeating
+/// them cannot succeed, and a deadline query's budget is already gone.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = no retry.
+  size_t max_attempts = 4;
+  /// Backoff before retry r (1-based): min(initial << (r - 1), max),
+  /// jittered down to a uniform draw in [backoff/2, backoff].
+  uint64_t initial_backoff_ms = 10;
+  uint64_t max_backoff_ms = 500;
+  /// Jitter rng seed — schedules replay identically for the same seed.
+  uint64_t jitter_seed = 1;
+};
+
+/// True for wire error codes RequestWithRetry treats as transient
+/// ("busy", "io_error", "unavailable").
+bool IsRetryableCode(const std::string& code);
+
 /// \brief Minimal blocking client for the rrr_serverd line protocol —
 /// shared by the test suites and rrr_loadgen. One TCP connection, one
 /// outstanding request at a time.
@@ -55,12 +77,24 @@ class LineClient {
   /// ERRs come back as an ok() Result whose Reply has ok=false.
   Result<Reply> Request(const std::string& line);
 
+  /// Request with the retry discipline of `policy`: a `busy` reply or a
+  /// transport fault backs off (capped exponential + seeded jitter) and
+  /// retries — reconnecting to the last Connect target after a transport
+  /// fault; every other reply returns immediately. Returns the final
+  /// attempt's outcome. `retries`, when non-null, is incremented once per
+  /// retry actually performed (loadgen's fault-phase metric).
+  Result<Reply> RequestWithRetry(const std::string& line,
+                                 const RetryPolicy& policy,
+                                 size_t* retries = nullptr);
+
   /// Sends STATS and reads `key value` lines until END into a map.
   Result<std::map<std::string, std::string>> RequestStats();
 
  private:
   int fd_ = -1;
   std::string buffer_;  // bytes read past the last returned line
+  std::string host_;    // last Connect target, for retry reconnects
+  uint16_t port_ = 0;
 };
 
 /// Parses one response line into a Reply (see protocol.h grammar).

@@ -1,7 +1,10 @@
 #include "service/registry.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "data/csv.h"
 #include "data/generators.h"
@@ -51,7 +54,11 @@ DatasetRegistry::DatasetRegistry(const Options& options)
     : options_(options),
       loader_pool_(std::max<size_t>(1, options.loader_threads)) {}
 
-DatasetRegistry::~DatasetRegistry() = default;
+DatasetRegistry::~DatasetRegistry() {
+  // Stops re-prepare backoff loops from sleeping through further attempts;
+  // the loader pool (destroyed first, declared last) then drains normally.
+  draining_.store(true, std::memory_order_relaxed);
+}
 
 Result<data::Dataset> DatasetRegistry::Materialize(const DatasetSpec& spec) {
   if (!spec.csv_path.empty()) return data::ReadCsv(spec.csv_path);
@@ -83,8 +90,17 @@ Status DatasetRegistry::Register(const std::string& name, DatasetSpec spec) {
   entry->dynamic_spec = spec.dynamic;
   {
     MutexLock lock(mu_);
-    if (!entries_.emplace(name, entry).second) {
-      return Status::InvalidArgument("dataset already registered: " + name);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      // A FAILED entry is a dead end (its bounded re-prepares are spent):
+      // re-REGISTER replaces it so clients can recover without a separate
+      // UNREGISTER round trip. LOADING/READY entries stay protected.
+      if (it->second->state != DatasetState::kFailed) {
+        return Status::InvalidArgument("dataset already registered: " + name);
+      }
+      it->second = entry;
+    } else {
+      entries_.emplace(name, entry);
     }
   }
   RRR_LOG(INFO) << "registry: accepted " << name << " ("
@@ -97,8 +113,9 @@ Status DatasetRegistry::Register(const std::string& name, DatasetSpec spec) {
   return Status::OK();
 }
 
-void DatasetRegistry::LoadEntry(std::shared_ptr<Entry> entry,
-                                DatasetSpec spec) {
+Status DatasetRegistry::PrepareEntry(const std::shared_ptr<Entry>& entry,
+                                     const DatasetSpec& spec) {
+  RRR_FAILPOINT("service.registry.prepare");
   Result<data::Dataset> dataset = Materialize(spec);
   std::shared_ptr<core::RrrEngine> engine;
   std::shared_ptr<core::DynamicDataset> dynamic;
@@ -139,17 +156,57 @@ void DatasetRegistry::LoadEntry(std::shared_ptr<Entry> entry,
       failure = prepared.status();
     }
   }
+  if (!failure.ok()) return failure;
   MutexLock lock(mu_);
-  if (failure.ok()) {
-    entry->engine = std::move(engine);
-    entry->dynamic = std::move(dynamic);
-    entry->fixed = std::move(fixed);
-    entry->state = DatasetState::kReady;
-  } else {
-    entry->error = failure.ToString();
-    entry->state = DatasetState::kFailed;
-    RRR_LOG(WARNING) << "registry: load failed: " << entry->error;
+  entry->engine = std::move(engine);
+  entry->dynamic = std::move(dynamic);
+  entry->fixed = std::move(fixed);
+  entry->state = DatasetState::kReady;
+  return Status::OK();
+}
+
+void DatasetRegistry::LoadEntry(std::shared_ptr<Entry> entry,
+                                DatasetSpec spec) {
+  // Bounded automatic re-prepare: transient failures (flaky CSV reads,
+  // injected faults) get max_prepare_attempts tries with doubling backoff,
+  // all inside this one pool task so shutdown never races a resubmit.
+  // Deterministic failures just burn the (small, capped) budget and land
+  // in kFailed with the final error preserved for STATUS post-mortems.
+  const size_t max_attempts = std::max<size_t>(1, options_.max_prepare_attempts);
+  Status failure = Status::OK();
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    failure = PrepareEntry(entry, spec);
+    if (failure.ok()) return;
+    {
+      MutexLock lock(mu_);
+      entry->error = failure.ToString();
+      entry->attempts = attempt;
+    }
+    if (attempt == max_attempts || draining_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    RRR_LOG(WARNING) << "registry: prepare attempt " << attempt << "/"
+                     << max_attempts << " failed (" << failure.ToString()
+                     << "); retrying";
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        options_.prepare_backoff_ms << (attempt - 1)));
+    {
+      // Abandon the retry if the entry was unregistered while we slept.
+      MutexLock lock(mu_);
+      bool reachable = false;
+      for (const auto& kv : entries_) {
+        if (kv.second == entry) {
+          reachable = true;
+          break;
+        }
+      }
+      if (!reachable) return;
+    }
   }
+  MutexLock lock(mu_);
+  entry->state = DatasetState::kFailed;
+  RRR_LOG(WARNING) << "registry: load failed after " << entry->attempts
+                   << " attempt(s): " << entry->error;
 }
 
 Result<DatasetRegistry::EntryReport> DatasetRegistry::Report(

@@ -1,6 +1,7 @@
 #ifndef RRR_SERVICE_REGISTRY_H_
 #define RRR_SERVICE_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -65,6 +66,11 @@ class DatasetRegistry {
     size_t loader_threads = 2;
     /// Evictable-byte budget; 0 = unlimited (eviction never fires).
     size_t artifact_budget_bytes = 0;
+    /// Prepare attempts per REGISTER before the entry lands in FAILED
+    /// (bounded automatic re-prepare; transient faults heal themselves).
+    size_t max_prepare_attempts = 3;
+    /// Backoff before re-prepare attempt a: prepare_backoff_ms << (a - 1).
+    uint64_t prepare_backoff_ms = 50;
   };
 
   /// An acquired entry: the engine plus the snapshot pinned at acquire
@@ -103,9 +109,10 @@ class DatasetRegistry {
   explicit DatasetRegistry(const Options& options);
   ~DatasetRegistry();
 
-  /// Registers `name` and queues its background prepare. AlreadyExists is
-  /// reported as InvalidArgument (re-REGISTER an existing name is a client
-  /// bug, not a race to tolerate silently).
+  /// Registers `name` and queues its background prepare. Re-REGISTER of a
+  /// LOADING/READY name is InvalidArgument (a client bug, not a race to
+  /// tolerate silently); a FAILED entry is replaced — its automatic
+  /// re-prepare budget is spent, so a fresh REGISTER is the recovery path.
   Status Register(const std::string& name, DatasetSpec spec);
 
   /// State snapshot for STATUS.
@@ -146,12 +153,19 @@ class DatasetRegistry {
     std::shared_ptr<core::DynamicDataset> dynamic;
     std::shared_ptr<const core::PreparedDataset> fixed;
     uint64_t last_touch = 0;
+    /// Prepare attempts consumed (for the FAILED log line / post-mortems).
+    size_t attempts = 0;
   };
 
   /// Builds the dataset named by `spec` (CSV read or generator run).
   static Result<data::Dataset> Materialize(const DatasetSpec& spec);
 
-  /// The background prepare: materialize + engine build + publish.
+  /// One prepare attempt: materialize + engine build + publish READY.
+  Status PrepareEntry(const std::shared_ptr<Entry>& entry,
+                      const DatasetSpec& spec);
+
+  /// The background prepare task: PrepareEntry with bounded retry/backoff;
+  /// publishes FAILED (with the final error) once the budget is spent.
   void LoadEntry(std::shared_ptr<Entry> entry, DatasetSpec spec);
 
   Options options_;
@@ -161,6 +175,9 @@ class DatasetRegistry {
   uint64_t touch_clock_ RRR_GUARDED_BY(mu_) = 0;
   size_t evictions_ RRR_GUARDED_BY(mu_) = 0;
   size_t evicted_bytes_ RRR_GUARDED_BY(mu_) = 0;
+  // rrr-lockfree: set once by the destructor, read by re-prepare backoff
+  // loops on loader threads to stop sleeping through further attempts.
+  std::atomic<bool> draining_{false};
   /// Declared last so it is destroyed FIRST: the destructor drains queued
   /// LoadEntry tasks, which lock mu_ and touch entries_ — both must still
   /// be alive while the pool winds down.

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/exec_context.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "core/solver.h"
 #include "service/protocol.h"
@@ -39,6 +40,11 @@ class LineReader {
     for (;;) {
       const size_t nl = buffer_.find('\n');
       if (nl != std::string::npos) {
+        // Injected only once a complete request arrived: an armed fault
+        // hits the connection actually carrying traffic, never a peer
+        // parked in recv() (a `once` would otherwise land on whichever
+        // idle connection re-entered its read loop first).
+        RRR_FAILPOINT("service.socket.read");
         std::string line = buffer_.substr(0, nl);
         buffer_.erase(0, nl + 1);
         if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -62,6 +68,9 @@ class LineReader {
 
 /// Writes the whole buffer; false on a broken connection.
 bool WriteAll(int fd, const std::string& data) {
+  // Folded to the errno-style contract: an injected fault reads as the
+  // peer breaking the connection mid-write.
+  if (!RRR_FAILPOINT_STATUS("service.socket.write").ok()) return false;
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t wrote =
@@ -167,6 +176,15 @@ void RrrServer::Stop() {
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Re-sweep: a connection the accept loop registered AFTER the sweep
+    // above raced past it (accept returned before stopping_ was set, the
+    // insert landed after the sweep). With the accept thread joined the
+    // set is final, so this pass catches the stragglers — otherwise the
+    // join below waits forever on a thread parked in recv.
+    MutexLock lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
   std::vector<std::thread> threads;
   {
     MutexLock lock(conn_mu_);
@@ -192,6 +210,12 @@ void RrrServer::AcceptLoop() {
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(cfd);
       return;
+    }
+    // An injected accept fault drops this one connection (as a flaky NIC
+    // would) and keeps the loop serving — never kills the listener.
+    if (!RRR_FAILPOINT_STATUS("service.socket.accept").ok()) {
+      ::close(cfd);
+      continue;
     }
     {
       MutexLock lock(stats_mu_);
@@ -223,9 +247,15 @@ void RrrServer::ServeConnection(int fd) {
     }
     if (!WriteAll(fd, reply + "\n")) break;
   }
+  {
+    // Deregister BEFORE close: once closed, the kernel may hand this fd
+    // number to a concurrent accept, and erasing afterwards would strip
+    // the NEW connection's registration — leaving it invisible to Stop's
+    // shutdown sweep and its thread unjoinable.
+    MutexLock lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
   ::close(fd);
-  MutexLock lock(conn_mu_);
-  conn_fds_.erase(fd);
 }
 
 std::string RrrServer::HandleControl(const Command& cmd, bool* quit) {
@@ -235,6 +265,7 @@ std::string RrrServer::HandleControl(const Command& cmd, bool* quit) {
     return FormatOk({});
   }
   if (cmd.verb == "STATS") return RenderStats();
+  if (cmd.verb == "FAILPOINT") return HandleFailpoint(cmd);
   if (cmd.verb == "REGISTER") {
     Result<std::string> name = cmd.GetString("name");
     if (!name.ok()) return FormatErr(name.status());
@@ -322,6 +353,40 @@ std::string RrrServer::HandleControl(const Command& cmd, bool* quit) {
   return FormatErr(Status::InvalidArgument("unknown verb: " + cmd.verb));
 }
 
+std::string RrrServer::HandleFailpoint(const Command& cmd) {
+  FailpointRegistry& failpoints = FailpointRegistry::Instance();
+  Result<uint64_t> clear = cmd.GetUintOr("clear", 0);
+  if (!clear.ok()) return FormatErr(clear.status());
+  if (clear.value() != 0) {
+    failpoints.DisarmAll();
+    return FormatOk({{"cleared", "1"}});
+  }
+  Result<uint64_t> list = cmd.GetUintOr("list", 0);
+  if (!list.ok()) return FormatErr(list.status());
+  if (list.value() != 0) {
+    // One field per site: NAME=policy:evaluations:injections (the value
+    // grammar forbids spaces; the canonical spec strings never have any).
+    const std::vector<FailpointRegistry::SiteReport> sites =
+        failpoints.List();
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.emplace_back("count", std::to_string(sites.size()));
+    for (const FailpointRegistry::SiteReport& site : sites) {
+      fields.emplace_back(site.site,
+                          site.policy + ":" +
+                              std::to_string(site.evaluations) + ":" +
+                              std::to_string(site.injections));
+    }
+    return FormatOk(fields);
+  }
+  Result<std::string> site = cmd.GetString("site");
+  if (!site.ok()) return FormatErr(site.status());
+  Result<std::string> spec = cmd.GetString("spec");
+  if (!spec.ok()) return FormatErr(spec.status());
+  const Status armed = failpoints.Arm(site.value(), spec.value());
+  if (!armed.ok()) return FormatErr(armed);
+  return FormatOk({{"site", site.value()}, {"spec", spec.value()}});
+}
+
 std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
   Result<uint64_t> deadline_ms = cmd.GetUintOr("deadline_ms", 0);
   if (!deadline_ms.ok()) return FormatErr(deadline_ms.status());
@@ -392,8 +457,9 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
              {"cached", FormatBool(r.diagnostics.result_from_cache)},
              {"seconds", FormatSeconds(r.diagnostics.seconds)},
              {"size", std::to_string(r.representative.size())},
-             {"ids", JoinIds(r.representative)}},
-            r.diagnostics.result_from_cache);
+             {"ids", JoinIds(r.representative)},
+             {"degraded", FormatBool(r.diagnostics.degraded)}},
+            r.diagnostics.result_from_cache, r.diagnostics.degraded);
       };
     } else if (cmd.verb == "DUAL") {
       Result<uint64_t> max_size = cmd.GetUint("max_size");
@@ -410,7 +476,9 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
              {"algorithm", core::AlgorithmName(r.algorithm_used)},
              {"seconds", FormatSeconds(r.seconds)},
              {"size", std::to_string(r.representative.size())},
-             {"ids", JoinIds(r.representative)}});
+             {"ids", JoinIds(r.representative)},
+             {"degraded", FormatBool(r.degraded)}},
+            /*memo_hit=*/false, r.degraded);
       };
     } else {  // EVAL
       Result<std::string> ids_text = cmd.GetString("ids");
@@ -430,7 +498,9 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
             {{"rank_regret", std::to_string(r.rank_regret)},
              {"exact", FormatBool(r.exact)},
              {"within_k", FormatBool(r.within_k)},
-             {"version", r.diagnostics.dataset_version.ToString()}});
+             {"version", r.diagnostics.dataset_version.ToString()},
+             {"degraded", FormatBool(r.diagnostics.degraded)}},
+            /*memo_hit=*/false, r.diagnostics.degraded);
       };
     }
   }
@@ -475,11 +545,12 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
 std::string RrrServer::FinishQuery(
     const Status& status,
     const std::vector<std::pair<std::string, std::string>>& fields,
-    bool memo_hit) {
+    bool memo_hit, bool degraded) {
   {
     MutexLock lock(stats_mu_);
     ++counters_.queries_total;
     if (memo_hit) ++counters_.memo_hits;
+    if (degraded) ++counters_.degraded_queries;
     if (status.code() == StatusCode::kDeadlineExceeded) {
       ++counters_.deadline_exceeded;
     } else if (status.code() == StatusCode::kCancelled) {
@@ -523,6 +594,7 @@ std::string RrrServer::RenderStats() {
   add("cancelled", counters.cancelled);
   add("disconnect_cancels", counters.disconnect_cancels);
   add("errors", counters.errors);
+  add("degraded_queries", counters.degraded_queries);
   add("appended_rows", counters.appended_rows);
   add("connections", connections);
   add("connections_total", counters.connections_total);

@@ -81,6 +81,9 @@ class RrrServer {
     size_t errors = 0;
     size_t appended_rows = 0;
     size_t connections_total = 0;
+    /// Queries that succeeded on a degraded path (a shared-artifact build
+    /// failed and the engine fell back to the legacy scan, bit-identically).
+    size_t degraded_queries = 0;
   };
 
   void AcceptLoop();
@@ -88,6 +91,11 @@ class RrrServer {
 
   /// Inline control verbs; returns the response line.
   std::string HandleControl(const Command& cmd, bool* quit);
+
+  /// The FAILPOINT admin verb: arms/disarms fault-injection sites on a
+  /// live server (site=NAME spec=POLICY | site=NAME off | clear=1 |
+  /// list=1). Test/chaos tooling only — an unarmed server pays nothing.
+  std::string HandleFailpoint(const Command& cmd);
 
   /// Query verbs: admission-time snapshot resolution, bounded dispatch,
   /// disconnect-polling wait. Returns the response line.
@@ -98,7 +106,7 @@ class RrrServer {
   std::string FinishQuery(
       const Status& status,
       const std::vector<std::pair<std::string, std::string>>& fields,
-      bool memo_hit = false);
+      bool memo_hit = false, bool degraded = false);
 
   /// Renders the multi-line STATS body (terminated by END).
   std::string RenderStats();

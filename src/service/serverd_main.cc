@@ -66,6 +66,12 @@ int main(int argc, char** argv) {
   options.port = static_cast<uint16_t>(port);
   options.artifact_budget_bytes = budget_mb * 1024 * 1024;
 
+  // A peer that vanishes mid-reply must surface as EPIPE from send() (the
+  // write loop treats it as a broken connection), not kill the daemon.
+  // MSG_NOSIGNAL in WriteAll covers reply writes; this covers every other
+  // descriptor the process ever writes.
+  std::signal(SIGPIPE, SIG_IGN);
+
   rrr::service::RrrServer server(options);
   const rrr::Status started = server.Start();
   if (!started.ok()) {

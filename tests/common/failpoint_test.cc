@@ -1,0 +1,163 @@
+// Contract tests for the fault-injection registry: the policy grammar,
+// per-policy firing semantics (once self-disarms, every-N is periodic,
+// prob is seeded-deterministic), the RRR_FAILPOINT macro's early-return
+// behavior in Status- and Result-returning functions, and the zero-cost
+// disabled fast path (AnyArmed flips back to false when nothing is armed).
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace rrr {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+Status GuardedStatusOp() {
+  RRR_FAILPOINT("test.op.status");
+  return Status::OK();
+}
+
+Result<int> GuardedResultOp() {
+  RRR_FAILPOINT("test.op.result");
+  return 42;
+}
+
+TEST_F(FailpointTest, DisabledSitesAreInvisible) {
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(GuardedStatusOp().ok());
+  Result<int> r = GuardedResultOp();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  // Unarmed evaluations never take the slow path, so nothing is recorded.
+  EXPECT_TRUE(FailpointRegistry::Instance().List().empty());
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnceThenSelfDisarms) {
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().Arm("test.op.status", "once").ok());
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+
+  Status injected = GuardedStatusOp();
+  EXPECT_EQ(injected.code(), StatusCode::kIoError);
+  EXPECT_EQ(injected.message(), "failpoint test.op.status");
+
+  EXPECT_TRUE(GuardedStatusOp().ok());
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+
+  std::vector<FailpointRegistry::SiteReport> sites =
+      FailpointRegistry::Instance().List();
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].site, "test.op.status");
+  EXPECT_EQ(sites[0].policy, "off");
+  EXPECT_EQ(sites[0].injections, 1u);
+}
+
+TEST_F(FailpointTest, OnceWithExplicitCodePropagatesThroughResult) {
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("test.op.result", "once@resource_exhausted")
+                  .ok());
+  Result<int> r = GuardedResultOp();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(GuardedResultOp().ok());
+}
+
+TEST_F(FailpointTest, EveryNFiresPeriodically) {
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("test.op.status", "every-3@internal")
+                  .ok());
+  int failures = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (!GuardedStatusOp().ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3);  // evaluations 3, 6, 9
+}
+
+TEST_F(FailpointTest, ProbabilisticIsSeededDeterministic) {
+  auto run = [](uint64_t seed) {
+    FailpointRegistry::Instance().DisarmAll();
+    EXPECT_TRUE(FailpointRegistry::Instance()
+                    .Arm("test.op.status",
+                         "prob-0.5-seed-" + std::to_string(seed))
+                    .ok());
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += GuardedStatusOp().ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  const std::string a = run(7);
+  const std::string b = run(7);
+  const std::string c = run(8);
+  EXPECT_EQ(a, b);          // same seed -> same schedule
+  EXPECT_NE(a, c);          // different seed -> different schedule
+  EXPECT_NE(a.find('X'), std::string::npos);  // p=0.5 over 64: fires
+  EXPECT_NE(a.find('.'), std::string::npos);  // ... and passes
+}
+
+TEST_F(FailpointTest, DelaySleepsThenPasses) {
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().Arm("test.op.status", "delay-30").ok());
+  Stopwatch timer;
+  EXPECT_TRUE(GuardedStatusOp().ok());
+  EXPECT_GE(timer.ElapsedSeconds(), 0.025);
+}
+
+TEST_F(FailpointTest, ConfigStringArmsMultipleSites) {
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .ConfigureFromString(
+                      " test.op.status = once@not_found ; test.op.result = "
+                      "every-2 ;")
+                  .ok());
+  EXPECT_EQ(GuardedStatusOp().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(GuardedResultOp().ok());
+  EXPECT_FALSE(GuardedResultOp().ok());
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  FailpointRegistry& reg = FailpointRegistry::Instance();
+  EXPECT_FALSE(reg.Arm("s", "sometimes").ok());
+  EXPECT_FALSE(reg.Arm("s", "every-0").ok());
+  EXPECT_FALSE(reg.Arm("s", "prob-1.5").ok());
+  EXPECT_FALSE(reg.Arm("s", "once@no_such_code").ok());
+  EXPECT_FALSE(reg.Arm("s", "delay-10@io_error").ok());
+  EXPECT_FALSE(reg.Arm("bad site", "once").ok());
+  EXPECT_FALSE(reg.ConfigureFromString("missing-equals").ok());
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+}
+
+TEST_F(FailpointTest, PolicyRoundTripsThroughToString) {
+  for (const char* spec :
+       {"once@io_error", "every-5@internal", "prob-0.25-seed-9@io_error",
+        "delay-15", "off"}) {
+    Result<FailpointRegistry::Policy> parsed =
+        FailpointRegistry::ParsePolicy(spec);
+    ASSERT_TRUE(parsed.ok()) << spec;
+    EXPECT_EQ(FailpointRegistry::PolicyToString(parsed.value()), spec);
+  }
+}
+
+TEST_F(FailpointTest, DisarmRestoresFastPath) {
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().Arm("test.op.status", "every-1").ok());
+  EXPECT_FALSE(GuardedStatusOp().ok());
+  EXPECT_TRUE(FailpointRegistry::Instance().Disarm("test.op.status"));
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(GuardedStatusOp().ok());
+  EXPECT_FALSE(FailpointRegistry::Instance().Disarm("test.op.status"));
+}
+
+}  // namespace
+}  // namespace rrr

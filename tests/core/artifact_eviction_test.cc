@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/engine.h"
 #include "core/prepared_dataset.h"
 #include "data/generators.h"
@@ -113,6 +114,74 @@ TEST(ArtifactEviction, ConcurrentEvictionNeverRacesQueries) {
   stop.store(true);
   evictor.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ArtifactEviction, RebuildFaultDegradesThenHealsBitIdentically) {
+  FailpointRegistry::Instance().DisarmAll();
+  std::shared_ptr<const PreparedDataset> prepared = Prepare(350, 3, 9);
+  EngineOptions options;
+  options.memoize_results = false;  // every Solve recomputes: no memo veil
+  options.artifact_failure_cooldown_ms = 0;  // re-attempt immediately
+  Result<std::shared_ptr<RrrEngine>> created =
+      RrrEngine::Create(prepared, options);
+  ASSERT_TRUE(created.ok());
+  std::shared_ptr<RrrEngine> engine = created.value();
+
+  // Warm build, then the oracle answer and a non-empty evictable pool.
+  Result<QueryResult> warm = engine->Solve(3);
+  ASSERT_TRUE(warm.ok());
+  const std::vector<int32_t> oracle = warm.value().representative;
+  EXPECT_FALSE(warm.value().diagnostics.degraded);
+  ASSERT_GT(prepared->ApproxArtifactBytes().evictable(), 0u);
+
+  // Evict everything, then make the candidate-index REBUILD die: the
+  // query must fall back to the legacy unpruned path, not error.
+  ASSERT_GT(prepared->EvictSharedArtifacts(), 0u);
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("core.artifact.candidate_index", "once")
+                  .ok());
+  Result<QueryResult> degraded = engine->Solve(3);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded.value().diagnostics.degraded);
+  EXPECT_EQ(degraded.value().diagnostics.skyband_size, 0u);  // no index ran
+  EXPECT_EQ(degraded.value().representative, oracle);
+
+  // Fault cleared (once self-disarmed): the next query rebuilds the
+  // artifact bit-identically and sheds the degraded flag.
+  Result<QueryResult> healed = engine->Solve(3);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed.value().diagnostics.degraded);
+  EXPECT_EQ(healed.value().representative, oracle);
+  EXPECT_GT(prepared->ApproxArtifactBytes().evictable(), 0u);
+  FailpointRegistry::Instance().DisarmAll();
+}
+
+TEST(ArtifactEviction, CooldownSkipsRebuildAttemptsUntilItExpires) {
+  FailpointRegistry::Instance().DisarmAll();
+  std::shared_ptr<const PreparedDataset> prepared = Prepare(200, 3, 13);
+  EngineOptions options;
+  options.memoize_results = false;
+  options.artifact_failure_cooldown_ms = 60'000;  // effectively forever
+  Result<std::shared_ptr<RrrEngine>> created =
+      RrrEngine::Create(prepared, options);
+  ASSERT_TRUE(created.ok());
+  std::shared_ptr<RrrEngine> engine = created.value();
+
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("core.artifact.candidate_index", "once")
+                  .ok());
+  Result<QueryResult> first = engine->Solve(3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().diagnostics.degraded);
+
+  // The fault is gone (once drained) but the cooldown is live: the next
+  // query must not even attempt the build — degraded again, same answer.
+  Result<QueryResult> second = engine->Solve(3);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().diagnostics.degraded);
+  EXPECT_EQ(second.value().representative, first.value().representative);
+  EXPECT_EQ(second.value().diagnostics.skyband_size, 0u);
+  FailpointRegistry::Instance().DisarmAll();
 }
 
 }  // namespace

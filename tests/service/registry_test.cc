@@ -7,11 +7,19 @@
 #include <fstream>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "core/engine.h"
 
 namespace rrr {
 namespace service {
 namespace {
+
+/// Disarms every failpoint on scope exit so one test's faults never leak
+/// into the next.
+struct FailpointGuard {
+  FailpointGuard() { FailpointRegistry::Instance().DisarmAll(); }
+  ~FailpointGuard() { FailpointRegistry::Instance().DisarmAll(); }
+};
 
 /// Polls until the entry leaves LOADING (registry prepares run on
 /// background loader threads).
@@ -189,6 +197,83 @@ TEST(Registry, StatsCoverPerDatasetRows) {
   ASSERT_EQ(stats.per_dataset.size(), 2u);
   EXPECT_EQ(stats.per_dataset[0].name, "a");
   EXPECT_EQ(stats.per_dataset[1].name, "b");
+}
+
+TEST(Registry, TransientPrepareFaultHealsViaAutomaticRetry) {
+  FailpointGuard guard;
+  // `once` kills exactly the first prepare attempt; the bounded in-task
+  // retry runs a second attempt that succeeds without client involvement.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("service.registry.prepare", "once")
+                  .ok());
+  DatasetRegistry::Options options;
+  options.prepare_backoff_ms = 1;
+  DatasetRegistry registry(options);
+  ASSERT_TRUE(registry.Register("flaky", UniformSpec(50, 2)).ok());
+  EXPECT_EQ(AwaitSettled(&registry, "flaky"), DatasetState::kReady);
+}
+
+TEST(Registry, ExhaustedRetriesLandInFailedWithTheStatusMessage) {
+  FailpointGuard guard;
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("service.registry.prepare", "every-1@internal")
+                  .ok());
+  DatasetRegistry::Options options;
+  options.max_prepare_attempts = 2;
+  options.prepare_backoff_ms = 1;
+  DatasetRegistry registry(options);
+  ASSERT_TRUE(registry.Register("doomed", UniformSpec(50, 2)).ok());
+  ASSERT_EQ(AwaitSettled(&registry, "doomed"), DatasetState::kFailed);
+
+  // STATUS surfaces the final failure, attributably.
+  Result<DatasetRegistry::EntryReport> report = registry.Report("doomed");
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.value().error.find("failpoint"), std::string::npos)
+      << report.value().error;
+  EXPECT_NE(report.value().error.find("service.registry.prepare"),
+            std::string::npos)
+      << report.value().error;
+
+  // Acquire surfaces the same load error instead of a bare NotFound.
+  Result<DatasetRegistry::Acquired> acquired = registry.Acquire("doomed");
+  ASSERT_FALSE(acquired.ok());
+  EXPECT_NE(acquired.status().ToString().find("failpoint"),
+            std::string::npos);
+}
+
+TEST(Registry, FailedEntryIsReRegisterableOnceTheFaultClears) {
+  FailpointGuard guard;
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("service.registry.prepare", "every-1")
+                  .ok());
+  DatasetRegistry::Options options;
+  options.max_prepare_attempts = 1;
+  DatasetRegistry registry(options);
+  ASSERT_TRUE(registry.Register("phoenix", UniformSpec(60, 3)).ok());
+  ASSERT_EQ(AwaitSettled(&registry, "phoenix"), DatasetState::kFailed);
+
+  // LOADING/READY names stay re-REGISTER-proof; FAILED ones are replaced.
+  FailpointRegistry::Instance().DisarmAll();
+  ASSERT_TRUE(registry.Register("phoenix", UniformSpec(60, 3)).ok());
+  ASSERT_EQ(AwaitSettled(&registry, "phoenix"), DatasetState::kReady);
+  EXPECT_FALSE(registry.Register("phoenix", UniformSpec(60, 3)).ok());
+
+  Result<DatasetRegistry::Acquired> acquired = registry.Acquire("phoenix");
+  ASSERT_TRUE(acquired.ok()) << acquired.status().ToString();
+}
+
+TEST(Registry, FailedEntryIsUnregisterable) {
+  FailpointGuard guard;
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("service.registry.prepare", "every-1")
+                  .ok());
+  DatasetRegistry::Options options;
+  options.max_prepare_attempts = 1;
+  DatasetRegistry registry(options);
+  ASSERT_TRUE(registry.Register("drop-me", UniformSpec(40, 2)).ok());
+  ASSERT_EQ(AwaitSettled(&registry, "drop-me"), DatasetState::kFailed);
+  EXPECT_TRUE(registry.Unregister("drop-me").ok());
+  EXPECT_FALSE(registry.Report("drop-me").ok());
 }
 
 }  // namespace

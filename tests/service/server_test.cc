@@ -2,12 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/engine.h"
 #include "data/generators.h"
 #include "service/client.h"
@@ -16,6 +22,13 @@
 namespace rrr {
 namespace service {
 namespace {
+
+/// Disarms every failpoint on scope exit so one test's faults never leak
+/// into the next.
+struct FailpointGuard {
+  FailpointGuard() { FailpointRegistry::Instance().DisarmAll(); }
+  ~FailpointGuard() { FailpointRegistry::Instance().DisarmAll(); }
+};
 
 using Stats = std::map<std::string, std::string>;
 
@@ -337,6 +350,230 @@ TEST(Server, StopWithConnectedClientsShutsDownCleanly) {
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   server->Stop();
   server.reset();  // destructor re-runs Stop harmlessly
+}
+
+TEST(Server, FailpointVerbArmsListsAndClears) {
+  FailpointGuard guard;
+  RrrServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  Connect(server, &client);
+  ASSERT_TRUE(client.Request("REGISTER name=d gen=uniform n=60 d=2").ok());
+  AwaitReady(&client, "d");
+
+  // Armed over the wire: the next admission attempt dies as the typed
+  // busy rejection, then the site self-disarms (once).
+  Result<Reply> armed = client.Request(
+      "FAILPOINT site=service.admission.submit "
+      "spec=once@resource_exhausted");
+  ASSERT_TRUE(armed.ok());
+  ASSERT_TRUE(armed.value().ok) << armed.value().code;
+  Result<Reply> rejected = client.Request("SOLVE name=d k=2");
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(rejected.value().ok);
+  EXPECT_EQ(rejected.value().code, "busy");
+  Result<Reply> healed = client.Request("SOLVE name=d k=2");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_TRUE(healed.value().ok) << healed.value().code;
+
+  // list=1 reports the drained site as policy:evaluations:injections.
+  // evaluations stays 1: once the site self-disarmed, the healed SOLVE
+  // took the fast path and never consulted the registry again.
+  Result<Reply> listed = client.Request("FAILPOINT list=1");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_TRUE(listed.value().ok);
+  const std::string* report =
+      listed.value().Find("service.admission.submit");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(*report, "off:1:1");
+
+  Result<Reply> cleared = client.Request("FAILPOINT clear=1");
+  ASSERT_TRUE(cleared.ok());
+  EXPECT_TRUE(cleared.value().ok);
+  Result<Reply> empty = client.Request("FAILPOINT list=1");
+  ASSERT_TRUE(empty.ok());
+  const std::string* count = empty.value().Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(*count, "0");
+
+  // Malformed specs are rejected without arming anything.
+  Result<Reply> bad = client.Request("FAILPOINT site=x spec=every-0");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad.value().ok);
+  EXPECT_EQ(bad.value().code, "invalid_argument");
+  server.Stop();
+}
+
+TEST(Server, ArtifactBuildFaultDegradesBitIdentically) {
+  FailpointGuard guard;
+  // Oracle first — the failpoint registry is process-global and the
+  // oracle must be the fault-free answer.
+  const std::string oracle = DirectSolveIds(120, 3, 7, 3);
+
+  RrrServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  Connect(server, &client);
+  ASSERT_TRUE(
+      client.Request("REGISTER name=d gen=uniform n=120 d=3 seed=7").ok());
+  AwaitReady(&client, "d");
+
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("core.artifact.candidate_index", "once")
+                  .ok());
+  Result<Reply> degraded = client.Request("SOLVE name=d k=3");
+  ASSERT_TRUE(degraded.ok());
+  ASSERT_TRUE(degraded.value().ok) << degraded.value().code;
+  const std::string* ids = degraded.value().Find("ids");
+  ASSERT_NE(ids, nullptr);
+  EXPECT_EQ(*ids, oracle);  // legacy path, bit-identical representative
+  const std::string* flag = degraded.value().Find("degraded");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_EQ(*flag, "1");
+
+  Result<Stats> stats = client.RequestStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value()["degraded_queries"], "1");
+  EXPECT_EQ(stats.value()["errors"], "0");
+  server.Stop();
+}
+
+TEST(Server, SocketFaultsDropOneConnectionNotTheServer) {
+  FailpointGuard guard;
+  RrrServer server({});
+  ASSERT_TRUE(server.Start().ok());
+
+  // An injected reply-write fault reads as the peer breaking the
+  // connection: that client's reply is lost, the server keeps serving.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("service.socket.write", "once")
+                  .ok());
+  LineClient victim;
+  Connect(server, &victim);
+  Result<Reply> lost = victim.Request("PING");
+  EXPECT_FALSE(lost.ok());  // transport-level failure, not a protocol ERR
+
+  LineClient survivor;
+  Connect(server, &survivor);
+  Result<Reply> ping = survivor.Request("PING");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(ping.value().ok);
+
+  // Same for an injected request-read fault.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("service.socket.read", "once")
+                  .ok());
+  LineClient dropped;
+  Connect(server, &dropped);
+  EXPECT_FALSE(dropped.Request("PING").ok());
+  EXPECT_TRUE(survivor.Request("PING").ok());
+  server.Stop();
+}
+
+TEST(Server, RetryPolicyRecoversBusyAndAcceptFaultsButNeverSemanticErrors) {
+  FailpointGuard guard;
+  RrrServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  LineClient client;
+  Connect(server, &client);
+  ASSERT_TRUE(client.Request("REGISTER name=d gen=uniform n=60 d=2").ok());
+  AwaitReady(&client, "d");
+
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 4;
+
+  // busy is typed-retryable: one injected rejection, then success.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("service.admission.submit", "once@resource_exhausted")
+                  .ok());
+  size_t retries = 0;
+  Result<Reply> solved =
+      client.RequestWithRetry("SOLVE name=d k=2", policy, &retries);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_TRUE(solved.value().ok) << solved.value().code;
+  EXPECT_EQ(retries, 1u);
+
+  // An accept fault kills the fresh connection; the retry reconnects.
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("service.socket.accept", "once")
+                  .ok());
+  LineClient flaky;
+  Connect(server, &flaky);
+  retries = 0;
+  Result<Reply> pinged = flaky.RequestWithRetry("PING", policy, &retries);
+  ASSERT_TRUE(pinged.ok());
+  EXPECT_TRUE(pinged.value().ok);
+  EXPECT_GE(retries, 1u);
+
+  // Semantic rejections must NOT burn retry budget: k=0 is
+  // invalid_argument forever.
+  retries = 0;
+  Result<Reply> invalid =
+      client.RequestWithRetry("SOLVE name=d k=0", policy, &retries);
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_FALSE(invalid.value().ok);
+  EXPECT_EQ(invalid.value().code, "invalid_argument");
+  EXPECT_EQ(retries, 0u);
+  server.Stop();
+}
+
+TEST(Server, AbruptDisconnectsWithDefaultSigpipeDispositionSurvive) {
+  // MSG_NOSIGNAL on every send is what keeps a dead peer from raising
+  // SIGPIPE; run with the default (lethal) disposition to prove it.
+  using SignalHandler = void (*)(int);
+  SignalHandler previous = std::signal(SIGPIPE, SIG_DFL);
+  RrrServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 20; ++i) {
+    LineClient hit_and_run;
+    Connect(server, &hit_and_run);
+    ASSERT_TRUE(hit_and_run.SendLine("PING").ok());
+    hit_and_run.Close();  // reply often races the close -> send to dead fd
+  }
+  LineClient prober;
+  Connect(server, &prober);
+  Result<Reply> ping = prober.Request("PING");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(ping.value().ok);
+  server.Stop();
+  std::signal(SIGPIPE, previous);
+}
+
+TEST(Server, TrafficSurvivesSignalStorm) {
+  // EINTR regression: pepper the process with a no-signal-restart handler
+  // while traffic runs; every blocked accept/recv/send must retry instead
+  // of failing the connection.
+  struct sigaction action{};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately NOT SA_RESTART
+  struct sigaction previous{};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  RrrServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  std::atomic<bool> storming{true};
+  std::thread storm([&storming] {
+    while (storming.load()) {
+      // kill(), not raise(): raise targets the storm thread itself, kill
+      // lets the kernel pick any thread — including ones blocked in
+      // accept/recv, which is the point.
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  LineClient client;
+  Connect(server, &client);
+  for (int i = 0; i < 50; ++i) {
+    Result<Reply> ping = client.Request("PING");
+    ASSERT_TRUE(ping.ok()) << "iteration " << i;
+    EXPECT_TRUE(ping.value().ok);
+  }
+  storming.store(false);
+  storm.join();
+  server.Stop();
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
 }
 
 }  // namespace

@@ -1,0 +1,27 @@
+// Fixture: statement-initial calls that drop a Status/Result on the
+// floor. Self-contained — the fallible names are harvested from the
+// declarations below, the call sites swallow them. Expected: exactly two
+// swallowed-status findings (Flush and Drain).
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+template <typename T>
+struct Result {
+  T value;
+  bool ok() const { return true; }
+};
+
+class Sink {
+ public:
+  Status Flush();
+  Result<int> Drain();
+  void Reset();
+};
+
+void Pump(Sink* sink) {
+  sink->Flush();  // swallowed: Status dropped
+  sink->Drain();  // swallowed: Result<int> dropped
+  sink->Reset();  // void return: fine
+}

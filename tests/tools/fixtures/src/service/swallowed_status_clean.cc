@@ -1,0 +1,28 @@
+// Clean counterpart of swallowed_status_bad.cc: every Status/Result is
+// examined, propagated, explicitly voided, or consumed by a continuation
+// line (the statement-initial heuristic must not fire on any of these).
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+template <typename T>
+struct Result {
+  T value;
+  bool ok() const { return true; }
+};
+
+class Sink {
+ public:
+  Status Flush();
+  Result<int> Drain();
+};
+
+Status Pump(Sink* sink) {
+  Status flushed = sink->Flush();
+  if (!flushed.ok()) return flushed;
+  (void)sink->Drain();  // best-effort prefetch; a miss only costs latency
+  Status copied =
+      sink->Flush();  // continuation line: consumed by the init above
+  return copied;
+}

@@ -153,6 +153,17 @@ TEST(RrrLintFixtures, MemoVersionKeyCleanWithVersionMember) {
   ExpectClean(LintFixture("src/core/engine_key_clean.h"));
 }
 
+TEST(RrrLintFixtures, SwallowedStatusTripsOnDiscardedCalls) {
+  // Two dropped values (a Status and a Result<int>), plus a void call and
+  // the declarations themselves, which must NOT fire.
+  ExpectOnlyRule(LintFixture("src/service/swallowed_status_bad.cc"),
+                 "swallowed-status", 2);
+}
+
+TEST(RrrLintFixtures, SwallowedStatusCleanWhenHandledVoidedOrContinued) {
+  ExpectClean(LintFixture("src/service/swallowed_status_clean.cc"));
+}
+
 TEST(RrrLintFixtures, DisableMarkerSuppressesAndIsCounted) {
   const LintRun run = LintFixture("src/core/suppressed_ok.cc");
   EXPECT_EQ(run.exit_code, 0) << run.output;

@@ -32,6 +32,11 @@
 //                           DatasetVersion member — a memo entry computed
 //                           against one row-state must never answer for
 //                           another.
+//   swallowed-status        a statement-initial call to a function whose
+//                           declared return type is Status / Result<...>
+//                           with the value discarded on the floor — handle
+//                           it, propagate it, or cast to (void) with a
+//                           comment saying why failure is ignorable.
 //   bad-suppression         a `rrr-lint: disable(...)` marker without a
 //                           reason= clause.
 //
@@ -253,6 +258,9 @@ class Linter {
   void CheckUnguardedSync(const FileText& file);
   void CheckMemoVersionKey(const FileText& file);
   void CheckSuppressionReasons(const FileText& file);
+  /// Whole-corpus rule (runs in Finish): needs every scanned file's
+  /// declarations before any file's call sites can be judged.
+  void CheckSwallowedStatus();
 
   /// Matches braces from the first '{' at or after (start_line, start_col)
   /// in code text; returns the 0-based line of the closing brace, or
@@ -260,6 +268,7 @@ class Linter {
   static size_t MatchBraces(const FileText& file, size_t start_line);
 
   std::string root_;
+  std::vector<FileText> files_;  // retained for whole-corpus rules
   std::vector<Violation> violations_;
   std::vector<Suppression> suppressions_;
   size_t files_scanned_ = 0;
@@ -518,6 +527,140 @@ void Linter::CheckMemoVersionKey(const FileText& file) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: swallowed-status
+// ---------------------------------------------------------------------------
+
+/// Phase 1: function names split by declared return type — Status /
+/// Result<...> into `fallible`, anything else into `infallible`. A name
+/// in both sets is ambiguous at token level (e.g. a bool Insert here, a
+/// Result<...> Insert there) and must not be flagged. Repo style makes
+/// functions PascalCase, so lowercase identifiers (variables under
+/// construction, `Status st(...)`) are never harvested.
+void HarvestFunctionNames(const FileText& file, std::set<std::string>* fallible,
+                          std::set<std::string>* infallible) {
+  if (!IsCppFile(file.path)) return;
+  static const std::regex kHead(
+      R"(^\s*(?:virtual\s+|static\s+|inline\s+|friend\s+|explicit\s+|constexpr\s+|\[\[nodiscard\]\]\s+)*([A-Za-z_][\w:]*)\s*(<?))");
+  static const std::regex kName(
+      R"(^\s*[&*]*\s*(?:[A-Za-z_]\w*::)*([A-Z]\w*)\s*\()");
+  // Statement keywords that can head a line and precede `Name(...)`:
+  // treating them as return types would poison the sets.
+  static const std::set<std::string> kNotTypes = {
+      "return", "else",   "delete", "throw",  "new",       "case",
+      "goto",   "using",  "typedef", "struct", "class",    "enum",
+      "template", "namespace", "public", "private", "protected", "co_return",
+  };
+  for (const std::string& code : file.code) {
+    std::smatch m;
+    if (!std::regex_search(code, m, kHead) || m.position(0) != 0) continue;
+    std::string type = m[1].str();
+    if (StartsWith(type, "rrr::")) type = type.substr(5);
+    if (kNotTypes.count(type) > 0) continue;
+    size_t pos = static_cast<size_t>(m.position(0)) + m[0].length();
+    if (m[2].str() == "<") {
+      // Skip the template argument list (Result<...>, std::vector<...>).
+      int depth = 1;
+      while (pos < code.size() && depth > 0) {
+        if (code[pos] == '<') ++depth;
+        if (code[pos] == '>') --depth;
+        ++pos;
+      }
+      if (depth > 0) continue;  // args span lines: skip (rare)
+    }
+    const std::string rest = code.substr(pos);
+    std::smatch n;
+    if (!std::regex_search(rest, n, kName) || n.position(0) != 0) continue;
+    const bool is_fallible =
+        type == "Status" || (type == "Result" && m[2].str() == "<");
+    (is_fallible ? fallible : infallible)->insert(n[1].str());
+  }
+}
+
+void Linter::CheckSwallowedStatus() {
+  std::set<std::string> fallible;
+  std::set<std::string> infallible;
+  for (const FileText& file : files_) {
+    HarvestFunctionNames(file, &fallible, &infallible);
+  }
+  // Names also declared with a non-Status return somewhere are ambiguous
+  // at token level: a call site cannot be attributed, so never flagged.
+  for (const std::string& name : infallible) fallible.erase(name);
+  if (fallible.empty()) return;
+  // A statement-initial call through a simple receiver chain:
+  // `Foo(...)`, `obj.Foo(...)`, `ptr->Foo(...)`, `Ns::Foo(...)`.
+  static const std::regex kCall(
+      R"(^((?:[A-Za-z_]\w*(?:\.|->|::))*)([A-Z]\w*)\s*\()");
+  for (const FileText& file : files_) {
+    if (!StartsWith(file.path, "src/") || !IsCppFile(file.path)) continue;
+    for (size_t li = 0; li < file.code.size(); ++li) {
+      const std::string& code = file.code[li];
+      const size_t first = code.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      const std::string trimmed = code.substr(first);
+      std::smatch m;
+      if (!std::regex_search(trimmed, m, kCall) || m.position(0) != 0) {
+        continue;
+      }
+      if (fallible.count(m[2].str()) == 0) continue;
+      // Statement-initial only: the previous non-blank code line must have
+      // closed a statement/block, otherwise this line continues an
+      // expression whose value IS consumed above (`Status s =\n  Foo();`).
+      bool statement_start = true;
+      for (size_t back = li; back > 0; --back) {
+        const std::string& prev = file.code[back - 1];
+        const size_t last = prev.find_last_not_of(" \t");
+        if (last == std::string::npos) continue;  // blank line: keep looking
+        const char c = prev[last];
+        statement_start =
+            c == ';' || c == '{' || c == '}' || c == ')' || c == ':';
+        break;
+      }
+      if (!statement_start) continue;
+      // The value must actually be dropped: the call's parentheses balance
+      // straight into `;` (chained `.ok()` etc. means it was examined).
+      int depth = 0;
+      bool discarded = false;
+      bool decided = false;
+      for (size_t lj = li; lj < file.code.size() && lj < li + 20 && !decided;
+           ++lj) {
+        const std::string& s = file.code[lj];
+        for (size_t ci = lj == li ? first : 0; ci < s.size(); ++ci) {
+          if (s[ci] == '(') {
+            ++depth;
+          } else if (s[ci] == ')') {
+            if (--depth == 0) {
+              const size_t after = s.find_first_not_of(" \t", ci + 1);
+              // Closing paren at end-of-line: the `;` (or a chain) sits on
+              // the next line; one more sweep settles it.
+              if (after == std::string::npos) {
+                for (size_t lk = lj + 1;
+                     lk < file.code.size() && lk < lj + 3; ++lk) {
+                  const size_t f2 = file.code[lk].find_first_not_of(" \t");
+                  if (f2 == std::string::npos) continue;
+                  discarded = file.code[lk][f2] == ';';
+                  break;
+                }
+              } else {
+                discarded = s[after] == ';';
+              }
+              decided = true;
+              break;
+            }
+          }
+        }
+      }
+      if (discarded) {
+        Report(file, "swallowed-status", li + 1,
+               "call to `" + m[2].str() +
+                   "` discards its Status/Result; handle the failure, "
+                   "propagate it, or cast to (void) with a comment saying "
+                   "why it is ignorable");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: bad-suppression
 // ---------------------------------------------------------------------------
 
@@ -561,9 +704,11 @@ void Linter::Scan(const std::string& rel_path) {
   CheckUnguardedSync(file);
   CheckMemoVersionKey(file);
   CheckSuppressionReasons(file);
+  files_.push_back(std::move(file));
 }
 
 void Linter::Finish() {
+  CheckSwallowedStatus();
   std::sort(violations_.begin(), violations_.end(),
             [](const Violation& a, const Violation& b) {
               return std::tie(a.file, a.line, a.rule) <
