@@ -131,8 +131,8 @@ void ScanScenario(const std::string& dist, size_t n, size_t d) {
 
   const bool simd_available = topk::ScoreBlockSimd(f.weights().data(), d,
                                                    blocks.block(0), scratch);
-  if (simd_available &&
-      topk::ActiveScoreKernelPath() != topk::ScoreKernelPath::kAvx2) {
+  if (simd_available && topk::ActiveScoreKernelPath() ==
+                            topk::ScoreKernelPath::kScalarBlocked) {
     // Dispatch was forced scalar (RRR_SCORE_KERNEL=scalar) but the CPU can
     // do better: time the SIMD path explicitly.
     const double t_simd = time_variant([&] {

@@ -364,7 +364,20 @@ int64_t CandidateIndex::MinRankOfSubset(
     int64_t rank = 1;
     bool certified = true;
     const size_t num_blocks = mirror.num_blocks();
+    const bool use_skip =
+        topk::BlockSkipResolved(topk::BlockSkip::kAuto, mirror);
+    topk::ScanStats scan_stats;
     for (size_t blk = 0; blk < num_blocks && certified; ++blk) {
+      // A block upper-bounded strictly below best_score holds no outranker
+      // (a tie at best_score could, so ties scan — same strict-loss rule
+      // as the kernel entry points).
+      if (use_skip &&
+          topk::BlockUpperBound(w, d, mirror.block_max(blk),
+                                mirror.block_min(blk)) < best_score) {
+        ++scan_stats.blocks_skipped;
+        continue;
+      }
+      ++scan_stats.blocks_scanned;
       topk::ScoreBlock(w, d, mirror.block(blk), buf);
       const size_t rows = mirror.block_rows(blk);
       const size_t base = blk * kBlockRows;
@@ -379,6 +392,7 @@ int64_t CandidateIndex::MinRankOfSubset(
         }
       }
     }
+    topk::AccumulateScanCounters(scan_stats);
     if (certified) return rank;
   }
   if (full_scan_fallbacks != nullptr) ++(*full_scan_fallbacks);

@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/evaluator.h"
+#include "topk/score_kernel.h"
 
 namespace rrr {
 namespace core {
@@ -37,6 +38,11 @@ std::string Diagnostics::ToString() const {
                      skyband_scan_rows_saved);
   }
   if (columnar_kernel) out += " kernel=columnar";
+  if (blocks_scanned > 0 || blocks_skipped > 0) {
+    out += StrFormat(" blockskip{scanned=%llu skipped=%llu}",
+                     static_cast<unsigned long long>(blocks_scanned),
+                     static_cast<unsigned long long>(blocks_skipped));
+  }
   if (degraded) out += " degraded";
   if (dataset_version.assigned()) out += " " + dataset_version.ToString();
   return out;
@@ -215,6 +221,11 @@ Result<QueryResult> RrrEngine::RunAlgorithm(const PreparedDataset& prepared,
     return DegradableColumnBlocks(prepared, ctx, &result.diagnostics.degraded);
   };
   Stopwatch timer;
+  // Block-max pruning accounting: delta of the process-global scan
+  // counters around the compute. Concurrent queries interleave their
+  // blocks into each other's deltas — approximate per query, exact in sum
+  // (the service's STATS totals), zero on memo hits.
+  const topk::ScanStats scan_before = topk::ScanCountersSnapshot();
   switch (algorithm) {
     case Algorithm::k2dRrr: {
       std::shared_ptr<const CandidateIndex> candidates;
@@ -311,6 +322,11 @@ Result<QueryResult> RrrEngine::RunAlgorithm(const PreparedDataset& prepared,
     case Algorithm::kAuto:
       return Status::Internal("kAuto must be resolved before dispatch");
   }
+  const topk::ScanStats scan_after = topk::ScanCountersSnapshot();
+  result.diagnostics.blocks_scanned =
+      scan_after.blocks_scanned - scan_before.blocks_scanned;
+  result.diagnostics.blocks_skipped =
+      scan_after.blocks_skipped - scan_before.blocks_skipped;
   result.diagnostics.seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -394,6 +410,10 @@ Result<DualResult> RrrEngine::SolveDual(size_t max_size,
     record.from_cache = res.diagnostics.result_from_cache;
     record.feasible = res.representative.size() <= max_size;
     best.degraded |= res.diagnostics.degraded;
+    if (!record.from_cache) {
+      best.blocks_scanned += res.diagnostics.blocks_scanned;
+      best.blocks_skipped += res.diagnostics.blocks_skipped;
+    }
     best.probes.push_back(record);
     if (record.feasible) {
       best.k = mid;
@@ -437,6 +457,7 @@ Result<EvalReport> RrrEngine::Evaluate(
   EvalReport report;
   report.diagnostics.dataset_version = snapshot->version();
   Stopwatch timer;
+  const topk::ScanStats scan_before = topk::ScanCountersSnapshot();
   if (snapshot->dims() == 2) {
     RRR_ASSIGN_OR_RETURN(
         report.rank_regret,
@@ -477,6 +498,11 @@ Result<EvalReport> RrrEngine::Evaluate(
           (snapshot->size() - candidates->band_size());
     }
   }
+  const topk::ScanStats scan_after = topk::ScanCountersSnapshot();
+  report.diagnostics.blocks_scanned =
+      scan_after.blocks_scanned - scan_before.blocks_scanned;
+  report.diagnostics.blocks_skipped =
+      scan_after.blocks_skipped - scan_before.blocks_skipped;
   report.within_k = report.rank_regret <= static_cast<int64_t>(k);
   report.diagnostics.seconds = timer.ElapsedSeconds();
   return report;

@@ -65,6 +65,13 @@ struct Diagnostics {
   /// (topk/score_kernel.h). Throughput observability only — results are
   /// bit-identical with and without the mirror.
   bool columnar_kernel = false;
+  /// Blocks the query's threshold-driven scans scored / proved skippable
+  /// via block-max pruning (topk::ScanStats). Deltas of process-global
+  /// counters taken around the query's compute, so concurrent queries
+  /// attribute approximately; zero on memo hits. Observability only —
+  /// skipping is bit-identity-safe by construction.
+  uint64_t blocks_scanned = 0;
+  uint64_t blocks_skipped = 0;
   /// True when a shared-artifact build (candidate index / columnar mirror)
   /// failed — or was in its failure cooldown — and the query proceeded on
   /// the legacy unpruned path instead of erroring. The representative is

@@ -279,6 +279,8 @@ PreparedDataset::ArtifactBytes PreparedDataset::ApproxArtifactBytes() const {
   if (sweep_ != nullptr) bytes.dataset += sweep_->ApproxBytes();
   if (std::shared_ptr<const data::ColumnBlocks> blocks =
           column_blocks_.Peek()) {
+    // Includes the per-block column bounds (2 * d doubles per block) that
+    // back block-max pruning — the metadata rides the mirror's budget.
     bytes.column_blocks = blocks->ApproxBytes();
   }
   if (std::shared_ptr<const std::vector<int32_t>> sky = skyline_.Peek()) {

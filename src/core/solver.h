@@ -133,6 +133,10 @@ struct DualResult {
   /// the probe fell back to the legacy unpruned path — results are
   /// bit-identical, only throughput suffers; see Diagnostics::degraded).
   bool degraded = false;
+  /// Block-max pruning totals summed over the non-cached probes (see
+  /// Diagnostics::blocks_scanned; memo-hit probes did no scanning).
+  uint64_t blocks_scanned = 0;
+  uint64_t blocks_skipped = 0;
 };
 
 /// \brief The dual formulation (Section 2): given a maximum representative

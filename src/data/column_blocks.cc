@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -30,6 +31,43 @@ void TransposeInto(const Dataset& dataset, size_t row_begin, size_t row_end,
   }
 }
 
+/// Computes the conservative column bounds of blocks [b_begin, b_end) from
+/// the already-transposed cells: for each block, d maxima then d minima over
+/// the non-padding lanes (dead lanes included — conservative by design). A
+/// NaN anywhere in a column poisons that column's bounds to +/-inf so no
+/// upper bound folded from them can justify a skip.
+void ComputeBounds(const std::vector<double>& cells, size_t d,
+                   size_t physical, size_t b_begin, size_t b_end,
+                   std::vector<double>* bounds) {
+  for (size_t b = b_begin; b < b_end; ++b) {
+    const double* block = cells.data() + b * d * kBlockRows;
+    const size_t rows = std::min(kBlockRows, physical - b * kBlockRows);
+    double* bmax = bounds->data() + b * 2 * d;
+    double* bmin = bmax + d;
+    for (size_t j = 0; j < d; ++j) {
+      const double* col = block + j * kBlockRows;
+      double mx = -std::numeric_limits<double>::infinity();
+      double mn = std::numeric_limits<double>::infinity();
+      bool poisoned = false;
+      for (size_t lane = 0; lane < rows; ++lane) {
+        const double v = col[lane];
+        if (v != v) {
+          poisoned = true;
+          break;
+        }
+        if (v > mx) mx = v;
+        if (v < mn) mn = v;
+      }
+      if (poisoned) {
+        mx = std::numeric_limits<double>::infinity();
+        mn = -std::numeric_limits<double>::infinity();
+      }
+      bmax[j] = mx;
+      bmin[j] = mn;
+    }
+  }
+}
+
 }  // namespace
 
 Result<ColumnBlocks> ColumnBlocks::Build(const Dataset& dataset,
@@ -41,11 +79,12 @@ Result<ColumnBlocks> ColumnBlocks::Build(const Dataset& dataset,
   if (n == 0) {
     return ColumnBlocks(&dataset, 0, 0, d, 0,
                         std::make_shared<const std::vector<double>>(),
-                        nullptr, nullptr);
+                        nullptr, nullptr, nullptr);
   }
   const size_t num_blocks = (n + kBlockRows - 1) / kBlockRows;
 
   std::vector<double> cells(num_blocks * d * kBlockRows, 0.0);
+  std::vector<double> bounds(num_blocks * 2 * d, 0.0);
   std::atomic<bool> preempted{false};
   ParallelForChunked(
       ResolveThreads(ctx.ThreadsOver(threads)), num_blocks, 8,
@@ -66,6 +105,8 @@ Result<ColumnBlocks> ColumnBlocks::Build(const Dataset& dataset,
             }
           }
         }
+        // Bounds ride the transpose pass while the tiles are cache-hot.
+        ComputeBounds(cells, d, n, begin, end, &bounds);
       });
   if (preempted.load()) {
     Status cause = ctx.CheckPreempted();
@@ -75,7 +116,8 @@ Result<ColumnBlocks> ColumnBlocks::Build(const Dataset& dataset,
   return ColumnBlocks(
       &dataset, n, n, d, num_blocks,
       std::make_shared<const std::vector<double>>(std::move(cells)), nullptr,
-      nullptr);
+      nullptr,
+      std::make_shared<const std::vector<double>>(std::move(bounds)));
 }
 
 Result<ColumnBlocks> ColumnBlocks::BuildAppended(const ColumnBlocks& base,
@@ -115,6 +157,20 @@ Result<ColumnBlocks> ColumnBlocks::BuildAppended(const ColumnBlocks& base,
   TransposeInto(grown, base.live_, grown.size(), base.physical_, d, &cells);
   RRR_RETURN_IF_ERROR(ctx.CheckPreempted());
 
+  // Bounds: blocks the append never touches inherit the base's (possibly
+  // stale, always conservative); the boundary block and fresh tail blocks
+  // are recomputed from the now-final cells.
+  std::vector<double> bounds(num_blocks * 2 * d, 0.0);
+  const size_t boundary = base.physical_ / kBlockRows;
+  const size_t copied = std::min(boundary, base.num_blocks_);
+  if (base.bounds_base_ != nullptr) {
+    std::memcpy(bounds.data(), base.bounds_base_,
+                copied * 2 * d * sizeof(double));
+    ComputeBounds(cells, d, physical, copied, num_blocks, &bounds);
+  } else {
+    ComputeBounds(cells, d, physical, 0, num_blocks, &bounds);
+  }
+
   std::shared_ptr<const std::vector<uint64_t>> mask;
   std::shared_ptr<const std::vector<uint32_t>> prefix;
   if (base.mask_ != nullptr) {
@@ -138,7 +194,8 @@ Result<ColumnBlocks> ColumnBlocks::BuildAppended(const ColumnBlocks& base,
   return ColumnBlocks(
       &grown, physical, grown.size(), d, num_blocks,
       std::make_shared<const std::vector<double>>(std::move(cells)),
-      std::move(mask), std::move(prefix));
+      std::move(mask), std::move(prefix),
+      std::make_shared<const std::vector<double>>(std::move(bounds)));
 }
 
 size_t ColumnBlocks::PhysicalOfLive(size_t live_index) const {
@@ -195,10 +252,13 @@ Result<ColumnBlocks> ColumnBlocks::WithoutRow(const Dataset* compacted_source,
     live += static_cast<uint32_t>(__builtin_popcountll(mask[b]));
   }
   RRR_DCHECK(live == live_ - 1) << "WithoutRow: mask bookkeeping broke";
+  // Bounds are shared unchanged: the deleted lane's values may keep a bound
+  // wider than the live lanes need, which is stale but still conservative.
   return ColumnBlocks(
       compacted_source, physical_, live_ - 1, d_, num_blocks_, cells_,
       std::make_shared<const std::vector<uint64_t>>(std::move(mask)),
-      std::make_shared<const std::vector<uint32_t>>(std::move(prefix)));
+      std::make_shared<const std::vector<uint32_t>>(std::move(prefix)),
+      bounds_);
 }
 
 void ColumnBlocks::RebindSource(const Dataset* source) {

@@ -106,6 +106,30 @@ class ColumnBlocks {
     return block(b) + j * kBlockRows;
   }
 
+  /// True when per-block column bounds are available (every build path
+  /// produces them for non-empty mirrors; only a default-constructed or
+  /// empty mirror lacks them).
+  bool has_block_bounds() const { return bounds_base_ != nullptr; }
+
+  /// \brief Per-column maxima of block `b`: dims() doubles, block_max(b)[j]
+  /// >= every value of column j in the block's non-padding lanes.
+  ///
+  /// Bounds are *conservative*, not tight: they cover dead (masked) lanes
+  /// too, and derived mirrors inherit their base's bounds unchanged
+  /// (WithoutRow) or widened (BuildAppended) — a stale bound is still a
+  /// valid bound. A column containing NaN has its max poisoned to +inf and
+  /// its min to -inf, so any upper bound folded from it can never claim a
+  /// block is skippable. Consumers: topk/score_kernel.h's BlockUpperBound.
+  const double* block_max(size_t b) const {
+    return bounds_base_ + b * 2 * d_;
+  }
+
+  /// Per-column minima of block `b` (same conservativeness contract as
+  /// block_max); the upper-bound fold uses the min for negative weights.
+  const double* block_min(size_t b) const {
+    return bounds_base_ + b * 2 * d_ + d_;
+  }
+
   /// True when some physical lanes are dead (rows deleted after the mirror
   /// was built). Dense mirrors (every build path except WithoutRow) are
   /// unmasked and keep lane == source row id.
@@ -170,6 +194,7 @@ class ColumnBlocks {
     if (live_prefix_ != nullptr) {
       bytes += live_prefix_->size() * sizeof(uint32_t);
     }
+    if (bounds_ != nullptr) bytes += bounds_->size() * sizeof(double);
     return bytes;
   }
 
@@ -178,7 +203,8 @@ class ColumnBlocks {
                size_t num_blocks,
                std::shared_ptr<const std::vector<double>> cells,
                std::shared_ptr<const std::vector<uint64_t>> mask,
-               std::shared_ptr<const std::vector<uint32_t>> live_prefix)
+               std::shared_ptr<const std::vector<uint32_t>> live_prefix,
+               std::shared_ptr<const std::vector<double>> bounds)
       : source_(source),
         physical_(physical),
         live_(live),
@@ -187,7 +213,9 @@ class ColumnBlocks {
         cells_(std::move(cells)),
         cell_base_(cells_ == nullptr ? nullptr : cells_->data()),
         mask_(std::move(mask)),
-        live_prefix_(std::move(live_prefix)) {}
+        live_prefix_(std::move(live_prefix)),
+        bounds_(std::move(bounds)),
+        bounds_base_(bounds_ == nullptr ? nullptr : bounds_->data()) {}
 
   /// Physical lane (global, block-major) of the live row `live_index`.
   size_t PhysicalOfLive(size_t live_index) const;
@@ -205,6 +233,11 @@ class ColumnBlocks {
   std::shared_ptr<const std::vector<uint64_t>> mask_;
   /// Per-block live-lane prefix sums; set iff mask_ is.
   std::shared_ptr<const std::vector<uint32_t>> live_prefix_;
+  /// num_blocks_ * 2 * d_ doubles: per block, d_ column maxima then d_
+  /// column minima (conservative — see block_max()); shared so WithoutRow
+  /// mirrors inherit their base's bounds for free.
+  std::shared_ptr<const std::vector<double>> bounds_;
+  const double* bounds_base_ = nullptr;
 };
 
 }  // namespace data

@@ -13,6 +13,7 @@
 #include "common/exec_context.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "core/solver.h"
 #include "service/protocol.h"
 
@@ -403,24 +404,33 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
   // Resolve the dataset NOW — before queueing — so the query is pinned to
   // the version current at admission (APPEND/DELETE published while it
   // waits never tear it), and bad requests fail fast without a queue slot.
+  // The admission stopwatch feeds the latency histogram: like the
+  // deadline, it starts here and covers queue wait.
+  const Stopwatch admitted_at;
   std::function<std::string()> work;
   if (cmd.verb == "SLEEP") {
     Result<uint64_t> ms = cmd.GetUint("ms");
     if (!ms.ok()) return FormatErr(ms.status());
     const uint64_t total_ms = ms.value();
-    work = [this, total_ms, ctx]() -> std::string {
+    work = [this, total_ms, ctx, admitted_at]() -> std::string {
       const auto start = std::chrono::steady_clock::now();
       for (;;) {
         const Status preempted = ctx.CheckPreempted();
-        if (!preempted.ok()) return FinishQuery(preempted, {});
+        if (!preempted.ok()) {
+          QueryFacts facts;
+          facts.latency_seconds = admitted_at.ElapsedSeconds();
+          return FinishQuery(preempted, {}, facts);
+        }
         const auto elapsed = std::chrono::duration_cast<
             std::chrono::milliseconds>(std::chrono::steady_clock::now() -
                                        start);
         if (elapsed.count() >= static_cast<int64_t>(total_ms)) break;
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
+      QueryFacts facts;
+      facts.latency_seconds = admitted_at.ElapsedSeconds();
       return FinishQuery(Status::OK(),
-                         {{"slept_ms", std::to_string(total_ms)}});
+                         {{"slept_ms", std::to_string(total_ms)}}, facts);
     };
   } else {
     Result<std::string> name = cmd.GetString("name");
@@ -444,11 +454,21 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
     if (cmd.verb == "SOLVE") {
       Result<uint64_t> k = cmd.GetUint("k");
       if (!k.ok()) return FormatErr(k.status());
-      work = [this, engine, query, k = k.value()]() -> std::string {
+      work = [this, engine, query, admitted_at, k = k.value()]() -> std::string {
         Result<core::QueryResult> result =
             engine->Solve(static_cast<size_t>(k), query);
-        if (!result.ok()) return FinishQuery(result.status(), {});
+        QueryFacts facts;
+        facts.latency_seconds = admitted_at.ElapsedSeconds();
+        if (!result.ok()) return FinishQuery(result.status(), {}, facts);
         const core::QueryResult& r = result.value();
+        facts.memo_hit = r.diagnostics.result_from_cache;
+        facts.degraded = r.diagnostics.degraded;
+        // Memo hits carry the ORIGINAL run's scan counters; folding them
+        // in again would double-count the same blocks.
+        if (!facts.memo_hit) {
+          facts.blocks_scanned = r.diagnostics.blocks_scanned;
+          facts.blocks_skipped = r.diagnostics.blocks_skipped;
+        }
         return FinishQuery(
             Status::OK(),
             {{"k", std::to_string(k)},
@@ -459,17 +479,22 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
              {"size", std::to_string(r.representative.size())},
              {"ids", JoinIds(r.representative)},
              {"degraded", FormatBool(r.diagnostics.degraded)}},
-            r.diagnostics.result_from_cache, r.diagnostics.degraded);
+            facts);
       };
     } else if (cmd.verb == "DUAL") {
       Result<uint64_t> max_size = cmd.GetUint("max_size");
       if (!max_size.ok()) return FormatErr(max_size.status());
-      work = [this, engine, query,
+      work = [this, engine, query, admitted_at,
               max_size = max_size.value()]() -> std::string {
         Result<core::DualResult> result =
             engine->SolveDual(static_cast<size_t>(max_size), query);
-        if (!result.ok()) return FinishQuery(result.status(), {});
+        QueryFacts facts;
+        facts.latency_seconds = admitted_at.ElapsedSeconds();
+        if (!result.ok()) return FinishQuery(result.status(), {}, facts);
         const core::DualResult& r = result.value();
+        facts.degraded = r.degraded;
+        facts.blocks_scanned = r.blocks_scanned;
+        facts.blocks_skipped = r.blocks_skipped;
         return FinishQuery(
             Status::OK(),
             {{"k", std::to_string(r.k)},
@@ -478,7 +503,7 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
              {"size", std::to_string(r.representative.size())},
              {"ids", JoinIds(r.representative)},
              {"degraded", FormatBool(r.degraded)}},
-            /*memo_hit=*/false, r.degraded);
+            facts);
       };
     } else {  // EVAL
       Result<std::string> ids_text = cmd.GetString("ids");
@@ -487,12 +512,17 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
       if (!ids.ok()) return FormatErr(ids.status());
       Result<uint64_t> k = cmd.GetUint("k");
       if (!k.ok()) return FormatErr(k.status());
-      work = [this, engine, query, ids = std::move(ids).value(),
+      work = [this, engine, query, admitted_at, ids = std::move(ids).value(),
               k = k.value()]() -> std::string {
         Result<core::EvalReport> result =
             engine->Evaluate(ids, static_cast<size_t>(k), query);
-        if (!result.ok()) return FinishQuery(result.status(), {});
+        QueryFacts facts;
+        facts.latency_seconds = admitted_at.ElapsedSeconds();
+        if (!result.ok()) return FinishQuery(result.status(), {}, facts);
         const core::EvalReport& r = result.value();
+        facts.degraded = r.diagnostics.degraded;
+        facts.blocks_scanned = r.diagnostics.blocks_scanned;
+        facts.blocks_skipped = r.diagnostics.blocks_skipped;
         return FinishQuery(
             Status::OK(),
             {{"rank_regret", std::to_string(r.rank_regret)},
@@ -500,7 +530,7 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
              {"within_k", FormatBool(r.within_k)},
              {"version", r.diagnostics.dataset_version.ToString()},
              {"degraded", FormatBool(r.diagnostics.degraded)}},
-            /*memo_hit=*/false, r.diagnostics.degraded);
+            facts);
       };
     }
   }
@@ -545,12 +575,23 @@ std::string RrrServer::DispatchQuery(const Command& cmd, int fd) {
 std::string RrrServer::FinishQuery(
     const Status& status,
     const std::vector<std::pair<std::string, std::string>>& fields,
-    bool memo_hit, bool degraded) {
+    const QueryFacts& facts) {
+  // Bucket by first bound >= latency; past the last bound, overflow.
+  size_t bucket = kLatencyBuckets - 1;
+  for (size_t i = 0; i + 1 < kLatencyBuckets; ++i) {
+    if (facts.latency_seconds <= kLatencyBoundsSeconds[i]) {
+      bucket = i;
+      break;
+    }
+  }
   {
     MutexLock lock(stats_mu_);
     ++counters_.queries_total;
-    if (memo_hit) ++counters_.memo_hits;
-    if (degraded) ++counters_.degraded_queries;
+    if (facts.memo_hit) ++counters_.memo_hits;
+    if (facts.degraded) ++counters_.degraded_queries;
+    counters_.blocks_scanned += facts.blocks_scanned;
+    counters_.blocks_skipped += facts.blocks_skipped;
+    ++counters_.latency_buckets[bucket];
     if (status.code() == StatusCode::kDeadlineExceeded) {
       ++counters_.deadline_exceeded;
     } else if (status.code() == StatusCode::kCancelled) {
@@ -595,6 +636,22 @@ std::string RrrServer::RenderStats() {
   add("disconnect_cancels", counters.disconnect_cancels);
   add("errors", counters.errors);
   add("degraded_queries", counters.degraded_queries);
+  add("blocks_scanned", counters.blocks_scanned);
+  add("blocks_skipped", counters.blocks_skipped);
+  // Latency histogram: one line per kLatencyBoundsSeconds bucket plus the
+  // overflow; labels mirror the bounds (sum of all buckets ==
+  // queries_total).
+  static constexpr const char* kLatencyLabels[] = {
+      "100us", "316us", "1ms", "3.2ms", "10ms", "32ms",
+      "100ms", "316ms", "1s",  "3.2s",  "10s"};
+  static_assert(sizeof(kLatencyLabels) / sizeof(kLatencyLabels[0]) + 1 ==
+                    kLatencyBuckets,
+                "latency labels must match the bucket bounds");
+  for (size_t i = 0; i + 1 < kLatencyBuckets; ++i) {
+    add(std::string("latency_le_") + kLatencyLabels[i],
+        counters.latency_buckets[i]);
+  }
+  add("latency_gt_10s", counters.latency_buckets[kLatencyBuckets - 1]);
   add("appended_rows", counters.appended_rows);
   add("connections", connections);
   add("connections_total", counters.connections_total);

@@ -70,6 +70,15 @@ class RrrServer {
   DatasetRegistry& registry() { return registry_; }
 
  private:
+  /// Fixed log-spaced latency histogram bounds (seconds): half-decade
+  /// steps from 100us to 10s, with one overflow bucket past the last
+  /// bound — kLatencyBuckets counters total.
+  static constexpr double kLatencyBoundsSeconds[] = {
+      100e-6, 316e-6, 1e-3, 3.16e-3, 10e-3, 31.6e-3,
+      100e-3, 316e-3, 1.0,  3.16,    10.0};
+  static constexpr size_t kLatencyBuckets =
+      sizeof(kLatencyBoundsSeconds) / sizeof(kLatencyBoundsSeconds[0]) + 1;
+
   /// One STATS-able counter block (guarded; workers and connection
   /// threads update it concurrently).
   struct Counters {
@@ -84,6 +93,27 @@ class RrrServer {
     /// Queries that succeeded on a degraded path (a shared-artifact build
     /// failed and the engine fell back to the legacy scan, bit-identically).
     size_t degraded_queries = 0;
+    /// Block-max pruning totals over every finished query's compute
+    /// (memo hits contribute nothing — their scans ran in the original
+    /// query). See core::Diagnostics::blocks_scanned.
+    uint64_t blocks_scanned = 0;
+    uint64_t blocks_skipped = 0;
+    /// Per-query admission-to-completion latency histogram; bucket i
+    /// counts latencies <= kLatencyBoundsSeconds[i], the last bucket
+    /// overflows. Every finished query (ok, error, cancelled) lands in
+    /// exactly one bucket.
+    size_t latency_buckets[kLatencyBuckets] = {};
+  };
+
+  /// What a finished query reports into the counters beyond its status.
+  struct QueryFacts {
+    bool memo_hit = false;
+    bool degraded = false;
+    /// Admission-to-completion seconds (queue wait included, like the
+    /// deadline).
+    double latency_seconds = 0.0;
+    uint64_t blocks_scanned = 0;
+    uint64_t blocks_skipped = 0;
   };
 
   void AcceptLoop();
@@ -101,12 +131,14 @@ class RrrServer {
   /// disconnect-polling wait. Returns the response line.
   std::string DispatchQuery(const Command& cmd, int fd);
 
-  /// Runs on the worker at query end: folds `status` into the counters,
-  /// enforces the artifact budget, and renders the reply line.
+  /// Runs on the worker at query end: folds `status` and the query's
+  /// facts (memo hit, degradation, latency bucket, block-scan counters)
+  /// into the counters, enforces the artifact budget, and renders the
+  /// reply line.
   std::string FinishQuery(
       const Status& status,
       const std::vector<std::pair<std::string, std::string>>& fields,
-      bool memo_hit = false, bool degraded = false);
+      const QueryFacts& facts);
 
   /// Renders the multi-line STATS body (terminated by END).
   std::string RenderStats();

@@ -1,6 +1,7 @@
 #include "topk/score_kernel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -53,29 +54,130 @@ __attribute__((target("avx2"))) void ScoreBlockAvx2(const double* weights,
     }
   }
 }
+
+/// AVX-512F block scorer: the whole 64-lane block in one round — 8 zmm
+/// accumulators (512 bytes of live state) leave half the 32-register file
+/// for the broadcast weight and column loads. Same contract as the AVX2
+/// path: explicit mul then add per lane in ascending j, never vfmadd, so
+/// every lane's rounding sequence matches the scalar loop bit for bit.
+__attribute__((target("avx512f"))) void ScoreBlockAvx512(
+    const double* weights, size_t d, const double* cols, double* out) {
+  __m512d acc[8];
+  for (int i = 0; i < 8; ++i) acc[i] = _mm512_setzero_pd();
+  for (size_t j = 0; j < d; ++j) {
+    const __m512d wj = _mm512_set1_pd(weights[j]);
+    const double* col = cols + j * kBlockRows;
+    for (int i = 0; i < 8; ++i) {
+      acc[i] = _mm512_add_pd(acc[i],
+                             _mm512_mul_pd(wj, _mm512_loadu_pd(col + 8 * i)));
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    _mm512_storeu_pd(out + 8 * i, acc[i]);
+  }
+}
 #endif  // RRR_SCORE_KERNEL_X86
 
-/// True when the dispatched path should be SIMD: host support AND no
-/// RRR_SCORE_KERNEL=scalar override (read once; the choice never changes
-/// mid-process, so consumers see one consistent — and in every case
-/// bit-identical — path).
-bool UseSimd() {
-  static const bool use = [] {
+/// Widest path the host CPU can execute (build-time x86 gate included).
+ScoreKernelPath WidestSupportedPath() {
 #ifdef RRR_SCORE_KERNEL_X86
-    const char* force = std::getenv("RRR_SCORE_KERNEL");
-    if (force != nullptr && std::strcmp(force, "scalar") == 0) return false;
-    return static_cast<bool>(__builtin_cpu_supports("avx2"));
-#else
-    return false;
+  if (__builtin_cpu_supports("avx512f")) return ScoreKernelPath::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return ScoreKernelPath::kAvx2;
 #endif
+  return ScoreKernelPath::kScalarBlocked;
+}
+
+/// Clamps a requested path to host support, warning when it narrows.
+ScoreKernelPath ClampToSupported(ScoreKernelPath want, const char* origin) {
+  const ScoreKernelPath widest = WidestSupportedPath();
+  if (static_cast<int>(want) <= static_cast<int>(widest)) return want;
+  RRR_LOG(WARNING) << "score kernel: " << origin << " requested "
+                   << ScoreKernelPathName(want)
+                   << " but this host supports at most "
+                   << ScoreKernelPathName(widest) << "; using the latter";
+  return widest;
+}
+
+/// Resolves the initial dispatch from RRR_SCORE_KERNEL. Unknown values fall
+/// back to scalar (with one warning) rather than silently dispatching — a
+/// typo must not leave the operator believing a forced path is in effect.
+ScoreKernelPath PathFromEnv() {
+  const char* force = std::getenv("RRR_SCORE_KERNEL");
+  if (force == nullptr) return WidestSupportedPath();
+  if (std::strcmp(force, "scalar") == 0) return ScoreKernelPath::kScalarBlocked;
+  if (std::strcmp(force, "avx2") == 0) {
+    return ClampToSupported(ScoreKernelPath::kAvx2, "RRR_SCORE_KERNEL");
+  }
+  if (std::strcmp(force, "avx512") == 0) {
+    return ClampToSupported(ScoreKernelPath::kAvx512, "RRR_SCORE_KERNEL");
+  }
+  RRR_LOG(WARNING) << "score kernel: unknown RRR_SCORE_KERNEL value \""
+                   << force << "\" (want scalar|avx2|avx512); "
+                   << "falling back to the scalar path";
+  return ScoreKernelPath::kScalarBlocked;
+}
+
+/// The installed path: -1 until first use (lazily resolved from the env so
+/// tests can set RRR_SCORE_KERNEL before any kernel call), else a
+/// ScoreKernelPath. A settable atomic rather than a read-once static so
+/// ForceScoreKernelPath can sweep paths inside one bench process; relaxed
+/// is enough because every path is bit-identical — readers racing a flip
+/// get one of two correct kernels.
+std::atomic<int> g_active_path{-1};
+
+/// Process-wide scan accounting (relaxed; see ScanCountersSnapshot).
+std::atomic<uint64_t> g_blocks_scanned{0};
+std::atomic<uint64_t> g_blocks_skipped{0};
+
+/// Folds a call's local tally into the globals and the caller's out-param.
+void CommitScanStats(const ScanStats& local, ScanStats* out) {
+  g_blocks_scanned.fetch_add(local.blocks_scanned, std::memory_order_relaxed);
+  g_blocks_skipped.fetch_add(local.blocks_skipped, std::memory_order_relaxed);
+  if (out != nullptr) *out = local;
+}
+
+/// Whether RRR_BLOCK_SKIP leaves pruning enabled (read once).
+bool SkipEnabledByEnv() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("RRR_BLOCK_SKIP");
+    return v == nullptr ||
+           (std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0);
   }();
-  return use;
+  return enabled;
+}
+
+/// Resolves the per-call skip policy against the mirror and the env.
+bool ResolveSkip(BlockSkip skip, const data::ColumnBlocks& blocks) {
+  if (!blocks.has_block_bounds()) return false;
+  switch (skip) {
+    case BlockSkip::kForceOn:
+      return true;
+    case BlockSkip::kForceOff:
+      return false;
+    case BlockSkip::kAuto:
+      break;
+  }
+  return SkipEnabledByEnv();
 }
 
 }  // namespace
 
 ScoreKernelPath ActiveScoreKernelPath() {
-  return UseSimd() ? ScoreKernelPath::kAvx2 : ScoreKernelPath::kScalarBlocked;
+  int p = g_active_path.load(std::memory_order_relaxed);
+  if (p < 0) {
+    int expected = -1;
+    g_active_path.compare_exchange_strong(
+        expected, static_cast<int>(PathFromEnv()), std::memory_order_relaxed);
+    p = g_active_path.load(std::memory_order_relaxed);
+  }
+  return static_cast<ScoreKernelPath>(p);
+}
+
+ScoreKernelPath ForceScoreKernelPath(ScoreKernelPath path) {
+  const ScoreKernelPath actual =
+      ClampToSupported(path, "ForceScoreKernelPath");
+  g_active_path.store(static_cast<int>(actual), std::memory_order_relaxed);
+  return actual;
 }
 
 const char* ScoreKernelPathName(ScoreKernelPath path) {
@@ -84,8 +186,39 @@ const char* ScoreKernelPathName(ScoreKernelPath path) {
       return "scalar-blocked";
     case ScoreKernelPath::kAvx2:
       return "avx2";
+    case ScoreKernelPath::kAvx512:
+      return "avx512";
   }
   return "unknown";
+}
+
+ScanStats ScanCountersSnapshot() {
+  ScanStats totals;
+  totals.blocks_scanned = g_blocks_scanned.load(std::memory_order_relaxed);
+  totals.blocks_skipped = g_blocks_skipped.load(std::memory_order_relaxed);
+  return totals;
+}
+
+void AccumulateScanCounters(const ScanStats& stats) {
+  CommitScanStats(stats, nullptr);
+}
+
+bool BlockSkipResolved(BlockSkip skip, const data::ColumnBlocks& blocks) {
+  return ResolveSkip(skip, blocks);
+}
+
+double BlockUpperBound(const double* weights, size_t d, const double* maxs,
+                       const double* mins) {
+  // The exact lane-score operation sequence — 0.0 seed, ascending j,
+  // separate mul and add — with each row term replaced by its sign-matched
+  // bound. Rounding to nearest is monotone in each operand, so by induction
+  // the fold stays >= every lane's fold at the bit level; no epsilon.
+  double ub = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double w = weights[j];
+    ub += w * (w >= 0.0 ? maxs[j] : mins[j]);
+  }
+  return ub;
 }
 
 void ScoreBlockScalar(const double* weights, size_t d, const double* cols,
@@ -106,9 +239,15 @@ void ScoreBlockScalar(const double* weights, size_t d, const double* cols,
 bool ScoreBlockSimd(const double* weights, size_t d, const double* cols,
                     double* out) {
 #ifdef RRR_SCORE_KERNEL_X86
-  if (!__builtin_cpu_supports("avx2")) return false;
-  ScoreBlockAvx2(weights, d, cols, out);
-  return true;
+  if (__builtin_cpu_supports("avx512f")) {
+    ScoreBlockAvx512(weights, d, cols, out);
+    return true;
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    ScoreBlockAvx2(weights, d, cols, out);
+    return true;
+  }
+  return false;
 #else
   (void)weights;
   (void)d;
@@ -120,12 +259,22 @@ bool ScoreBlockSimd(const double* weights, size_t d, const double* cols,
 
 void ScoreBlock(const double* weights, size_t d, const double* cols,
                 double* out) {
+  switch (ActiveScoreKernelPath()) {
 #ifdef RRR_SCORE_KERNEL_X86
-  if (UseSimd()) {
-    ScoreBlockAvx2(weights, d, cols, out);
-    return;
-  }
+    case ScoreKernelPath::kAvx512:
+      ScoreBlockAvx512(weights, d, cols, out);
+      return;
+    case ScoreKernelPath::kAvx2:
+      ScoreBlockAvx2(weights, d, cols, out);
+      return;
+#else
+    case ScoreKernelPath::kAvx512:
+    case ScoreKernelPath::kAvx2:
+      break;  // unreachable: non-x86 dispatch never installs a SIMD path
 #endif
+    case ScoreKernelPath::kScalarBlocked:
+      break;
+  }
   ScoreBlockScalar(weights, d, cols, out);
 }
 
@@ -164,13 +313,19 @@ void ScoreAll(const LinearFunction& f, const data::ColumnBlocks& blocks,
 }
 
 std::vector<int32_t> TopKScan(const data::ColumnBlocks& blocks,
-                              const LinearFunction& f, size_t k) {
+                              const LinearFunction& f, size_t k,
+                              BlockSkip skip, ScanStats* stats) {
   RRR_DCHECK(f.dims() == blocks.dims()) << "TopKScan: dimension mismatch";
   const size_t n = blocks.rows();
   k = std::min(k, n);
-  if (k == 0) return {};
+  if (k == 0) {
+    if (stats != nullptr) *stats = ScanStats{};
+    return {};
+  }
   const double* w = f.weights().data();
   const size_t d = blocks.dims();
+  const bool use_skip = ResolveSkip(skip, blocks);
+  ScanStats local;
 
   // Same bounded heap as the Threshold Algorithm's candidate set: min-heap
   // on "goodness", weakest of the current top-k on top. The total order is
@@ -191,6 +346,16 @@ std::vector<int32_t> TopKScan(const data::ColumnBlocks& blocks,
   const size_t num_blocks = blocks.num_blocks();
   const bool masked = blocks.masked();
   for (size_t b = 0; b < num_blocks; ++b) {
+    // Strict loss only: a block with ub == threshold may hold a tying row
+    // that wins by smaller id, so ties always scan (the bit-identity
+    // contract's tie-order caveat).
+    if (use_skip && best.size() == k &&
+        BlockUpperBound(w, d, blocks.block_max(b), blocks.block_min(b)) <
+            best.top().score) {
+      ++local.blocks_skipped;
+      continue;
+    }
+    ++local.blocks_scanned;
     ScoreBlock(w, d, blocks.block(b), buf);
     const size_t rows = blocks.block_rows(b);
     const uint64_t mask = blocks.block_mask(b);
@@ -209,6 +374,7 @@ std::vector<int32_t> TopKScan(const data::ColumnBlocks& blocks,
       ++id;
     }
   }
+  CommitScanStats(local, stats);
 
   std::vector<int32_t> out(best.size());
   for (size_t i = out.size(); i-- > 0;) {
@@ -218,11 +384,14 @@ std::vector<int32_t> TopKScan(const data::ColumnBlocks& blocks,
   return out;
 }
 
-double MaxScore(const data::ColumnBlocks& blocks, const LinearFunction& f) {
+double MaxScore(const data::ColumnBlocks& blocks, const LinearFunction& f,
+                BlockSkip skip, ScanStats* stats) {
   RRR_DCHECK(f.dims() == blocks.dims()) << "MaxScore: dimension mismatch";
   RRR_CHECK(blocks.rows() > 0) << "MaxScore: empty mirror";
   const double* w = f.weights().data();
   const size_t d = blocks.dims();
+  const bool use_skip = ResolveSkip(skip, blocks);
+  ScanStats local;
   double buf[kBlockRows];
   // Padding lanes score 0.0 and all-negative data would let them win, so
   // the fold honors block_rows everywhere. The -infinity seed with a
@@ -235,6 +404,17 @@ double MaxScore(const data::ColumnBlocks& blocks, const LinearFunction& f) {
   const size_t num_blocks = blocks.num_blocks();
   const bool masked = blocks.masked();
   for (size_t b = 0; b < num_blocks; ++b) {
+    // ub < best means no lane can beat the running max (ties lose the
+    // strict > fold anyway, but skipping only on strict loss keeps one rule
+    // everywhere); ub of NaN (poisoned bounds under a zero weight) fails
+    // the < and scans.
+    if (use_skip &&
+        BlockUpperBound(w, d, blocks.block_max(b), blocks.block_min(b)) <
+            best) {
+      ++local.blocks_skipped;
+      continue;
+    }
+    ++local.blocks_scanned;
     ScoreBlock(w, d, blocks.block(b), buf);
     const size_t rows = blocks.block_rows(b);
     const uint64_t mask = blocks.block_mask(b);
@@ -243,20 +423,34 @@ double MaxScore(const data::ColumnBlocks& blocks, const LinearFunction& f) {
       if (buf[lane] > best) best = buf[lane];
     }
   }
+  CommitScanStats(local, stats);
   return best;
 }
 
 int64_t CountOutranking(const data::ColumnBlocks& blocks,
-                        const LinearFunction& f, double score, int32_t id) {
+                        const LinearFunction& f, double score, int32_t id,
+                        BlockSkip skip, ScanStats* stats) {
   RRR_DCHECK(f.dims() == blocks.dims())
       << "CountOutranking: dimension mismatch";
   const double* w = f.weights().data();
   const size_t d = blocks.dims();
+  const bool use_skip = ResolveSkip(skip, blocks);
+  ScanStats local;
   double buf[kBlockRows];
   int64_t count = 0;
   const size_t num_blocks = blocks.num_blocks();
   const bool masked = blocks.masked();
   for (size_t b = 0; b < num_blocks; ++b) {
+    // ub < score: every lane scores strictly below the reference, and
+    // outranking needs s > score or a tie — a strict loss rules both out.
+    // ub == score must scan (a tying lane with row_id < id outranks).
+    if (use_skip &&
+        BlockUpperBound(w, d, blocks.block_max(b), blocks.block_min(b)) <
+            score) {
+      ++local.blocks_skipped;
+      continue;
+    }
+    ++local.blocks_scanned;
     ScoreBlock(w, d, blocks.block(b), buf);
     const size_t rows = blocks.block_rows(b);
     const uint64_t mask = blocks.block_mask(b);
@@ -274,6 +468,7 @@ int64_t CountOutranking(const data::ColumnBlocks& blocks,
       ++row_id;
     }
   }
+  CommitScanStats(local, stats);
   return count;
 }
 

@@ -24,24 +24,91 @@ namespace topk {
 /// contract is pinned by tests/topk/score_kernel_test.cc.
 ///
 /// Dispatch: ScoreBlock picks the widest path the host CPU supports at
-/// runtime (AVX2 on x86-64 when available; set RRR_SCORE_KERNEL=scalar in
-/// the environment to force the blocked-scalar reference path). Building
-/// with -DRRR_NATIVE=ON additionally lets the compiler autovectorize the
-/// scalar-blocked loop for the build host; the dispatched results are
-/// identical either way.
+/// runtime (AVX-512F, then AVX2, then scalar on x86-64; set
+/// RRR_SCORE_KERNEL=scalar|avx2|avx512 in the environment to pin a path —
+/// an unknown value falls back to scalar with one warning, a supported name
+/// the host can't run clamps down to the widest available, also with a
+/// warning). Building with -DRRR_NATIVE=ON additionally lets the compiler
+/// autovectorize the scalar-blocked loop for the build host; the dispatched
+/// results are identical either way.
+///
+/// \par Block-max pruning
+/// TopKScan/MaxScore/CountOutranking consult data::ColumnBlocks' per-block
+/// column bounds: a block whose upper bound (BlockUpperBound — folded with
+/// the exact arithmetic sequence of the lane scores, so round-to-nearest
+/// monotonicity makes it a bit-level bound) loses *strictly* to the current
+/// threshold cannot contribute and is skipped unscored. Ties always scan —
+/// a tying row can still win by smaller id under the library tie order — so
+/// skip-on results are bit-identical to skip-off (pinned by
+/// tests/topk/block_skip_test.cc). RRR_BLOCK_SKIP=off disables skipping
+/// process-wide; the BlockSkip parameter overrides per call (bench/tests).
 
 /// Which inner path ScoreBlock dispatches to on this host/build.
 enum class ScoreKernelPath {
   kScalarBlocked,  ///< autovectorizable scalar loop over the block lanes
   kAvx2,           ///< 4-wide AVX2 doubles, explicit mul+add (no FMA)
+  kAvx512,         ///< 8-wide AVX-512F doubles, explicit mul+add (no FMA)
 };
 
 /// The dispatched path (after the RRR_SCORE_KERNEL env override).
 ScoreKernelPath ActiveScoreKernelPath();
 
 /// Stable lowercase name for bench/diagnostic output ("scalar-blocked",
-/// "avx2").
+/// "avx2", "avx512").
 const char* ScoreKernelPathName(ScoreKernelPath path);
+
+/// \brief Re-pins the dispatched path at runtime (bench/test hook for
+/// sweeping paths inside one process; production code should rely on the
+/// env override instead).
+///
+/// Requests the host can't honor clamp to the widest supported path with a
+/// warning. Returns the path actually installed. Every path is
+/// bit-identical, so flipping mid-process never changes results — only
+/// throughput.
+ScoreKernelPath ForceScoreKernelPath(ScoreKernelPath path);
+
+/// Per-call override for block-max pruning in the scanning entry points.
+enum class BlockSkip {
+  kAuto,      ///< skip when bounds exist, unless RRR_BLOCK_SKIP=off
+  kForceOn,   ///< skip when bounds exist, ignoring the env kill switch
+  kForceOff,  ///< scan every block (the in-run baseline for benches)
+};
+
+/// Per-call scan accounting from the skipping entry points. Only the
+/// threshold-driven scans (TopKScan/MaxScore/CountOutranking and the
+/// candidate-index band walk) count here — ScoreAll must touch every block
+/// by definition and would only dilute the skip rate.
+struct ScanStats {
+  uint64_t blocks_scanned = 0;
+  uint64_t blocks_skipped = 0;
+};
+
+/// Process-wide totals of the same counters (relaxed atomics — exact as
+/// totals, but deltas taken around a query attribute approximately when
+/// queries run concurrently; observability only).
+ScanStats ScanCountersSnapshot();
+
+/// Folds an external skip-aware scan's tally (e.g. the candidate-index
+/// band walk, which fuses scoring with its own certify logic) into the
+/// process-wide counters.
+void AccumulateScanCounters(const ScanStats& stats);
+
+/// Resolves the skip policy exactly as the entry points do: bounds must
+/// exist, kAuto honors RRR_BLOCK_SKIP. For scan loops that live outside
+/// this file but follow the same skip rule.
+bool BlockSkipResolved(BlockSkip skip, const data::ColumnBlocks& blocks);
+
+/// \brief Upper bound on any lane score of a block with column maxima
+/// `maxs` and minima `mins`: sum_j w[j] * (w[j] >= 0 ? maxs[j] : mins[j]),
+/// folded seed-0.0 in ascending j with separate mul and add.
+///
+/// Because that is the exact operation sequence of the lane scores and
+/// round-to-nearest is monotone, the result is >= every lane score *as
+/// computed*, bit-level — no epsilon slop needed. NaN-poisoned bounds
+/// (columns containing NaN) yield +inf or NaN, which never satisfies a
+/// strict < threshold test, so poisoned blocks always scan.
+double BlockUpperBound(const double* weights, size_t d, const double* maxs,
+                       const double* mins);
 
 /// \brief Scores one block: out[lane] = sum_j weights[j] * cols[j * 64 +
 /// lane] for all data::ColumnBlocks::kBlockRows lanes, j ascending.
@@ -53,7 +120,10 @@ void ScoreBlockScalar(const double* weights, size_t d, const double* cols,
                       double* out);
 
 /// SIMD ScoreBlock; returns false (out untouched) when the CPU or build
-/// lacks the vector path. Bit-identical to ScoreBlockScalar when it runs.
+/// lacks any vector path. Runs the widest SIMD tier the host supports
+/// (AVX-512F, else AVX2) regardless of the dispatch override — the
+/// bench/test probe for "what can this machine do". Bit-identical to
+/// ScoreBlockScalar when it runs.
 bool ScoreBlockSimd(const double* weights, size_t d, const double* cols,
                     double* out);
 
@@ -76,23 +146,35 @@ void ScoreAll(const LinearFunction& f, const data::ColumnBlocks& blocks,
 ///
 /// One pass: each block is scored into a stack buffer and folded into a
 /// bounded heap, so no O(n) score materialization and no O(n) index sort.
+/// Once the heap is full, blocks whose upper bound loses strictly to the
+/// weakest held entry are skipped (see BlockSkip); `stats` (optional)
+/// receives this call's scan/skip counts.
 std::vector<int32_t> TopKScan(const data::ColumnBlocks& blocks,
-                              const LinearFunction& f, size_t k);
+                              const LinearFunction& f, size_t k,
+                              BlockSkip skip = BlockSkip::kAuto,
+                              ScanStats* stats = nullptr);
 
 /// Maximum score over all mirrored rows (== max_i f.Score(row i); the
 /// regret-ratio evaluators' full-scan numerator). Requires rows() > 0.
 /// NaN scores never win the fold (std::max-chain semantics, matching the
 /// legacy row loops on unvalidated data); all-NaN input yields -infinity.
-double MaxScore(const data::ColumnBlocks& blocks, const LinearFunction& f);
+/// Blocks upper-bounded strictly below the running max are skipped.
+double MaxScore(const data::ColumnBlocks& blocks, const LinearFunction& f,
+                BlockSkip skip = BlockSkip::kAuto,
+                ScanStats* stats = nullptr);
 
 /// \brief Rows outranking reference (score, id) under the library tie
 /// order: |{ j : Outranks(f.Score(row j), j, score, id) }|.
 ///
 /// The rank primitive: RankOf(item) == 1 + CountOutranking(f.Score(item),
 /// item) (row `id` itself never outranks its own (score, id) pair, so it
-/// needs no exclusion).
+/// needs no exclusion). Blocks upper-bounded strictly below `score` cannot
+/// hold an outranking row (outranking at equal score needs the scan anyway
+/// only when s == score, which a strict loss excludes) and are skipped.
 int64_t CountOutranking(const data::ColumnBlocks& blocks,
-                        const LinearFunction& f, double score, int32_t id);
+                        const LinearFunction& f, double score, int32_t id,
+                        BlockSkip skip = BlockSkip::kAuto,
+                        ScanStats* stats = nullptr);
 
 }  // namespace topk
 }  // namespace rrr

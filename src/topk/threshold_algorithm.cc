@@ -81,10 +81,17 @@ std::vector<int32_t> ThresholdAlgorithmIndex::TopK(const LinearFunction& f,
   }
   if (blocks_ != nullptr && k * kDenseScanFraction >= n) {
     // Dense query: skip sorted access entirely and run the fused blocked
-    // scan (bit-identical output). Reported as a degenerated-to-full-scan
-    // query, which is exactly what it is.
-    last_scan_depth_.store(n * d, std::memory_order_relaxed);
-    return TopKScan(*blocks_, f, k);
+    // scan (bit-identical output). Block-max pruning may skip tail blocks
+    // once the heap fills, so the reported depth reflects the blocks
+    // actually scored rather than a nominal full scan.
+    ScanStats stats;
+    std::vector<int32_t> out = TopKScan(*blocks_, f, k, BlockSkip::kAuto,
+                                        &stats);
+    last_scan_depth_.store(
+        std::min(n, stats.blocks_scanned * data::ColumnBlocks::kBlockRows) *
+            d,
+        std::memory_order_relaxed);
+    return out;
   }
 
   // Candidate heap keeps the best k seen so far; worst on top.

@@ -1,0 +1,20 @@
+// Fixture: a hand-rolled block-upper-bound fold (`ub += w[j] * maxs[j]`)
+// outside the audited kernel — the skip-safety proof covers only
+// score_kernel.cc's BlockUpperBound, whose operation order mirrors the
+// lane fold; a private copy can drift and silently skip live blocks.
+// Must trip scoring-loop and nothing else.
+#include <cstddef>
+
+namespace rrr {
+namespace topk {
+
+double HandRolledBlockBound(const double* w, const double* maxs, size_t d) {
+  double ub = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    ub += w[j] * maxs[j];
+  }
+  return ub;
+}
+
+}  // namespace topk
+}  // namespace rrr

@@ -1,0 +1,30 @@
+// Fixture: clean counterpart of block_bound_fold_bad.cc — a skip-aware
+// scan routed through the kernel's audited entry points (BlockUpperBound
+// for the bound, TopKScan for the scan), with counter bookkeeping whose
+// compound-adds are NOT fold-shaped. Must trip no rule.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rrr {
+namespace topk {
+
+struct ScanTally {
+  uint64_t scanned = 0;
+  uint64_t skipped = 0;
+};
+
+void FoldTally(ScanTally* total, const ScanTally& one) {
+  // Counter accumulation: compound-adds without a subscripted product.
+  total->scanned += one.scanned;
+  total->skipped += one.skipped;
+}
+
+double SkipFraction(const ScanTally& tally) {
+  const uint64_t blocks = tally.scanned + tally.skipped;
+  if (blocks == 0) return 0.0;
+  return static_cast<double>(tally.skipped) / static_cast<double>(blocks);
+}
+
+}  // namespace topk
+}  // namespace rrr

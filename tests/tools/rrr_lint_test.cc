@@ -95,6 +95,15 @@ TEST(RrrLintFixtures, ScoringLoopCleanCounterpart) {
   ExpectClean(LintFixture("src/core/scoring_loop_clean.cc"));
 }
 
+TEST(RrrLintFixtures, ScoringLoopTripsOnHandRolledBlockBound) {
+  ExpectOnlyRule(LintFixture("src/topk/block_bound_fold_bad.cc"),
+                 "scoring-loop");
+}
+
+TEST(RrrLintFixtures, ScoringLoopIgnoresSkipAwareKernelConsumers) {
+  ExpectClean(LintFixture("src/topk/block_skip_clean.cc"));
+}
+
 TEST(RrrLintFixtures, FpContractTripsOnStdFma) {
   ExpectOnlyRule(LintFixture("src/topk/fp_contract_bad.cc"), "fp-contract");
 }

@@ -1,0 +1,311 @@
+// Skip-safety equivalence suite for block-max pruning: every scanning entry
+// point (TopKScan / MaxScore / CountOutranking) with BlockSkip::kForceOn is
+// BIT-IDENTICAL (EXPECT_EQ, never a tolerance) to kForceOff — across
+// dataset families chosen to stress the bounds (duplicates = score ties,
+// constant columns = bounds exactly equal to every value, anti-correlated =
+// adversarially flat score landscape), across derived mirrors whose bounds
+// are stale-but-conservative (masked / appended), across kernel paths, and
+// under concurrent scans (the counters are relaxed atomics; TSan runs this
+// file). The pruning may only change which blocks get scored, never what
+// comes out.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "data/column_blocks.h"
+#include "data/generators.h"
+#include "topk/score_kernel.h"
+#include "topk/scoring.h"
+#include "test_util.h"
+
+namespace rrr {
+namespace topk {
+namespace {
+
+data::ColumnBlocks MustBuild(const data::Dataset& ds, size_t threads = 1) {
+  Result<data::ColumnBlocks> blocks = data::ColumnBlocks::Build(ds, threads);
+  RRR_CHECK(blocks.ok()) << blocks.status().ToString();
+  return std::move(blocks).value();
+}
+
+struct Family {
+  std::string name;
+  data::Dataset data;
+};
+
+/// The bound-stressing families: ties (duplicate-heavy), bounds met with
+/// equality by every lane (constant-column), flat score landscapes
+/// (anticorrelated), near-identical columns (correlated), plain uniform.
+std::vector<Family> Families(size_t n, size_t d, uint64_t seed) {
+  std::vector<Family> families;
+  families.push_back({"uniform", data::GenerateUniform(n, d, seed)});
+  families.push_back({"correlated", data::GenerateCorrelated(n, d, seed)});
+  families.push_back(
+      {"anticorrelated", data::GenerateAnticorrelated(n, d, seed)});
+  {
+    const data::Dataset pool = data::GenerateUniform(n / 8 + 2, d, seed + 1);
+    std::vector<std::vector<double>> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double* r = pool.row(i % pool.size());
+      std::vector<double> row(r, r + d);
+      for (double& v : row) v = std::round(v * 8.0) / 8.0;
+      rows.push_back(std::move(row));
+    }
+    families.push_back({"duplicate-heavy", testing::MakeDataset(rows)});
+  }
+  {
+    const data::Dataset base = data::GenerateUniform(n, d, seed + 2);
+    std::vector<std::vector<double>> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double* r = base.row(i);
+      std::vector<double> row(r, r + d);
+      row[0] = 0.5;
+      rows.push_back(std::move(row));
+    }
+    families.push_back({"constant-column", testing::MakeDataset(rows)});
+  }
+  return families;
+}
+
+/// Axis probes (zero weights — the bound term for a zero weight must stay
+/// exactly zero), the diagonal, and random draws.
+std::vector<LinearFunction> ProbeFunctions(size_t d, uint64_t seed) {
+  std::vector<LinearFunction> funcs;
+  for (size_t axis = 0; axis < d; ++axis) {
+    geometry::Vec w(d, 0.0);
+    w[axis] = 1.0;
+    funcs.emplace_back(std::move(w));
+  }
+  funcs.emplace_back(geometry::Vec(d, 1.0));
+  Rng rng(seed);
+  for (int i = 0; i < 4; ++i) {
+    funcs.emplace_back(rng.UnitWeightVector(static_cast<int>(d)));
+  }
+  return funcs;
+}
+
+/// The core equivalence check over one mirror: every entry point, skip
+/// forced on vs forced off, plus the block-accounting invariant that every
+/// block is either scanned or skipped, never both or neither.
+void ExpectSkipEquivalent(const data::ColumnBlocks& blocks,
+                          const LinearFunction& f, const std::string& tag) {
+  const size_t n = blocks.rows();
+  for (size_t k : {size_t{1}, size_t{13}, n / 2, n}) {
+    if (k == 0) continue;
+    ScanStats on_stats;
+    const std::vector<int32_t> on =
+        TopKScan(blocks, f, k, BlockSkip::kForceOn, &on_stats);
+    const std::vector<int32_t> off =
+        TopKScan(blocks, f, k, BlockSkip::kForceOff);
+    EXPECT_EQ(on, off) << tag << " k=" << k;
+    EXPECT_EQ(on_stats.blocks_scanned + on_stats.blocks_skipped,
+              blocks.num_blocks())
+        << tag << " k=" << k;
+  }
+  EXPECT_EQ(MaxScore(blocks, f, BlockSkip::kForceOn),
+            MaxScore(blocks, f, BlockSkip::kForceOff))
+      << tag;
+  // Reference points spanning rank extremes: the top-1 (near-total
+  // skipping), a middling row, the very last row (no skipping possible).
+  const std::vector<int32_t> extremes = TopKScan(blocks, f, n);
+  for (int32_t id : {extremes.front(), extremes[extremes.size() / 2],
+                     extremes.back()}) {
+    const double score = f.Score(blocks.source()->row(
+        static_cast<size_t>(id)));
+    EXPECT_EQ(CountOutranking(blocks, f, score, id, BlockSkip::kForceOn),
+              CountOutranking(blocks, f, score, id, BlockSkip::kForceOff))
+        << tag << " id=" << id;
+  }
+}
+
+TEST(BlockSkipTest, SkipOnMatchesSkipOffOnEveryFamily) {
+  for (size_t d : {size_t{2}, size_t{4}}) {
+    for (const Family& family : Families(300, d, 211)) {
+      const data::ColumnBlocks blocks = MustBuild(family.data);
+      ASSERT_TRUE(blocks.has_block_bounds()) << family.name;
+      for (const LinearFunction& f : ProbeFunctions(d, 223)) {
+        ExpectSkipEquivalent(blocks, f, family.name);
+      }
+    }
+  }
+}
+
+TEST(BlockSkipTest, BoundsCoverEveryLaneAndParallelBuildMatchesSerial) {
+  for (const Family& family : Families(300, 3, 227)) {
+    const data::ColumnBlocks serial = MustBuild(family.data, 1);
+    const data::ColumnBlocks parallel = MustBuild(family.data, 4);
+    for (size_t b = 0; b < serial.num_blocks(); ++b) {
+      for (size_t j = 0; j < serial.dims(); ++j) {
+        // The transpose-pass bounds are deterministic: chunked parallel
+        // build produces the same doubles as the serial one.
+        EXPECT_EQ(serial.block_max(b)[j], parallel.block_max(b)[j])
+            << family.name;
+        EXPECT_EQ(serial.block_min(b)[j], parallel.block_min(b)[j])
+            << family.name;
+        const double* col = serial.column(b, j);
+        for (size_t lane = 0; lane < serial.block_rows(b); ++lane) {
+          EXPECT_GE(serial.block_max(b)[j], col[lane])
+              << family.name << " block " << b << " col " << j;
+          EXPECT_LE(serial.block_min(b)[j], col[lane])
+              << family.name << " block " << b << " col " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockSkipTest, NaNPoisonsBoundsSoPoisonedBlocksAlwaysScan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const data::Dataset ds =
+      testing::MakeDataset({{0.9, 0.1}, {nan, 0.8}, {0.2, 0.3}, {0.4, nan}});
+  const data::ColumnBlocks blocks = MustBuild(ds);
+  ASSERT_EQ(blocks.num_blocks(), 1u);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(blocks.block_max(0)[0], inf);
+  EXPECT_EQ(blocks.block_min(0)[0], -inf);
+  EXPECT_EQ(blocks.block_max(0)[1], inf);
+  EXPECT_EQ(blocks.block_min(0)[1], -inf);
+  for (const LinearFunction& f : ProbeFunctions(2, 229)) {
+    // A poisoned ub (+inf, or NaN when a zero weight multiplies it) never
+    // wins a strict-loss comparison, so the block scans and the NaN
+    // semantics of every entry point are exactly the skip-off ones.
+    ScanStats stats;
+    EXPECT_EQ(TopKScan(blocks, f, 2, BlockSkip::kForceOn, &stats),
+              TopKScan(blocks, f, 2, BlockSkip::kForceOff));
+    EXPECT_EQ(stats.blocks_skipped, 0u);
+    EXPECT_EQ(MaxScore(blocks, f, BlockSkip::kForceOn),
+              MaxScore(blocks, f, BlockSkip::kForceOff));
+  }
+}
+
+TEST(BlockSkipTest, MaskedMirrorKeepsStaleBoundsAndStaysEquivalent) {
+  for (const Family& family : Families(150, 3, 233)) {
+    std::vector<std::vector<double>> rows;
+    for (size_t i = 0; i < family.data.size(); ++i) {
+      const double* r = family.data.row(i);
+      rows.emplace_back(r, r + 3);
+    }
+    data::ColumnBlocks masked = MustBuild(family.data);
+    // Delete the global top row of axis 0 — the lane that SET block 0's
+    // bound — so the inherited bound goes stale, plus a spread of others.
+    const LinearFunction axis0(geometry::Vec{1.0, 0.0, 0.0});
+    const size_t top =
+        static_cast<size_t>(TopKScan(masked, axis0, 1).front());
+    std::vector<data::Dataset> keep_alive;
+    keep_alive.reserve(4);
+    for (size_t victim : {top, size_t{0}, size_t{80}}) {
+      rows.erase(rows.begin() + static_cast<int64_t>(victim));
+      keep_alive.push_back(testing::MakeDataset(rows));
+      Result<data::ColumnBlocks> next =
+          masked.WithoutRow(&keep_alive.back(), victim);
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      masked = std::move(*next);
+    }
+    ASSERT_TRUE(masked.masked());
+    ASSERT_TRUE(masked.has_block_bounds());
+    // Stale is fine — a bound over dead lanes is still an upper bound over
+    // the live ones — and pruning still matches skip-off bit-for-bit.
+    for (const LinearFunction& f : ProbeFunctions(3, 239)) {
+      ExpectSkipEquivalent(masked, f, family.name + "/masked");
+    }
+  }
+}
+
+TEST(BlockSkipTest, AppendedMirrorRecomputesBoundaryAndStaysEquivalent) {
+  // 150 base rows = two full tiles + a partial; the appends refill the
+  // partial tile (whose bound must WIDEN to cover the new lanes) and cross
+  // into fresh tiles.
+  for (size_t appended : {size_t{1}, size_t{41}, size_t{107}}) {
+    for (const Family& family : Families(150 + appended, 3, 241)) {
+      std::vector<std::vector<double>> rows;
+      for (size_t i = 0; i < family.data.size(); ++i) {
+        const double* r = family.data.row(i);
+        rows.emplace_back(r, r + 3);
+      }
+      const std::vector<std::vector<double>> base_rows(rows.begin(),
+                                                       rows.begin() + 150);
+      const data::Dataset base_data = testing::MakeDataset(base_rows);
+      const data::ColumnBlocks base = MustBuild(base_data);
+      Result<data::ColumnBlocks> grown =
+          data::ColumnBlocks::BuildAppended(base, family.data);
+      ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+      ASSERT_TRUE(grown->has_block_bounds());
+      // The appended mirror's bounds must cover the appended lanes too —
+      // same invariant the fresh build satisfies by construction.
+      const data::ColumnBlocks fresh = MustBuild(family.data);
+      for (size_t b = 0; b < grown->num_blocks(); ++b) {
+        for (size_t j = 0; j < 3; ++j) {
+          EXPECT_EQ(grown->block_max(b)[j], fresh.block_max(b)[j])
+              << family.name << " appended=" << appended << " block " << b;
+          EXPECT_EQ(grown->block_min(b)[j], fresh.block_min(b)[j])
+              << family.name << " appended=" << appended << " block " << b;
+        }
+      }
+      for (const LinearFunction& f : ProbeFunctions(3, 251)) {
+        ExpectSkipEquivalent(*grown, f, family.name + "/appended");
+      }
+    }
+  }
+}
+
+TEST(BlockSkipTest, EveryKernelPathAgreesWithSkipOn) {
+  const ScoreKernelPath restore = ActiveScoreKernelPath();
+  const data::Dataset ds = data::GenerateUniform(500, 4, 257);
+  const data::ColumnBlocks blocks = MustBuild(ds);
+  const std::vector<LinearFunction> probes = ProbeFunctions(4, 263);
+  std::vector<std::vector<int32_t>> want;
+  for (const LinearFunction& f : probes) {
+    want.push_back(TopKScan(blocks, f, 25, BlockSkip::kForceOff));
+  }
+  for (ScoreKernelPath path : {ScoreKernelPath::kScalarBlocked,
+                               ScoreKernelPath::kAvx2,
+                               ScoreKernelPath::kAvx512}) {
+    const ScoreKernelPath installed = ForceScoreKernelPath(path);
+    // The force clamps to host support (an unsupported request narrows,
+    // never crashes) and round-trips through the active-path query.
+    EXPECT_EQ(ActiveScoreKernelPath(), installed);
+    if (installed != path) continue;  // host can't run this tier
+    for (size_t p = 0; p < probes.size(); ++p) {
+      EXPECT_EQ(TopKScan(blocks, probes[p], 25, BlockSkip::kForceOn),
+                want[p])
+          << ScoreKernelPathName(path) << " probe " << p;
+    }
+  }
+  ForceScoreKernelPath(restore);
+}
+
+TEST(BlockSkipTest, ConcurrentSkippedScansStayIdenticalAndCountersAdvance) {
+  const data::Dataset ds = data::GenerateUniform(1000, 3, 269);
+  const data::ColumnBlocks blocks = MustBuild(ds);
+  const std::vector<LinearFunction> probes = ProbeFunctions(3, 271);
+  std::vector<std::vector<int32_t>> want;
+  for (const LinearFunction& f : probes) {
+    want.push_back(TopKScan(blocks, f, 50, BlockSkip::kForceOff));
+  }
+  const ScanStats before = ScanCountersSnapshot();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ParallelFor(threads, probes.size() * 4, [&](size_t task) {
+      const size_t p = task % probes.size();
+      EXPECT_EQ(TopKScan(blocks, probes[p], 50, BlockSkip::kForceOn),
+                want[p])
+          << "threads=" << threads << " probe " << p;
+    });
+  }
+  const ScanStats after = ScanCountersSnapshot();
+  // 2 sweeps x |probes| x 4 replicas, each touching every block once.
+  EXPECT_EQ(after.blocks_scanned + after.blocks_skipped -
+                before.blocks_scanned - before.blocks_skipped,
+            2 * probes.size() * 4 * blocks.num_blocks());
+}
+
+}  // namespace
+}  // namespace topk
+}  // namespace rrr
